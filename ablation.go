@@ -1,0 +1,92 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// AblationVariant selects a Table 1 rule subset for an ablation study of
+// the OCOR mechanism's design choices.
+type AblationVariant string
+
+// Ablation variants. Baseline disables the whole mechanism; Full enables
+// every rule; the NoX variants disable exactly one rule each.
+const (
+	AblationBaseline       AblationVariant = "baseline"
+	AblationFull           AblationVariant = "full"
+	AblationNoSlowProgress AblationVariant = "no-slow-progress-first" // rule 1 off
+	AblationNoLockFirst    AblationVariant = "no-lock-first"          // rule 2 off
+	AblationNoLeastRTR     AblationVariant = "no-least-rtr-first"     // rule 3 off
+	AblationNoWakeupLast   AblationVariant = "no-wakeup-last"         // rule 4 off
+)
+
+// AblationVariants lists all variants in presentation order.
+func AblationVariants() []AblationVariant {
+	return []AblationVariant{
+		AblationBaseline,
+		AblationFull,
+		AblationNoSlowProgress,
+		AblationNoLockFirst,
+		AblationNoLeastRTR,
+		AblationNoWakeupLast,
+	}
+}
+
+// RunAblation runs one benchmark under the given rule subset. All variants
+// except AblationBaseline run with OCOR enabled; the NoX variants disable
+// one Table 1 rule each, isolating its contribution.
+func RunAblation(p workload.Profile, threads int, v AblationVariant, seed uint64) (metrics.Results, error) {
+	kcfg := kernel.DefaultConfig()
+	ocor := v != AblationBaseline
+	switch v {
+	case AblationBaseline, AblationFull:
+	case AblationNoSlowProgress:
+		kcfg.Policy.DisableSlowProgressFirst = true
+	case AblationNoLockFirst:
+		kcfg.Policy.DisableLockFirst = true
+	case AblationNoLeastRTR:
+		kcfg.Policy.DisableLeastRTRFirst = true
+	case AblationNoWakeupLast:
+		kcfg.Policy.DisableWakeupLast = true
+	default:
+		return metrics.Results{}, fmt.Errorf("repro: unknown ablation variant %q", v)
+	}
+	sys, err := New(Config{Benchmark: p, Threads: threads, OCOR: ocor, Seed: seed, Kernel: &kcfg})
+	if err != nil {
+		return metrics.Results{}, err
+	}
+	return sys.Run()
+}
+
+// AblationRow is one line of an ablation study.
+type AblationRow struct {
+	Variant        AblationVariant
+	Results        metrics.Results
+	COHImprovement float64 // vs the baseline variant
+	ROIImprovement float64
+}
+
+// Ablate runs every variant on one benchmark and reports each rule
+// subset's improvement over the baseline.
+func Ablate(p workload.Profile, threads int, seed uint64) ([]AblationRow, error) {
+	var rows []AblationRow
+	var base metrics.Results
+	for _, v := range AblationVariants() {
+		res, err := RunAblation(p, threads, v, seed)
+		if err != nil {
+			return nil, fmt.Errorf("repro: ablation %s: %w", v, err)
+		}
+		row := AblationRow{Variant: v, Results: res}
+		if v == AblationBaseline {
+			base = res
+		} else {
+			row.COHImprovement = metrics.COHImprovement(base, res)
+			row.ROIImprovement = metrics.ROIImprovement(base, res)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

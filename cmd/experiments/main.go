@@ -1,0 +1,116 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all                  # everything (minutes)
+//	experiments -run fig11,table3         # selected experiments
+//	experiments -run fig10 -scale 0.5     # shorter runs
+//	experiments -run table3 -quick        # representative benchmark subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	_ "repro" // installs the platform runner into the experiments package
+
+	"repro/internal/experiments"
+	"repro/internal/export"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "all", "comma-separated experiments: fig2,fig10,fig11,fig12,fig13,fig14,fig15,fig16,table3 or all")
+		threads = flag.Int("threads", 64, "thread/core count for suite experiments")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		scale   = flag.Float64("scale", 1.0, "iteration scale factor (smaller = faster)")
+		quick   = flag.Bool("quick", false, "run a representative benchmark subset")
+		verbose = flag.Bool("v", true, "print per-run progress")
+		csvDir  = flag.String("csv", "", "also write figure/table CSV files into this directory")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Threads: *threads, Seed: *seed, Scale: *scale, Quick: *quick}
+	want := map[string]bool{}
+	for _, name := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	all := want["all"]
+	progress := os.Stderr
+	if !*verbose {
+		progress = nil
+	}
+
+	needSuite := all || want["fig2"] || want["fig11"] || want["fig12"] || want["fig13"] || want["fig14"] || want["table3"]
+	var suite []experiments.BenchResult
+	if needSuite {
+		var err error
+		suite, err = experiments.RunSuite(opt, progress)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	out := os.Stdout
+	if all || want["fig2"] {
+		experiments.PrintFig2(out, experiments.Fig2(suite))
+		fmt.Fprintln(out)
+	}
+	if all || want["fig10"] {
+		r, err := experiments.Fig10(opt)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintFig10(out, r)
+		fmt.Fprintln(out)
+	}
+	if all || want["fig11"] {
+		experiments.PrintFig11(out, experiments.Fig11(suite))
+		fmt.Fprintln(out)
+	}
+	if all || want["fig12"] {
+		experiments.PrintFig12(out, experiments.Fig12(suite))
+		fmt.Fprintln(out)
+	}
+	if all || want["fig13"] {
+		experiments.PrintFig13(out, experiments.Fig13(suite))
+		fmt.Fprintln(out)
+	}
+	if all || want["fig14"] {
+		experiments.PrintFig14(out, experiments.Fig14(suite))
+		fmt.Fprintln(out)
+	}
+	if all || want["fig15"] {
+		rows, err := experiments.Fig15(opt, progress)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintFig15(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || want["fig16"] {
+		rows, err := experiments.Fig16(opt, progress)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintFig16(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || want["table3"] {
+		experiments.PrintTable3(out, experiments.Table3(suite))
+	}
+	if *csvDir != "" && suite != nil {
+		names, err := export.WriteSuite(*csvDir, suite)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d CSV files to %s\n", len(names), *csvDir)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

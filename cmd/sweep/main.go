@@ -1,0 +1,101 @@
+// Command sweep runs a benchmark across a parameter grid — thread counts,
+// priority levels, or seeds — and emits one CSV row per run, for
+// calibration and sensitivity studies beyond the paper's figures.
+//
+// Usage:
+//
+//	sweep -bench botss -threads 4,16,32,64
+//	sweep -bench can -levels 1,2,4,8,16 -threads 64
+//	sweep -bench body -seeds 5 > body.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "body", "benchmark name")
+		threads = flag.String("threads", "64", "comma-separated thread counts")
+		levels  = flag.String("levels", "8", "comma-separated OCOR priority-level counts")
+		seeds   = flag.Int("seeds", 1, "number of seeds per configuration")
+		scale   = flag.Float64("scale", 1.0, "iteration scale factor")
+	)
+	flag.Parse()
+
+	p, err := repro.Benchmark(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	p = p.Scale(*scale)
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	_ = w.Write([]string{
+		"benchmark", "threads", "levels", "seed", "config",
+		"roi_finish", "total_coh", "spin_fraction", "sleeps",
+		"coh_improvement", "roi_improvement",
+	})
+
+	for _, th := range parseInts(*threads) {
+		for _, lv := range parseInts(*levels) {
+			for seed := uint64(1); seed <= uint64(*seeds); seed++ {
+				base, err := repro.RunBenchmark(p, th, false, seed)
+				if err != nil {
+					fatal(err)
+				}
+				sys, err := repro.New(repro.Config{
+					Benchmark: p, Threads: th, OCOR: true,
+					PriorityLevels: lv, Seed: seed,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				ocor, err := sys.Run()
+				if err != nil {
+					fatal(err)
+				}
+				emit(w, p.Name, th, lv, seed, "baseline", base, 0, 0)
+				emit(w, p.Name, th, lv, seed, "ocor", ocor,
+					metrics.COHImprovement(base, ocor), metrics.ROIImprovement(base, ocor))
+			}
+		}
+	}
+}
+
+func emit(w *csv.Writer, name string, th, lv int, seed uint64, cfg string, r metrics.Results, cohImp, roiImp float64) {
+	_ = w.Write([]string{
+		name, strconv.Itoa(th), strconv.Itoa(lv), strconv.FormatUint(seed, 10), cfg,
+		strconv.FormatUint(r.ROIFinish, 10),
+		strconv.FormatUint(r.TotalCOH, 10),
+		strconv.FormatFloat(r.SpinFraction, 'f', 4, 64),
+		strconv.FormatUint(r.TotalSleeps, 10),
+		strconv.FormatFloat(cohImp, 'f', 4, 64),
+		strconv.FormatFloat(roiImp, 'f', 4, 64),
+	})
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatal(fmt.Errorf("bad integer list %q: %v", s, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

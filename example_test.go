@@ -1,0 +1,79 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/cpu"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// ExampleCompare runs a small custom benchmark model with and without OCOR
+// and reports the stable facts of the run (timings vary by configuration;
+// the workload itself is deterministic per seed).
+func ExampleCompare() {
+	p := workload.Profile{
+		Name:       "demo",
+		ComputeGap: 500, GapMemOps: 2, WorkingSet: 32,
+		Locks: 1, CSLen: 50, CSMemOps: 1, Iterations: 3,
+	}
+	base, ocor, err := repro.Compare(p, 8, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("threads:", base.Threads)
+	fmt.Println("acquisitions per run:", base.Acquisitions, ocor.Acquisitions)
+	fmt.Println("decomposition holds:", base.TotalBT == base.TotalHeld+base.TotalCOH)
+	fmt.Println("ocor not slower:", metrics.ROIImprovement(base, ocor) > -0.25)
+	// Output:
+	// threads: 8
+	// acquisitions per run: 24 24
+	// decomposition holds: true
+	// ocor not slower: true
+}
+
+// ExampleNew builds a platform around hand-written thread programs using
+// the workload builder.
+func ExampleNew() {
+	mk := func(tid int) cpu.Program {
+		return workload.NewBuilder().
+			Compute(200).
+			Load(workload.PrivateAddr(tid, 0)).
+			CriticalSection(0, 40, workload.SharedAddr(0, 0)).
+			Program()
+	}
+	sys, err := repro.New(repro.Config{
+		Programs:   []cpu.Program{mk(0), mk(1), mk(2), mk(3)},
+		Threads:    4,
+		MeshWidth:  2,
+		MeshHeight: 2,
+		OCOR:       true,
+		Seed:       7,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := sys.Run()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("benchmark:", res.Benchmark)
+	fmt.Println("acquisitions:", res.Acquisitions)
+	fmt.Println("all critical sections serialized:", res.CSTime > 0)
+	// Output:
+	// benchmark: custom
+	// acquisitions: 4
+	// all critical sections serialized: true
+}
+
+// ExampleBenchmark looks up a catalog profile.
+func ExampleBenchmark() {
+	p, _ := repro.Benchmark("botss")
+	fmt.Println(p.Full, p.Suite, p.CSRate, p.NetUtil)
+	// Output:
+	// botsspar OMP2012 high high
+}

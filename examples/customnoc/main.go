@@ -1,0 +1,90 @@
+// Customnoc: use the NoC substrate directly — no caches, no kernel — to
+// see the router prioritization in isolation. A column of nodes streams
+// data packets toward a hotspot while lock packets with different RTR
+// priorities cross the congested region; with OCOR arbitration the lock
+// packets overtake the data traffic and arrive in RTR order.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+func run(priority bool) {
+	cfg := noc.DefaultConfig()
+	cfg.Width, cfg.Height = 8, 8
+	cfg.Priority = priority
+	net, err := noc.NewNetwork(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hotspot := cfg.Node(4, 4)
+	var lockArrivals []int // RTR values in arrival order
+	for i := 0; i < cfg.Nodes(); i++ {
+		node := i
+		net.SetSink(node, func(now uint64, pkt *noc.Packet) {
+			if node == hotspot && pkt.Class == noc.ClassLock {
+				lockArrivals = append(lockArrivals, pkt.Payload.(int))
+			}
+		})
+	}
+
+	e := sim.NewEngine()
+	e.Register(net)
+	rng := sim.NewRNG(1)
+	pol := core.DefaultPolicy()
+
+	// Heavy data traffic into the hotspot for 2000 cycles; at cycle 500,
+	// four lock requests with distinct RTR values enter from one corner.
+	injected := false
+	e.Register(&sim.FuncComponent{
+		TickFn: func(now uint64) {
+			if now < 2000 {
+				for s := 0; s < cfg.Nodes(); s++ {
+					if s != hotspot && rng.Bool(0.08) {
+						net.Send(now, net.NewPacket(s, hotspot, noc.ClassData, noc.VNetResponse, nil))
+					}
+				}
+			}
+			if now == 500 && !injected {
+				injected = true
+				for _, rtr := range []int{120, 40, 90, 5} {
+					pkt := net.NewPacket(0, hotspot, noc.ClassLock, noc.VNetRequest, rtr)
+					pkt.Prio = pol.LockPriority(rtr, 0)
+					net.Send(now, pkt)
+				}
+			}
+		},
+		NextWakeFn: func(now uint64) uint64 {
+			if now < 2000 {
+				return now + 1
+			}
+			return sim.Never
+		},
+	})
+	e.MaxCycles = 1 << 20
+	e.RunUntil(func() bool { return e.Now() > 2000 && !net.Busy() })
+
+	mode := "round-robin (baseline)"
+	if priority {
+		mode = "priority (OCOR)"
+	}
+	fmt.Printf("%-24s lock mean latency %6.1f cycles, data mean %6.1f; RTR arrival order %v\n",
+		mode,
+		net.Stats.NetLatency[noc.ClassLock].Mean(),
+		net.Stats.NetLatency[noc.ClassData].Mean(),
+		lockArrivals)
+}
+
+func main() {
+	fmt.Println("four locking requests (RTR 120, 40, 90, 5) crossing a congested hotspot:")
+	run(false)
+	run(true)
+	fmt.Println("\nUnder OCOR the least-RTR request (closest to sleeping) arrives first,")
+	fmt.Println("and lock latency decouples from the data congestion (paper §4.2, Fig. 8).")
+}

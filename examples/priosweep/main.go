@@ -1,0 +1,60 @@
+// Priosweep: reproduce the Fig. 16 experiment shape — how the number of
+// router priority levels affects the competition-overhead reduction — for
+// the paper's two extreme programs (botss: best improvement; imag: least).
+//
+// More levels give the routers a finer view of each thread's remaining
+// retries, improving scheduling accuracy with diminishing returns; the
+// paper picks 8 levels (9 one-hot bits) as the sweet spot.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	levels := []int{1, 2, 4, 8, 16, 32}
+	benchmarks := []string{"botss", "imag"}
+	const threads = 64
+
+	fmt.Printf("%-10s", "levels:")
+	for _, lv := range levels {
+		fmt.Printf(" %8d", lv)
+	}
+	fmt.Println()
+
+	for _, name := range benchmarks {
+		p, err := repro.Benchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p = p.Scale(0.5) // half-length runs; the trend is what matters
+
+		base, err := repro.RunBenchmark(p, threads, false, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s", name)
+		for _, lv := range levels {
+			sys, err := repro.New(repro.Config{
+				Benchmark: p, Threads: threads, OCOR: true,
+				PriorityLevels: lv, Seed: 1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sys.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			imp := 0.0
+			if base.TotalCOH > 0 {
+				imp = 1 - float64(res.TotalCOH)/float64(base.TotalCOH)
+			}
+			fmt.Printf(" %7.1f%%", 100*imp)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,39 @@
+// Scaling: reproduce the Fig. 15 experiment shape — the competition-
+// overhead reduction grows with the number of competing threads. Runs one
+// benchmark at 4, 16, 32 and 64 threads (on 2x2, 4x4, 8x4 and 8x8 meshes,
+// as the paper scales the platform) and prints the normalised COH.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	p, err := repro.Benchmark("can")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p = p.Scale(0.5)
+
+	fmt.Printf("benchmark %s: COH with OCOR, normalised to the baseline at each scale\n\n", p.Name)
+	fmt.Printf("%8s %8s %12s %12s %14s\n", "threads", "mesh", "base COH%", "OCOR COH%", "normalised")
+	for _, threads := range []int{4, 16, 32, 64} {
+		w, h := repro.MeshFor(threads)
+		base, ocor, err := repro.Compare(p, threads, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		norm := 1.0
+		if base.TotalCOH > 0 {
+			norm = float64(ocor.TotalCOH) / float64(base.TotalCOH)
+		}
+		fmt.Printf("%8d %5dx%-2d %11.1f%% %11.1f%% %13.1f%%\n",
+			threads, w, h, 100*base.COHFraction, 100*ocor.COHFraction, 100*norm)
+		_ = metrics.Results{}
+	}
+	fmt.Println("\nThe more threads compete, the larger the reduction (paper Fig. 15).")
+}

@@ -1,0 +1,55 @@
+package core
+
+// RegisterFile models the special per-core local registers the enhanced
+// queue spinlock writes (Algorithm 1, line 6: write_local_reg(RTR, PROG)).
+// The network interface reads them when packetizing an atomic locking
+// request so the priority information travels with the packet.
+type RegisterFile struct {
+	rtr  int
+	prog int
+	// set reports whether the spinlock has written the registers since the
+	// last clear; when unset the NI stamps Normal priority (baseline
+	// behaviour, and also the behaviour for non-lock traffic).
+	set bool
+}
+
+// WriteLockRegs records the RTR and progress values for the next locking
+// request (Algorithm 1).
+func (rf *RegisterFile) WriteLockRegs(rtr, prog int) {
+	rf.rtr, rf.prog, rf.set = rtr, prog, true
+}
+
+// WriteProg updates only the progress register (Algorithm 2, after a
+// critical section completes).
+func (rf *RegisterFile) WriteProg(prog int) {
+	rf.prog = prog
+}
+
+// Clear invalidates the RTR registers, e.g. when the thread leaves the
+// locking path.
+func (rf *RegisterFile) Clear() { rf.set = false }
+
+// RTR returns the last written RTR value and whether it is valid.
+func (rf *RegisterFile) RTR() (int, bool) { return rf.rtr, rf.set }
+
+// Prog returns the last written progress value.
+func (rf *RegisterFile) Prog() int { return rf.prog }
+
+// LockPriority derives the packet priority word for an outgoing locking
+// request under the supplied policy. When the policy is disabled or the
+// registers were never written it returns Normal.
+func (rf *RegisterFile) LockPriority(pl Policy) Priority {
+	if !pl.Enabled || !rf.set {
+		return Normal
+	}
+	return pl.LockPriority(rf.rtr, rf.prog)
+}
+
+// WakeupPriority derives the packet priority word for an outgoing wakeup
+// request under the supplied policy.
+func (rf *RegisterFile) WakeupPriority(pl Policy) Priority {
+	if !pl.Enabled {
+		return Normal
+	}
+	return pl.WakeupPriority(rf.prog)
+}

@@ -1,0 +1,108 @@
+// Package cpu models the processor side of the platform: one timed core
+// per node running one thread (as in the paper's experiments), executing a
+// synthetic program of compute intervals, memory accesses and critical
+// sections. Memory operations go through the node's private L1 (package
+// mem); lock and unlock operations go through the enhanced queue spinlock
+// (package kernel).
+package cpu
+
+import "fmt"
+
+// OpKind enumerates program operations.
+type OpKind uint8
+
+// Program operations.
+const (
+	// OpCompute spends Arg cycles of local computation.
+	OpCompute OpKind = iota
+	// OpLoad reads the block at address Arg.
+	OpLoad
+	// OpStore writes the block at address Arg.
+	OpStore
+	// OpLock acquires lock id Arg (queue spinlock).
+	OpLock
+	// OpUnlock releases lock id Arg.
+	OpUnlock
+	// OpLoadNB and OpStoreNB issue without waiting for completion,
+	// modelling the memory-level parallelism of the platform's out-of-
+	// order cores (bounded by the L1 MSHRs).
+	OpLoadNB
+	OpStoreNB
+	// OpBarrier waits until every thread whose program contains barrier
+	// group Arg has arrived, then all proceed (the synchronization points
+	// of Fig. 1 where threads start competing for the critical section
+	// together, as OpenMP parallel regions do).
+	OpBarrier
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpCompute:
+		return "compute"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpLock:
+		return "lock"
+	case OpUnlock:
+		return "unlock"
+	case OpLoadNB:
+		return "load-nb"
+	case OpStoreNB:
+		return "store-nb"
+	case OpBarrier:
+		return "barrier"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one program operation.
+type Op struct {
+	Kind OpKind
+	Arg  uint64
+}
+
+// Program is a straight-line sequence of operations executed by a thread.
+type Program []Op
+
+// Validate checks structural sanity: lock/unlock pairing and no nesting
+// (the workloads, like pthread mutex sections, do not nest critical
+// sections).
+func (p Program) Validate() error {
+	locked := -1
+	for i, op := range p {
+		switch op.Kind {
+		case OpLock:
+			if locked >= 0 {
+				return fmt.Errorf("cpu: op %d: nested lock %d inside %d", i, op.Arg, locked)
+			}
+			locked = int(op.Arg)
+		case OpUnlock:
+			if locked != int(op.Arg) {
+				return fmt.Errorf("cpu: op %d: unlock %d while holding %d", i, op.Arg, locked)
+			}
+			locked = -1
+		}
+	}
+	if locked >= 0 {
+		return fmt.Errorf("cpu: program ends holding lock %d", locked)
+	}
+	return nil
+}
+
+// Stats summarises a program's static composition.
+func (p Program) Stats() (computeCycles uint64, memOps, criticalSections int) {
+	for _, op := range p {
+		switch op.Kind {
+		case OpCompute:
+			computeCycles += op.Arg
+		case OpLoad, OpStore, OpLoadNB, OpStoreNB:
+			memOps++
+		case OpLock:
+			criticalSections++
+		}
+	}
+	return
+}

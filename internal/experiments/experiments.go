@@ -1,0 +1,159 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5): the competition-overhead characterisation
+// (Fig. 2), the bodytrack execution profile (Fig. 10), COH reduction and
+// spinning-phase entry improvements (Fig. 11), the benchmark
+// characterisation (Fig. 12), relative critical-section execution time
+// (Fig. 13), ROI finish-time improvements (Fig. 14), thread-count
+// scalability (Fig. 15), priority-level sensitivity (Fig. 16) and the
+// summary Table 3.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Threads is the core/thread count (paper default 64).
+	Threads int
+	// Seed drives all workload generation and simulation randomness.
+	Seed uint64
+	// Scale multiplies per-benchmark iteration counts (1.0 = calibrated
+	// defaults; benchmarks may use smaller values for quick runs).
+	Scale float64
+	// Quick restricts suite-wide experiments to a representative subset
+	// of benchmarks.
+	Quick bool
+}
+
+// withDefaults normalises unset options.
+func (o Options) withDefaults() Options {
+	if o.Threads == 0 {
+		o.Threads = 64
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	return o
+}
+
+// quickSet is the representative subset used when Options.Quick is set:
+// two high/high, one high/low, one low/high and two low/low programs.
+var quickSet = map[string]bool{
+	"botss": true, "can": true, "body": true,
+	"freq": true, "smith": true, "imag": true,
+}
+
+// profiles returns the benchmark list an experiment runs over.
+func (o Options) profiles() []workload.Profile {
+	all := workload.Catalog()
+	if !o.Quick {
+		return all
+	}
+	var out []workload.Profile
+	for _, p := range all {
+		if quickSet[p.Name] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Runner abstracts the platform entry point so the experiments package
+// does not import the root package (which imports this one). The root
+// package installs its runner at init time. levels selects the number of
+// priority levels (0 = the paper default of 8).
+type Runner func(p workload.Profile, threads int, ocor bool, levels int, seed uint64) (metrics.Results, error)
+
+// TraceRunner additionally returns a rendered execution-profile timeline
+// (Fig. 10) covering the first `window` cycles of `traceThreads` threads.
+type TraceRunner func(p workload.Profile, threads int, ocor bool, seed uint64, traceThreads int, window uint64) (metrics.Results, string, error)
+
+var (
+	runner Runner
+	tracer TraceRunner
+)
+
+// SetRunner installs the simulation entry points. The root package calls
+// this from an init function.
+func SetRunner(r Runner, t TraceRunner) { runner, tracer = r, t }
+
+func run(p workload.Profile, threads int, ocor bool, seed uint64) (metrics.Results, error) {
+	return runner(p, threads, ocor, 0, seed)
+}
+
+// BenchResult pairs the baseline and OCOR results of one benchmark.
+type BenchResult struct {
+	Profile workload.Profile
+	Base    metrics.Results
+	OCOR    metrics.Results
+}
+
+// COHImprovement is the relative COH reduction (Fig. 11a).
+func (b BenchResult) COHImprovement() float64 { return metrics.COHImprovement(b.Base, b.OCOR) }
+
+// ROIImprovement is the relative ROI finish-time reduction (Fig. 14b).
+func (b BenchResult) ROIImprovement() float64 { return metrics.ROIImprovement(b.Base, b.OCOR) }
+
+// SpinGain is the spinning-phase entry increase in fraction points (Fig. 11b).
+func (b BenchResult) SpinGain() float64 { return metrics.SpinFractionGain(b.Base, b.OCOR) }
+
+// RunSuite runs baseline and OCOR for every benchmark in the catalog (or
+// the quick subset) and returns the per-benchmark result pairs. This is
+// the shared substrate of Figs. 2, 11, 12, 13, 14 and Table 3.
+func RunSuite(o Options, progress io.Writer) ([]BenchResult, error) {
+	o = o.withDefaults()
+	if runner == nil {
+		return nil, fmt.Errorf("experiments: no runner installed")
+	}
+	var out []BenchResult
+	for _, p := range o.profiles() {
+		p = p.Scale(o.Scale)
+		if progress != nil {
+			fmt.Fprintf(progress, "running %-8s (%s, cs=%s net=%s) ... ", p.Name, p.Suite, p.CSRate, p.NetUtil)
+		}
+		base, err := run(p, o.Threads, false, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s baseline: %w", p.Name, err)
+		}
+		ocor, err := run(p, o.Threads, true, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s ocor: %w", p.Name, err)
+		}
+		br := BenchResult{Profile: p, Base: base, OCOR: ocor}
+		if progress != nil {
+			fmt.Fprintf(progress, "COH -%.1f%%  ROI -%.1f%%\n", 100*br.COHImprovement(), 100*br.ROIImprovement())
+		}
+		out = append(out, br)
+	}
+	return out, nil
+}
+
+// sortByCOHImprovement orders results most-improved first, as Fig. 11
+// presents them.
+func sortByCOHImprovement(rs []BenchResult) []BenchResult {
+	out := make([]BenchResult, len(rs))
+	copy(out, rs)
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].COHImprovement() > out[j].COHImprovement()
+	})
+	return out
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// profileT aliases the workload profile type for the figure helpers.
+type profileT = workload.Profile
+
+// lookupProfile finds a catalog profile by name.
+func lookupProfile(name string) (workload.Profile, error) {
+	return workload.ByName(name)
+}

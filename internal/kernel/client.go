@@ -1,0 +1,418 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// ThreadState is the locking-path state of a thread, reported to trace and
+// metrics listeners.
+type ThreadState uint8
+
+// Thread states on the locking path.
+const (
+	StateIdle      ThreadState = iota // not in a locking operation
+	StateSpinning                     // spinning phase (local retry loop)
+	StateSleepPrep                    // preparing to sleep (context save)
+	StateSleeping                     // slept, waiting for wakeup
+	StateWaking                       // woken, restoring context
+	StateHolding                      // inside the critical section
+)
+
+// String implements fmt.Stringer.
+func (s ThreadState) String() string {
+	return [...]string{"idle", "spinning", "sleep-prep", "sleeping", "waking", "holding"}[s]
+}
+
+// AcquireEvent describes one completed lock acquisition, with the paper's
+// blocking-time decomposition: BT = (others' critical sections) + COH.
+type AcquireEvent struct {
+	Thread, Lock int
+	// Start is the first try-lock send; Granted the grant receipt.
+	Start, Granted uint64
+	// BT is the total blocking time (Granted - Start).
+	BT uint64
+	// HeldByOthers is the portion of BT during which other threads held
+	// the lock (their critical-section execution).
+	HeldByOthers uint64
+	// COH is the competition overhead: BT - HeldByOthers.
+	COH uint64
+	// SpinPhase reports a low-overhead acquisition: the thread never
+	// reached the sleeping phase in this window.
+	SpinPhase bool
+	// Retries is the number of try-lock packets sent; Sleeps the number of
+	// sleep episodes.
+	Retries, Sleeps int
+}
+
+// ReleaseEvent describes one critical-section completion.
+type ReleaseEvent struct {
+	Thread, Lock       int
+	Acquired, Released uint64
+}
+
+// Listener receives lock lifecycle events.
+type Listener interface {
+	Acquired(ev AcquireEvent)
+	Released(ev ReleaseEvent)
+	StateChanged(thread int, st ThreadState, now uint64)
+}
+
+type nopListener struct{}
+
+func (nopListener) Acquired(AcquireEvent)                 {}
+func (nopListener) Released(ReleaseEvent)                 {}
+func (nopListener) StateChanged(int, ThreadState, uint64) {}
+
+// acquireCtx is the state of one in-progress lock acquisition.
+type acquireCtx struct {
+	lock  int
+	start uint64
+	h0    uint64 // home-node cumulative hold time at start
+	// budget is the remaining times of retry (RTR): it drains by one per
+	// cpu_relax interval of the bounded retry loop of Algorithm 1 (local
+	// polling on the cached lock variable, Fig. 4a).
+	budget      int
+	outstanding bool // a try-lock request is in flight
+	// pendingNotify records a release notification that arrived while a
+	// request was outstanding; the thread re-requests as soon as the
+	// outstanding one fails.
+	pendingNotify bool
+	retries       int
+	sleeps        int
+	everSlept     bool
+	// wakePending records a wakeup that arrived during sleep preparation:
+	// the thread finishes the preparation and wakes immediately (the slow
+	// scenario of Fig. 5a).
+	wakePending bool
+	// timerArmed tracks whether a cpu_relax retry timer is pending.
+	timerArmed bool
+	cb         func(now uint64)
+}
+
+// Client is the thread-side enhanced queue spinlock (Algorithms 1 and 2).
+// One client per thread; thread i runs on node i.
+//
+// The spinning phase follows the paper's Fig. 4 operation under cache
+// coherence: a failed atomic try-lock leaves the thread polling its cached
+// copy of the lock variable, re-trying every cpu_relax interval and
+// immediately when the home node signals a release (the invalidation of
+// Fig. 4a). Each attempt burns one retry of the MAX_SPIN_COUNT budget;
+// the re-try packets of all competing spinners race through the NoC,
+// carrying their current RTR as priority under OCOR.
+type Client struct {
+	cfg   *Config
+	node  int
+	send  func(now uint64, dst int, m *Msg, prio core.Priority)
+	delay *sim.DelayQueue
+	// cumHeld exposes the home controller's hold accounting for overhead
+	// measurement (simulator-level instrumentation, not protocol state).
+	cumHeld func(lock int, now uint64) uint64
+	nodes   int
+
+	// Regs models the CPU's special local registers of Algorithm 1 line 6.
+	Regs core.RegisterFile
+	// prog is the PCB progress field: critical sections completed.
+	prog int
+
+	state    ThreadState
+	cur      *acquireCtx
+	heldLock int
+	acquired uint64
+
+	listener Listener
+
+	// Stats.
+	Acquisitions  uint64
+	SpinAcquires  uint64
+	SleepAcquires uint64
+	TotalRetries  uint64
+	TotalSleeps   uint64
+}
+
+func newClient(cfg *Config, node, nodes int, send func(now uint64, dst int, m *Msg, prio core.Priority), cumHeld func(int, uint64) uint64, dq *sim.DelayQueue) *Client {
+	return &Client{
+		cfg:      cfg,
+		node:     node,
+		nodes:    nodes,
+		send:     send,
+		cumHeld:  cumHeld,
+		delay:    dq,
+		state:    StateIdle,
+		heldLock: -1,
+		listener: nopListener{},
+	}
+}
+
+// SetListener installs the event listener.
+func (c *Client) SetListener(l Listener) {
+	if l == nil {
+		l = nopListener{}
+	}
+	c.listener = l
+}
+
+// Prog returns the thread's progress counter.
+func (c *Client) Prog() int { return c.prog }
+
+// State returns the thread's locking-path state.
+func (c *Client) State() ThreadState { return c.state }
+
+// Busy reports whether a lock operation is in flight (for quiescence).
+func (c *Client) Busy() bool { return c.cur != nil }
+
+func (c *Client) setState(now uint64, st ThreadState) {
+	if c.state == st {
+		return
+	}
+	c.state = st
+	c.listener.StateChanged(c.node, st, now)
+}
+
+// Lock begins a queue-spinlock acquisition of lock; cb runs when the thread
+// holds it. This is the pthread_mutex_lock entry point of Fig. 6.
+func (c *Client) Lock(now uint64, lock int, cb func(now uint64)) {
+	if c.cur != nil || c.heldLock >= 0 {
+		panic(fmt.Sprintf("kernel: client %d Lock while busy (held=%d)", c.node, c.heldLock))
+	}
+	ctx := &acquireCtx{
+		lock:   lock,
+		start:  now,
+		h0:     c.cumHeld(lock, now),
+		budget: c.cfg.Policy.MaxSpin,
+		cb:     cb,
+	}
+	c.cur = ctx
+	c.setState(now, StateSpinning)
+	c.sendTry(now)
+	c.scheduleSpinTick(now, ctx)
+}
+
+// sendTry issues one atomic try-lock. Per Algorithm 1, the RTR and PROG
+// values are written to the core's local registers and the NI stamps them
+// into the outgoing locking-request packet.
+func (c *Client) sendTry(now uint64) {
+	ctx := c.cur
+	rtr := ctx.budget
+	c.Regs.WriteLockRegs(rtr, c.prog)
+	ctx.retries++
+	ctx.outstanding = true
+	c.TotalRetries++
+	prio := c.Regs.LockPriority(c.cfg.Policy)
+	c.send(now, LockHome(ctx.lock, c.nodes), &Msg{
+		Type: MsgTryLock, To: ToController, Lock: ctx.lock,
+		From: c.node, Thread: c.node, RTR: rtr, Prog: c.prog,
+	}, prio)
+}
+
+// scheduleSpinTick drains one retry of the spin budget per cpu_relax
+// interval of local spinning (the bounded loop of Algorithm 1). Remote
+// re-requests are triggered by release notifications; the budget expiring
+// sends the thread to the sleeping phase.
+func (c *Client) scheduleSpinTick(now uint64, ctx *acquireCtx) {
+	if ctx.timerArmed {
+		return
+	}
+	ctx.timerArmed = true
+	c.delay.Schedule(now+uint64(c.cfg.SpinInterval), func(t uint64) {
+		ctx.timerArmed = false
+		if c.cur != ctx || c.state != StateSpinning {
+			return
+		}
+		ctx.budget--
+		c.Regs.WriteLockRegs(ctx.budget, c.prog)
+		if ctx.budget <= 0 {
+			if ctx.outstanding {
+				// A final request is in flight; its outcome decides
+				// between acquisition and the sleeping phase.
+				return
+			}
+			c.goSleep(t, ctx)
+			return
+		}
+		c.scheduleSpinTick(t, ctx)
+	})
+}
+
+// Deliver handles a lock-protocol message addressed to this thread.
+func (c *Client) Deliver(now uint64, m *Msg) {
+	switch m.Type {
+	case MsgGrant:
+		c.onGrant(now, m)
+	case MsgFail:
+		c.onFail(now, m)
+	case MsgWakeup:
+		c.onWakeup(now, m)
+	case MsgNotify:
+		c.onNotify(now, m)
+	default:
+		panic(fmt.Sprintf("kernel: client %d cannot handle %s", c.node, m.Type))
+	}
+}
+
+func (c *Client) onGrant(now uint64, m *Msg) {
+	ctx := c.cur
+	if ctx == nil || ctx.lock != m.Lock {
+		panic(fmt.Sprintf("kernel: client %d spurious grant for lock %d", c.node, m.Lock))
+	}
+	bt := now - ctx.start
+	h1 := c.cumHeld(ctx.lock, now)
+	heldDuring := h1 - ctx.h0
+	// Subtract our own in-flight hold (grant assigned at the home node at
+	// m.AcquiredAt): only other threads' critical sections count.
+	own := uint64(0)
+	if now > m.AcquiredAt {
+		own = now - m.AcquiredAt
+	}
+	heldByOthers := uint64(0)
+	if heldDuring > own {
+		heldByOthers = heldDuring - own
+	}
+	if heldByOthers > bt {
+		heldByOthers = bt
+	}
+	ev := AcquireEvent{
+		Thread:       c.node,
+		Lock:         ctx.lock,
+		Start:        ctx.start,
+		Granted:      now,
+		BT:           bt,
+		HeldByOthers: heldByOthers,
+		COH:          bt - heldByOthers,
+		SpinPhase:    !ctx.everSlept,
+		Retries:      ctx.retries,
+		Sleeps:       ctx.sleeps,
+	}
+	c.Acquisitions++
+	if ev.SpinPhase {
+		c.SpinAcquires++
+	} else {
+		c.SleepAcquires++
+	}
+	c.heldLock = ctx.lock
+	c.acquired = now
+	cb := ctx.cb
+	c.cur = nil
+	c.setState(now, StateHolding)
+	c.listener.Acquired(ev)
+	if cb != nil {
+		cb(now)
+	}
+}
+
+func (c *Client) onFail(now uint64, m *Msg) {
+	ctx := c.cur
+	if ctx == nil || ctx.lock != m.Lock {
+		panic(fmt.Sprintf("kernel: client %d spurious fail for lock %d", c.node, m.Lock))
+	}
+	ctx.outstanding = false
+	if c.state != StateSpinning {
+		return // already heading to (or in) the sleeping phase
+	}
+	if ctx.budget <= 0 {
+		c.goSleep(now, ctx)
+		return
+	}
+	if ctx.pendingNotify {
+		// The lock was released while this request was in flight: race
+		// again immediately.
+		ctx.pendingNotify = false
+		c.sendTry(now)
+		return
+	}
+	// Keep spinning locally; the next release notification triggers the
+	// next remote request.
+}
+
+func (c *Client) onNotify(now uint64, m *Msg) {
+	ctx := c.cur
+	if ctx == nil || ctx.lock != m.Lock {
+		return // stale notification; the acquisition already completed
+	}
+	if c.state != StateSpinning {
+		return // heading to sleep; the futex path takes over
+	}
+	if ctx.outstanding {
+		ctx.pendingNotify = true
+		return
+	}
+	c.sendTry(now)
+}
+
+// goSleep enters the sleeping phase: register in the lock queue via
+// sys_futex(FUTEX_WAIT) and pay the sleep-preparation cost.
+func (c *Client) goSleep(now uint64, ctx *acquireCtx) {
+	ctx.everSlept = true
+	ctx.sleeps++
+	c.TotalSleeps++
+	ctx.pendingNotify = false
+	c.setState(now, StateSleepPrep)
+	c.Regs.WriteLockRegs(0, c.prog)
+	c.send(now, LockHome(ctx.lock, c.nodes), &Msg{
+		Type: MsgFutexWait, To: ToController, Lock: ctx.lock,
+		From: c.node, Thread: c.node, RTR: 0, Prog: c.prog,
+	}, c.Regs.LockPriority(c.cfg.Policy))
+	c.delay.Schedule(now+uint64(c.cfg.SleepPrepLatency), func(t uint64) {
+		if c.cur != ctx {
+			return
+		}
+		if ctx.wakePending {
+			// Woken during preparation: wake right back up (Fig. 5a slow
+			// scenario), paying the full wake cost.
+			c.beginWake(t, ctx)
+			return
+		}
+		c.setState(t, StateSleeping)
+	})
+}
+
+func (c *Client) onWakeup(now uint64, m *Msg) {
+	ctx := c.cur
+	if ctx == nil || ctx.lock != m.Lock {
+		panic(fmt.Sprintf("kernel: client %d spurious wakeup for lock %d", c.node, m.Lock))
+	}
+	switch c.state {
+	case StateSleeping:
+		c.beginWake(now, ctx)
+	case StateSleepPrep:
+		ctx.wakePending = true
+	default:
+		panic(fmt.Sprintf("kernel: client %d wakeup in state %s", c.node, c.state))
+	}
+}
+
+func (c *Client) beginWake(now uint64, ctx *acquireCtx) {
+	ctx.wakePending = false
+	c.setState(now, StateWaking)
+	c.delay.Schedule(now+uint64(c.cfg.WakeLatency), func(t uint64) {
+		if c.cur != ctx {
+			return
+		}
+		// Woken: retry with a fresh spinning phase (Fig. 4b).
+		ctx.budget = c.cfg.Policy.MaxSpin
+		ctx.outstanding = false
+		c.setState(t, StateSpinning)
+		c.sendTry(t)
+		c.scheduleSpinTick(t, ctx)
+	})
+}
+
+// Unlock releases the held lock: atomic_release, PROG update, FUTEX_WAKE
+// (Algorithm 2). This is the pthread_mutex_unlock entry point of Fig. 6.
+func (c *Client) Unlock(now uint64) {
+	if c.heldLock < 0 {
+		panic(fmt.Sprintf("kernel: client %d Unlock without lock", c.node))
+	}
+	lock := c.heldLock
+	c.heldLock = -1
+	home := LockHome(lock, c.nodes)
+	c.send(now, home, &Msg{Type: MsgRelease, To: ToController, Lock: lock, From: c.node, Thread: c.node}, core.Normal)
+	c.prog++
+	c.Regs.WriteProg(c.prog)
+	c.send(now, home, &Msg{Type: MsgFutexWake, To: ToController, Lock: lock, From: c.node, Thread: c.node, Prog: c.prog},
+		c.Regs.WakeupPriority(c.cfg.Policy))
+	c.listener.Released(ReleaseEvent{Thread: c.node, Lock: lock, Acquired: c.acquired, Released: now})
+	c.setState(now, StateIdle)
+}

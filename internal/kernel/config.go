@@ -1,0 +1,66 @@
+// Package kernel models the OS-level critical-section machinery of the
+// paper: the Linux 4.2 queue spinlock (a bounded spinning phase followed by
+// a futex-based sleeping phase), the per-lock wait queue at the lock
+// variable's home node, and the enhanced primitives of Algorithms 1 and 2
+// that expose the Remaining Times of Retry (RTR) and thread progress (PROG)
+// to the network interface.
+//
+// Lock operations travel over the NoC as single-flit packets: atomic
+// try-lock requests and FUTEX_WAIT registrations to the home node, grants
+// and failures back, an atomic release plus a FUTEX_WAKE from the releasing
+// thread, and wake-up deliveries to sleeping threads. Under OCOR, locking
+// requests carry the RTR-derived priority and FUTEX_WAKE packets the lowest
+// priority ("Wakeup Request Last").
+package kernel
+
+import "repro/internal/core"
+
+// Config holds the queue-spinlock timing model and the OCOR policy.
+type Config struct {
+	// SpinInterval is the delay between spinning-phase retries in cycles
+	// (the cpu_relax of Algorithm 1).
+	SpinInterval int
+	// SleepPrepLatency is the cost of preparing a thread for sleep
+	// (context save, futex enqueue path) once the spin budget is gone.
+	SleepPrepLatency int
+	// WakeLatency is the cost of waking a slept thread (context restore).
+	WakeLatency int
+	// Policy is the OCOR configuration, including MaxSpin and the number
+	// of priority levels. Policy.Enabled false gives the paper's baseline.
+	Policy core.Policy
+}
+
+// DefaultConfig returns the reproduction's default timing: the Linux 4.2
+// spin budget of 128 retries and sleep/wake costs on the context-switch
+// scale the paper's §2.2 describes as "both expensive operations".
+func DefaultConfig() Config {
+	return Config{
+		SpinInterval:     12,
+		SleepPrepLatency: 1200,
+		WakeLatency:      2000,
+		Policy:           core.BaselinePolicy(),
+	}
+}
+
+// Validate normalises the configuration.
+func (c *Config) Validate() {
+	d := DefaultConfig()
+	if c.SpinInterval <= 0 {
+		c.SpinInterval = d.SpinInterval
+	}
+	if c.SleepPrepLatency <= 0 {
+		c.SleepPrepLatency = d.SleepPrepLatency
+	}
+	if c.WakeLatency <= 0 {
+		c.WakeLatency = d.WakeLatency
+	}
+	c.Policy = c.Policy.Validate()
+}
+
+// LockHome maps a lock id to its home node (where the lock variable's
+// cache block lives). A multiplicative hash spreads the lock variables
+// across the L2 banks like block-interleaved addresses would.
+func LockHome(lock, nodes int) int {
+	h := uint64(lock) * 0x9e3779b97f4a7c15
+	return int((h >> 33) % uint64(nodes))
+}

@@ -1,0 +1,272 @@
+package kernel
+
+import "fmt"
+
+// lockVar is the home-node state of one lock variable: the lock word, the
+// set of threads spinning on their cached copy (to be notified on release,
+// like the invalidation/update of Fig. 4), and the futex wait queue.
+type lockVar struct {
+	held   bool
+	holder int
+	// reserved is the thread the lock is promised to (baseline queue
+	// handoff: the queue spinlock hands the released lock to the head of
+	// the wait queue, which first has to wake up). -1 when unreserved.
+	reserved int
+	// acquiredAt is the home-node cycle of the current acquisition.
+	acquiredAt uint64
+	// cumHeld accumulates completed hold intervals (home-node view).
+	cumHeld uint64
+	// polling lists spinning threads whose try-lock failed; they hold the
+	// lock variable in their cache and are notified when it is released
+	// (the cache-coherence notification of Fig. 4a). Cleared on each
+	// release; losers of the ensuing race re-register.
+	polling []int
+	// waitq holds sleeping threads in FIFO order (the lock queue).
+	waitq []int
+	// Stats.
+	acquisitions   uint64
+	fails          uint64
+	wakes          uint64
+	emptyWakes     uint64
+	immediateWakes uint64
+}
+
+// ControllerStats aggregates per-node lock-controller activity.
+type ControllerStats struct {
+	TryLocks       uint64
+	Grants         uint64
+	Fails          uint64
+	Notifies       uint64
+	FutexWaits     uint64
+	FutexWakes     uint64
+	EmptyWakes     uint64 // FUTEX_WAKE with nobody sleeping
+	ImmediateWakes uint64 // FUTEX_WAIT on a free lock: woken right back
+}
+
+// Controller owns the lock variables homed at one node. It serves atomic
+// try-lock requests in arrival order — the order the NoC delivers them,
+// which is exactly what OCOR's router prioritization shapes — and manages
+// the spinning-phase release notifications and the futex wait queue.
+//
+// Handoff semantics differ between the two configurations, per the paper:
+//
+//   - Baseline (queueHandoff=true): the unmodified queue spinlock. Once
+//     threads have queued, a release hands the lock to the head of the
+//     wait queue — a sleeping thread that must first pay the wake-up
+//     transition, during which the critical section sits idle (the slow
+//     scenario of Fig. 5). Spinning threads' try-locks fail while the
+//     lock is reserved.
+//
+//   - OCOR (queueHandoff=false): the released lock is up for grabs; the
+//     NoC's Table 1 prioritization (least RTR first, wakeup last, slow
+//     progress first) decides which request secures it, opportunistically
+//     favouring threads still in their cheap spinning phase.
+type Controller struct {
+	node int
+	send func(now uint64, dst int, m *Msg)
+	// queueHandoff selects the baseline semantics described above.
+	queueHandoff bool
+
+	locks map[int]*lockVar
+
+	Stats ControllerStats
+}
+
+func newController(node int, queueHandoff bool, send func(now uint64, dst int, m *Msg)) *Controller {
+	return &Controller{node: node, queueHandoff: queueHandoff, send: send, locks: make(map[int]*lockVar)}
+}
+
+func (c *Controller) lock(id int) *lockVar {
+	lv, ok := c.locks[id]
+	if !ok {
+		lv = &lockVar{holder: -1, reserved: -1}
+		c.locks[id] = lv
+	}
+	return lv
+}
+
+// Deliver handles a lock-protocol message addressed to this controller.
+func (c *Controller) Deliver(now uint64, m *Msg) {
+	lv := c.lock(m.Lock)
+	switch m.Type {
+	case MsgTryLock:
+		c.Stats.TryLocks++
+		free := !lv.held && (lv.reserved == -1 || lv.reserved == m.Thread)
+		if free {
+			lv.held = true
+			lv.holder = m.Thread
+			lv.reserved = -1
+			lv.acquiredAt = now
+			lv.acquisitions++
+			c.Stats.Grants++
+			c.send(now, m.From, &Msg{Type: MsgGrant, To: ToClient, Lock: m.Lock, From: c.node, Thread: m.Thread, RTR: m.RTR, Prog: m.Prog, AcquiredAt: now})
+		} else {
+			lv.fails++
+			c.Stats.Fails++
+			// The failing thread keeps the lock variable cached and spins
+			// locally; remember to notify it on release.
+			c.addPoller(lv, m.Thread)
+			c.send(now, m.From, &Msg{Type: MsgFail, To: ToClient, Lock: m.Lock, From: c.node, Thread: m.Thread, RTR: m.RTR, Prog: m.Prog})
+		}
+	case MsgFutexWait:
+		c.Stats.FutexWaits++
+		c.removePoller(lv, m.Thread)
+		if !lv.held && lv.reserved == -1 {
+			// The lock was released while the FUTEX_WAIT was in flight:
+			// futex re-checks the word and returns immediately, so wake the
+			// thread right back (it still pays its sleep/wake overhead —
+			// the slow scenario of Fig. 5a).
+			lv.immediateWakes++
+			c.Stats.ImmediateWakes++
+			c.send(now, m.From, &Msg{Type: MsgWakeup, To: ToClient, Lock: m.Lock, From: c.node, Thread: m.Thread})
+			return
+		}
+		lv.waitq = append(lv.waitq, m.Thread)
+	case MsgRelease:
+		if !lv.held || lv.holder != m.Thread {
+			panic(fmt.Sprintf("kernel: node %d release of lock %d by %d, holder %d held=%v",
+				c.node, m.Lock, m.Thread, lv.holder, lv.held))
+		}
+		lv.cumHeld += now - lv.acquiredAt
+		lv.held = false
+		lv.holder = -1
+		if c.queueHandoff && len(lv.waitq) > 0 {
+			// Baseline queue spinlock: hand the lock to the head of the
+			// wait queue. The critical section stays idle while the
+			// sleeper pays its wake-up transition, and spinning threads'
+			// try-locks keep failing (Fig. 5b slow scenario).
+			c.wakeHead(now, m.Lock, lv, true)
+			return
+		}
+		// Lock becomes free for all: notify every spinning sharer that the
+		// lock variable changed (coherence invalidation). They race back
+		// with fresh try-locks, and the NoC delivery order — priority-
+		// shaped under OCOR — picks the winner.
+		for _, th := range lv.polling {
+			c.Stats.Notifies++
+			c.send(now, th, &Msg{Type: MsgNotify, To: ToClient, Lock: m.Lock, From: c.node, Thread: th})
+		}
+		lv.polling = lv.polling[:0]
+	case MsgFutexWake:
+		c.Stats.FutexWakes++
+		if c.queueHandoff {
+			// Baseline: the wake (and handoff) already happened at release.
+			return
+		}
+		if len(lv.waitq) == 0 {
+			lv.emptyWakes++
+			c.Stats.EmptyWakes++
+			return
+		}
+		c.wakeHead(now, m.Lock, lv, false)
+	default:
+		panic(fmt.Sprintf("kernel: controller %d cannot handle %s", c.node, m.Type))
+	}
+}
+
+// wakeHead pops the wait-queue head and wakes it; reserve additionally
+// promises it the lock (baseline queue handoff).
+func (c *Controller) wakeHead(now uint64, lock int, lv *lockVar, reserve bool) {
+	thread := lv.waitq[0]
+	lv.waitq = lv.waitq[:copy(lv.waitq, lv.waitq[1:])]
+	lv.wakes++
+	if reserve {
+		lv.reserved = thread
+	}
+	c.send(now, thread, &Msg{Type: MsgWakeup, To: ToClient, Lock: lock, From: c.node, Thread: thread})
+}
+
+func (c *Controller) addPoller(lv *lockVar, thread int) {
+	for _, th := range lv.polling {
+		if th == thread {
+			return
+		}
+	}
+	lv.polling = append(lv.polling, thread)
+}
+
+func (c *Controller) removePoller(lv *lockVar, thread int) {
+	for i, th := range lv.polling {
+		if th == thread {
+			lv.polling = append(lv.polling[:i], lv.polling[i+1:]...)
+			return
+		}
+	}
+}
+
+// CumHeld returns the total cycles the lock has been held up to now
+// (home-node view, including the current holder's partial interval).
+func (c *Controller) CumHeld(id int, now uint64) uint64 {
+	lv, ok := c.locks[id]
+	if !ok {
+		return 0
+	}
+	t := lv.cumHeld
+	if lv.held && now > lv.acquiredAt {
+		t += now - lv.acquiredAt
+	}
+	return t
+}
+
+// Held reports whether the lock is currently held and by whom.
+func (c *Controller) Held(id int) (bool, int) {
+	lv, ok := c.locks[id]
+	if !ok {
+		return false, -1
+	}
+	return lv.held, lv.holder
+}
+
+// Sleepers returns the number of threads in the wait queue of a lock.
+func (c *Controller) Sleepers(id int) int {
+	lv, ok := c.locks[id]
+	if !ok {
+		return 0
+	}
+	return len(lv.waitq)
+}
+
+// Pollers returns the number of registered spinning threads of a lock.
+func (c *Controller) Pollers(id int) int {
+	lv, ok := c.locks[id]
+	if !ok {
+		return 0
+	}
+	return len(lv.polling)
+}
+
+// LockStat summarises one lock variable's lifetime activity.
+type LockStat struct {
+	Lock           int
+	Home           int
+	Acquisitions   uint64
+	FailedTries    uint64
+	Wakes          uint64
+	EmptyWakes     uint64
+	ImmediateWakes uint64
+	// HeldCycles is the cumulative time the lock was held (home view).
+	HeldCycles uint64
+	// Sleepers and Pollers are the current queue lengths.
+	Sleepers, Pollers int
+}
+
+// LockStats returns the per-lock summaries of every lock homed at this
+// controller.
+func (c *Controller) LockStats(now uint64) []LockStat {
+	out := make([]LockStat, 0, len(c.locks))
+	for id, lv := range c.locks {
+		out = append(out, LockStat{
+			Lock:           id,
+			Home:           c.node,
+			Acquisitions:   lv.acquisitions,
+			FailedTries:    lv.fails,
+			Wakes:          lv.wakes,
+			EmptyWakes:     lv.emptyWakes,
+			ImmediateWakes: lv.immediateWakes,
+			HeldCycles:     c.CumHeld(id, now),
+			Sleepers:       len(lv.waitq),
+			Pollers:        len(lv.polling),
+		})
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// System wires one lock Client per node (thread i on node i) and one lock
+// Controller per node (owning the locks homed there) over the NoC. It
+// implements sim.Component for its internal timers (spin intervals, sleep
+// preparation, wake-up).
+type System struct {
+	Cfg Config
+	Net *noc.Network
+
+	Clients     []*Client
+	Controllers []*Controller
+
+	delay sim.DelayQueue
+}
+
+// NewSystem builds the lock machinery on top of net.
+func NewSystem(cfg Config, net *noc.Network) *System {
+	cfg.Validate()
+	s := &System{Cfg: cfg, Net: net}
+	nodes := net.Cfg.Nodes()
+	s.Clients = make([]*Client, nodes)
+	s.Controllers = make([]*Controller, nodes)
+	for i := 0; i < nodes; i++ {
+		node := i
+		ctlSend := func(now uint64, dst int, m *Msg) { s.sendMsg(now, node, dst, m, core.Normal) }
+		s.Controllers[i] = newController(node, !s.Cfg.Policy.Enabled, ctlSend)
+		cliSend := func(now uint64, dst int, m *Msg, prio core.Priority) { s.sendMsg(now, node, dst, m, prio) }
+		s.Clients[i] = newClient(&s.Cfg, node, nodes, cliSend, s.CumHeld, &s.delay)
+	}
+	return s
+}
+
+// classOf maps lock-protocol messages to NoC traffic classes and virtual
+// networks. Try-locks, grants, fails and futex-waits are locking traffic;
+// FUTEX_WAKE is the wakeup class ("Wakeup Request Last"); releases and
+// wake-up deliveries are ordinary control traffic.
+func classOf(t MsgType) (noc.Class, int) {
+	switch t {
+	case MsgTryLock, MsgFutexWait:
+		return noc.ClassLock, noc.VNetRequest
+	case MsgGrant, MsgFail:
+		return noc.ClassLock, noc.VNetResponse
+	case MsgFutexWake:
+		return noc.ClassWakeup, noc.VNetRequest
+	case MsgRelease:
+		return noc.ClassCtrl, noc.VNetRequest
+	case MsgWakeup, MsgNotify:
+		return noc.ClassCtrl, noc.VNetForward
+	}
+	panic(fmt.Sprintf("kernel: no class for %s", t))
+}
+
+func (s *System) sendMsg(now uint64, src, dst int, m *Msg, prio core.Priority) {
+	class, vnet := classOf(m.Type)
+	pkt := s.Net.NewPacket(src, dst, class, vnet, m)
+	pkt.Prio = prio
+	// Grants and fails inherit the priority of the request they answer, so
+	// the response leg of a critical try-lock is expedited the same way.
+	if s.Cfg.Policy.Enabled && (m.Type == MsgGrant || m.Type == MsgFail) {
+		pkt.Prio = s.Cfg.Policy.LockPriority(m.RTR, m.Prog)
+	}
+	s.Net.Send(now, pkt)
+}
+
+// Deliver dispatches a lock-protocol message that arrived at node.
+func (s *System) Deliver(now uint64, node int, m *Msg) {
+	switch m.To {
+	case ToController:
+		s.Controllers[node].Deliver(now, m)
+	case ToClient:
+		s.Clients[node].Deliver(now, m)
+	}
+}
+
+// CumHeld returns the cumulative held time of a lock (home-node view);
+// instrumentation used for the paper's COH decomposition.
+func (s *System) CumHeld(lock int, now uint64) uint64 {
+	return s.Controllers[LockHome(lock, len(s.Controllers))].CumHeld(lock, now)
+}
+
+// Lock acquires lock on behalf of thread (== node); cb runs at acquisition.
+func (s *System) Lock(now uint64, thread, lock int, cb func(now uint64)) {
+	s.Clients[thread].Lock(now, lock, cb)
+}
+
+// Unlock releases the lock currently held by thread.
+func (s *System) Unlock(now uint64, thread int) {
+	s.Clients[thread].Unlock(now)
+}
+
+// SetListener installs l on every client.
+func (s *System) SetListener(l Listener) {
+	for _, c := range s.Clients {
+		c.SetListener(l)
+	}
+}
+
+// Tick implements sim.Component.
+func (s *System) Tick(now uint64) { s.delay.RunDue(now) }
+
+// NextWake implements sim.Component.
+func (s *System) NextWake(now uint64) uint64 {
+	if at, ok := s.delay.Next(); ok {
+		return at
+	}
+	return sim.Never
+}
+
+// Pending reports in-flight lock operations (for quiescence checks).
+func (s *System) Pending() int {
+	n := s.delay.Len()
+	for _, c := range s.Clients {
+		if c.Busy() {
+			n++
+		}
+	}
+	return n
+}
+
+// LockStats returns the per-lock summaries of every lock in the system,
+// sorted by lock id (for "which lock is hot" analyses).
+func (s *System) LockStats(now uint64) []LockStat {
+	var out []LockStat
+	for _, c := range s.Controllers {
+		out = append(out, c.LockStats(now)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lock < out[j].Lock })
+	return out
+}

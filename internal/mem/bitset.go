@@ -1,0 +1,41 @@
+package mem
+
+import "math/bits"
+
+// nodeSet is a small bitset of node ids used for directory sharer lists.
+// It supports meshes up to 256 nodes.
+type nodeSet [4]uint64
+
+func (s *nodeSet) add(n int)      { s[n>>6] |= 1 << (uint(n) & 63) }
+func (s *nodeSet) remove(n int)   { s[n>>6] &^= 1 << (uint(n) & 63) }
+func (s *nodeSet) has(n int) bool { return s[n>>6]&(1<<(uint(n)&63)) != 0 }
+
+func (s *nodeSet) count() int {
+	c := 0
+	for _, w := range s {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+func (s *nodeSet) empty() bool { return s[0]|s[1]|s[2]|s[3] == 0 }
+
+func (s *nodeSet) clear() { *s = nodeSet{} }
+
+// forEach calls fn for every member in ascending order.
+func (s *nodeSet) forEach(fn func(n int)) {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// members returns the set as a sorted slice (for tests and traces).
+func (s *nodeSet) members() []int {
+	var out []int
+	s.forEach(func(n int) { out = append(out, n) })
+	return out
+}

@@ -1,0 +1,409 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// dirState is the directory's view of a block.
+type dirState uint8
+
+// Directory stable states.
+const (
+	dirI dirState = iota // uncached
+	dirS                 // read-shared, L2 data valid
+	dirE                 // one clean-exclusive owner (may silently dirty)
+	dirM                 // one dirty owner, L2 stale
+	dirO                 // dirty owner plus sharers, L2 stale
+)
+
+func (s dirState) String() string {
+	return [...]string{"I", "S", "E", "M", "O"}[s]
+}
+
+// dirTxn is the in-flight transaction of a busy block.
+type dirTxn struct {
+	req         int
+	isGetM      bool
+	needNotify  bool
+	gotNotify   bool
+	notifyDirty bool
+	gotUnblock  bool
+	waitingDram bool
+}
+
+// dirEntry is the directory/L2 state of one block. Absent entries are
+// uncached blocks whose data still lives in DRAM.
+type dirEntry struct {
+	state   dirState
+	owner   int
+	sharers nodeSet
+	// inL2 marks that the L2 bank holds valid data (always true once
+	// fetched and the block is in dirI or dirS).
+	inL2    bool
+	version uint64
+	busy    bool
+	txn     dirTxn
+	queue   []*Msg
+}
+
+// DirStats counts directory activity.
+type DirStats struct {
+	GetS, GetM    uint64
+	Puts          uint64
+	StalePuts     uint64
+	Forwards      uint64
+	Invalidations uint64
+	DramFetches   uint64
+	QueuedReqs    uint64
+	L2Evictions   uint64
+	L2Overflows   uint64
+}
+
+// Directory is the coherence directory embedded in one node's shared L2
+// bank. It is blocking: one transaction per block, racing requests queue.
+type Directory struct {
+	cfg   *Config
+	node  int
+	nodes int
+	mcs   []int
+	send  func(now uint64, dst int, m *Msg)
+	delay *sim.DelayQueue
+
+	entries map[uint64]*dirEntry
+	// l2sets tracks which blocks hold data in each L2 set, for capacity
+	// management.
+	l2sets map[int][]uint64
+
+	Stats DirStats
+}
+
+func newDirectory(cfg *Config, node, nodes int, mcs []int, send func(now uint64, dst int, m *Msg), dq *sim.DelayQueue) *Directory {
+	return &Directory{
+		cfg:     cfg,
+		node:    node,
+		nodes:   nodes,
+		mcs:     mcs,
+		send:    send,
+		delay:   dq,
+		entries: make(map[uint64]*dirEntry),
+		l2sets:  make(map[int][]uint64),
+	}
+}
+
+// l2Set maps a block to its L2 set within this bank.
+func (d *Directory) l2Set(addr uint64) int {
+	// Blocks are interleaved across banks by home node; the per-bank set
+	// index uses the remaining bits.
+	return int(d.cfg.BlockIndex(addr)/uint64(d.nodes)) % d.cfg.L2Sets
+}
+
+// setInL2 centralises the inL2 transitions, maintaining the set occupancy
+// index and enforcing the bank's capacity. The L2 keeps data only; the
+// directory's sharing metadata is unbounded (a non-inclusive tag store).
+// Victims are clean-resident blocks (dirI with data); their contents go
+// back to DRAM. Blocks with owners or sharers hold no L2 data (the data
+// lives in the owning L1s), so no recall is ever needed.
+func (d *Directory) setInL2(now uint64, addr uint64, e *dirEntry, in bool) {
+	if e.inL2 == in {
+		return
+	}
+	e.inL2 = in
+	set := d.l2Set(addr)
+	if !in {
+		blocks := d.l2sets[set]
+		for i, a := range blocks {
+			if a == addr {
+				d.l2sets[set] = append(blocks[:i], blocks[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	d.l2sets[set] = append(d.l2sets[set], addr)
+	if len(d.l2sets[set]) <= d.cfg.L2Ways {
+		return
+	}
+	// Capacity exceeded: evict the oldest evictable resident (FIFO).
+	for i, victim := range d.l2sets[set] {
+		if victim == addr {
+			continue
+		}
+		ve := d.entries[victim]
+		if ve == nil || ve.busy || ve.state != dirI {
+			continue
+		}
+		d.l2sets[set] = append(d.l2sets[set][:i], d.l2sets[set][i+1:]...)
+		ve.inL2 = false
+		d.Stats.L2Evictions++
+		d.send(now, d.cfg.MCFor(victim, d.mcs), &Msg{Type: MsgDramWrite, To: ToMC, Addr: victim, From: d.node, Version: ve.version})
+		if ve.sharers.empty() && ve.owner < 0 {
+			delete(d.entries, victim)
+		}
+		return
+	}
+	// Nothing evictable right now (all busy or actively shared): allow a
+	// transient overflow rather than deadlocking the pipeline.
+	d.Stats.L2Overflows++
+}
+
+func (d *Directory) entry(addr uint64) *dirEntry {
+	e, ok := d.entries[addr]
+	if !ok {
+		e = &dirEntry{owner: -1}
+		d.entries[addr] = e
+	}
+	return e
+}
+
+// BusyBlocks reports in-flight directory transactions (for quiescence).
+func (d *Directory) BusyBlocks() int {
+	n := 0
+	for _, e := range d.entries {
+		if e.busy {
+			n++
+		}
+		n += len(e.queue)
+	}
+	return n
+}
+
+// Deliver handles a protocol message addressed to this directory.
+func (d *Directory) Deliver(now uint64, m *Msg) {
+	switch m.Type {
+	case MsgGetS, MsgGetM, MsgPutS, MsgPutE, MsgPutM, MsgPutO:
+		e := d.entry(m.Addr)
+		if e.busy {
+			d.Stats.QueuedReqs++
+			e.queue = append(e.queue, m)
+			return
+		}
+		d.startRequest(now, e, m)
+	case MsgFwdNotify:
+		e := d.entry(m.Addr)
+		if !e.busy || !e.txn.needNotify {
+			panic(fmt.Sprintf("mem: dir %d unexpected FwdNotify for %x", d.node, m.Addr))
+		}
+		e.txn.gotNotify = true
+		e.txn.notifyDirty = m.Dirty
+		d.tryCompleteTxn(now, m.Addr, e)
+	case MsgUnblock:
+		e := d.entry(m.Addr)
+		if !e.busy {
+			panic(fmt.Sprintf("mem: dir %d unexpected Unblock for %x", d.node, m.Addr))
+		}
+		e.txn.gotUnblock = true
+		d.tryCompleteTxn(now, m.Addr, e)
+	case MsgDramResp:
+		e := d.entry(m.Addr)
+		if !e.busy || !e.txn.waitingDram {
+			panic(fmt.Sprintf("mem: dir %d unexpected DramResp for %x", d.node, m.Addr))
+		}
+		e.version = m.Version
+		d.setInL2(now, m.Addr, e, true)
+		e.txn.waitingDram = false
+		d.grant(now, m.Addr, e)
+	default:
+		panic(fmt.Sprintf("mem: dir %d cannot handle %s", d.node, m.Type))
+	}
+}
+
+// startRequest begins servicing a request after the L2 access latency.
+func (d *Directory) startRequest(now uint64, e *dirEntry, m *Msg) {
+	e.busy = true
+	addr := m.Addr
+	d.delay.Schedule(now+uint64(d.cfg.L2Latency), func(t uint64) {
+		d.process(t, addr, e, m)
+	})
+}
+
+func (d *Directory) process(now uint64, addr uint64, e *dirEntry, m *Msg) {
+	switch m.Type {
+	case MsgGetS, MsgGetM:
+		if m.Type == MsgGetS {
+			d.Stats.GetS++
+		} else {
+			d.Stats.GetM++
+		}
+		e.txn = dirTxn{req: m.From, isGetM: m.Type == MsgGetM}
+		// Data must come from somewhere: the owner if there is one,
+		// otherwise the L2 bank (fetching from DRAM on a cold miss).
+		if e.owner < 0 && !e.inL2 {
+			e.txn.waitingDram = true
+			d.Stats.DramFetches++
+			d.send(now, d.cfg.MCFor(addr, d.mcs), &Msg{Type: MsgDramRead, To: ToMC, Addr: addr, From: d.node})
+			return
+		}
+		d.grant(now, addr, e)
+	case MsgPutS, MsgPutE, MsgPutM, MsgPutO:
+		d.handlePut(now, addr, e, m)
+	default:
+		panic(fmt.Sprintf("mem: dir %d processing %s", d.node, m.Type))
+	}
+}
+
+// grant issues data (or forwards) for the pending GetS/GetM transaction.
+func (d *Directory) grant(now uint64, addr uint64, e *dirEntry) {
+	t := &e.txn
+	if !t.isGetM {
+		switch e.state {
+		case dirI:
+			d.send(now, t.req, &Msg{Type: MsgDataE, To: ToL1, Addr: addr, From: d.node, Version: e.version})
+		case dirS:
+			d.send(now, t.req, &Msg{Type: MsgDataS, To: ToL1, Addr: addr, From: d.node, Version: e.version})
+		case dirE, dirM, dirO:
+			t.needNotify = true
+			d.Stats.Forwards++
+			d.send(now, e.owner, &Msg{Type: MsgFwdGetS, To: ToL1, Addr: addr, From: d.node, Req: t.req})
+		}
+		return
+	}
+	switch e.state {
+	case dirI:
+		d.send(now, t.req, &Msg{Type: MsgDataM, To: ToL1, Addr: addr, From: d.node, Version: e.version, Acks: 0})
+	case dirS:
+		acks := 0
+		e.sharers.forEach(func(n int) {
+			if n != t.req {
+				acks++
+			}
+		})
+		d.send(now, t.req, &Msg{Type: MsgDataM, To: ToL1, Addr: addr, From: d.node, Version: e.version, Acks: acks})
+		e.sharers.forEach(func(n int) {
+			if n != t.req {
+				d.Stats.Invalidations++
+				d.send(now, n, &Msg{Type: MsgInv, To: ToL1, Addr: addr, From: d.node, Req: t.req})
+			}
+		})
+	case dirE, dirM:
+		d.Stats.Forwards++
+		d.send(now, e.owner, &Msg{Type: MsgFwdGetM, To: ToL1, Addr: addr, From: d.node, Req: t.req, Acks: 0})
+	case dirO:
+		acks := 0
+		e.sharers.forEach(func(n int) {
+			if n != t.req && n != e.owner {
+				acks++
+			}
+		})
+		d.Stats.Forwards++
+		d.send(now, e.owner, &Msg{Type: MsgFwdGetM, To: ToL1, Addr: addr, From: d.node, Req: t.req, Acks: acks})
+		e.sharers.forEach(func(n int) {
+			if n != t.req && n != e.owner {
+				d.Stats.Invalidations++
+				d.send(now, n, &Msg{Type: MsgInv, To: ToL1, Addr: addr, From: d.node, Req: t.req})
+			}
+		})
+	}
+}
+
+// tryCompleteTxn applies the transaction's final state once the Unblock
+// (and FwdNotify, when an owner was involved) has arrived.
+func (d *Directory) tryCompleteTxn(now uint64, addr uint64, e *dirEntry) {
+	t := &e.txn
+	if !t.gotUnblock || (t.needNotify && !t.gotNotify) {
+		return
+	}
+	if t.isGetM {
+		e.state = dirM
+		e.owner = t.req
+		e.sharers.clear()
+		d.setInL2(now, addr, e, false)
+	} else {
+		switch {
+		case t.needNotify && t.notifyDirty:
+			// Owner keeps the dirty block in O; requester becomes a sharer.
+			e.state = dirO
+			e.sharers.add(e.owner)
+			e.sharers.add(t.req)
+			d.setInL2(now, addr, e, false)
+		case t.needNotify: // clean owner downgraded to S
+			e.state = dirS
+			e.sharers.add(e.owner)
+			e.sharers.add(t.req)
+			e.owner = -1
+		case e.state == dirI:
+			e.state = dirE
+			e.owner = t.req
+		default: // dirS
+			e.sharers.add(t.req)
+		}
+	}
+	e.busy = false
+	e.txn = dirTxn{}
+	d.drainQueue(now, addr, e)
+}
+
+func (d *Directory) drainQueue(now uint64, addr uint64, e *dirEntry) {
+	if len(e.queue) == 0 {
+		return
+	}
+	m := e.queue[0]
+	e.queue = e.queue[:copy(e.queue, e.queue[1:])]
+	d.startRequest(now, e, m)
+}
+
+// handlePut processes eviction notifications. Puts whose sender no longer
+// matches the directory's ownership/sharing records raced with another
+// transaction and are acknowledged as stale.
+func (d *Directory) handlePut(now uint64, addr uint64, e *dirEntry, m *Msg) {
+	d.Stats.Puts++
+	stale := false
+	switch m.Type {
+	case MsgPutS:
+		if (e.state == dirS || e.state == dirO) && e.sharers.has(m.From) {
+			e.sharers.remove(m.From)
+			if e.state == dirS && e.sharers.empty() {
+				e.state = dirI
+			}
+		} else {
+			stale = true
+		}
+	case MsgPutE:
+		if e.state == dirE && e.owner == m.From {
+			// Clean exclusive eviction: the L2 copy is still current.
+			e.state = dirI
+			e.owner = -1
+		} else {
+			stale = true
+		}
+	case MsgPutM:
+		switch {
+		case (e.state == dirM || e.state == dirE) && e.owner == m.From:
+			e.version = m.Version
+			e.state = dirI
+			e.owner = -1
+			d.setInL2(now, addr, e, true)
+		case e.state == dirO && e.owner == m.From:
+			d.ownerPutFromO(now, addr, e, m)
+		default:
+			stale = true
+		}
+	case MsgPutO:
+		if e.state == dirO && e.owner == m.From {
+			d.ownerPutFromO(now, addr, e, m)
+		} else {
+			stale = true
+		}
+	}
+	if stale {
+		d.Stats.StalePuts++
+	}
+	d.send(now, m.From, &Msg{Type: MsgPutAck, To: ToL1, Addr: addr, From: d.node, Stale: stale})
+	e.busy = false
+	d.drainQueue(now, addr, e)
+}
+
+// ownerPutFromO handles the owner of an O-state block writing it back: the
+// data returns to the L2 bank and the remaining sharers keep read copies.
+func (d *Directory) ownerPutFromO(now uint64, addr uint64, e *dirEntry, m *Msg) {
+	e.version = m.Version
+	e.sharers.remove(m.From)
+	e.owner = -1
+	if e.sharers.empty() {
+		e.state = dirI
+	} else {
+		e.state = dirS
+	}
+	d.setInL2(now, addr, e, true)
+}

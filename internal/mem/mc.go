@@ -1,0 +1,101 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// MCStats counts memory-controller activity.
+type MCStats struct {
+	Reads, Writes uint64
+	RowHits       uint64
+	RowMisses     uint64
+}
+
+// bank is one DRAM bank: an open row and a busy-until timestamp.
+type bank struct {
+	openRow  uint64
+	rowValid bool
+	nextFree uint64
+}
+
+// MC is a memory controller: a set of DRAM banks with open-row (row
+// buffer) tracking. An access to the bank's open row costs
+// DRAMRowHitLatency; any other access re-activates the row and costs
+// DRAMLatency. Banks serve commands at most every DRAMInterval cycles and
+// operate independently, so streams to different banks overlap. The
+// backing store keeps the version token of every block ever written back.
+type MC struct {
+	cfg   *Config
+	node  int
+	send  func(now uint64, dst int, m *Msg)
+	delay *sim.DelayQueue
+
+	banks   []bank
+	backing map[uint64]uint64
+
+	Stats MCStats
+}
+
+func newMC(cfg *Config, node int, send func(now uint64, dst int, m *Msg), dq *sim.DelayQueue) *MC {
+	return &MC{
+		cfg:     cfg,
+		node:    node,
+		send:    send,
+		delay:   dq,
+		banks:   make([]bank, cfg.DRAMBanks),
+		backing: make(map[uint64]uint64),
+	}
+}
+
+// service computes the completion time of an access to addr, updating the
+// bank's row buffer and busy window.
+func (mc *MC) service(now uint64, addr uint64) uint64 {
+	blk := mc.cfg.BlockIndex(addr)
+	row := blk / uint64(mc.cfg.DRAMRowBlocks)
+	b := &mc.banks[blk%uint64(len(mc.banks))]
+	start := now
+	if b.nextFree > start {
+		start = b.nextFree
+	}
+	lat := uint64(mc.cfg.DRAMLatency)
+	if b.rowValid && b.openRow == row {
+		lat = uint64(mc.cfg.DRAMRowHitLatency)
+		mc.Stats.RowHits++
+	} else {
+		mc.Stats.RowMisses++
+		b.openRow = row
+		b.rowValid = true
+	}
+	b.nextFree = start + uint64(mc.cfg.DRAMInterval)
+	return start + lat
+}
+
+// Deliver handles DRAM requests from directories.
+func (mc *MC) Deliver(now uint64, m *Msg) {
+	switch m.Type {
+	case MsgDramRead:
+		mc.Stats.Reads++
+		done := mc.service(now, m.Addr)
+		addr, dst := m.Addr, m.From
+		mc.delay.Schedule(done, func(t uint64) {
+			mc.send(t, dst, &Msg{Type: MsgDramResp, To: ToDir, Addr: addr, From: mc.node, Version: mc.backing[addr]})
+		})
+	case MsgDramWrite:
+		mc.Stats.Writes++
+		mc.service(now, m.Addr)
+		mc.backing[m.Addr] = m.Version
+	default:
+		panic(fmt.Sprintf("mem: MC %d cannot handle %s", mc.node, m.Type))
+	}
+}
+
+// RowHitRate reports the fraction of accesses that hit an open row.
+func (mc *MC) RowHitRate() float64 {
+	total := mc.Stats.RowHits + mc.Stats.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(mc.Stats.RowHits) / float64(total)
+}

@@ -1,0 +1,155 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// System wires the full memory hierarchy over a NoC: one L1 and one
+// directory/L2 bank per node, plus memory controllers at the configured
+// nodes. It implements sim.Component (for its internal pipelines); protocol
+// messages arrive through Deliver, typically dispatched from the node's NI
+// sink by the platform layer.
+type System struct {
+	Cfg Config
+	Net *noc.Network
+
+	L1s  []*L1
+	Dirs []*Directory
+	MCs  map[int]*MC
+
+	delay sim.DelayQueue
+}
+
+// NewSystem builds the hierarchy on top of net.
+func NewSystem(cfg Config, net *noc.Network) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := net.Cfg.Nodes()
+	if len(cfg.MCNodes) == 0 {
+		cfg.MCNodes = DefaultMCNodes(net.Cfg.Width, net.Cfg.Height)
+	}
+	for _, n := range cfg.MCNodes {
+		if n < 0 || n >= nodes {
+			return nil, fmt.Errorf("mem: MC node %d out of range", n)
+		}
+	}
+	s := &System{Cfg: cfg, Net: net, MCs: make(map[int]*MC)}
+	s.L1s = make([]*L1, nodes)
+	s.Dirs = make([]*Directory, nodes)
+	for i := 0; i < nodes; i++ {
+		node := i
+		send := func(now uint64, dst int, m *Msg) { s.sendMsg(now, node, dst, m) }
+		s.L1s[i] = newL1(&s.Cfg, node, nodes, send, &s.delay)
+		s.Dirs[i] = newDirectory(&s.Cfg, node, nodes, s.Cfg.MCNodes, send, &s.delay)
+	}
+	for _, n := range cfg.MCNodes {
+		node := n
+		send := func(now uint64, dst int, m *Msg) { s.sendMsg(now, node, dst, m) }
+		s.MCs[n] = newMC(&s.Cfg, node, send, &s.delay)
+	}
+	return s, nil
+}
+
+// sendMsg wraps a protocol message in a NoC packet. Data-bearing messages
+// travel as 8-flit data packets, the rest as single-flit control packets;
+// coherence traffic always has normal (lowest) OCOR priority.
+func (s *System) sendMsg(now uint64, src, dst int, m *Msg) {
+	class := noc.ClassCtrl
+	if m.isData() {
+		class = noc.ClassData
+	}
+	pkt := s.Net.NewPacket(src, dst, class, m.vnet(), m)
+	s.Net.Send(now, pkt)
+}
+
+// Deliver dispatches a protocol message that arrived at node.
+func (s *System) Deliver(now uint64, node int, m *Msg) {
+	switch m.To {
+	case ToL1:
+		s.L1s[node].Deliver(now, m)
+	case ToDir:
+		s.Dirs[node].Deliver(now, m)
+	case ToMC:
+		mc, ok := s.MCs[node]
+		if !ok {
+			panic(fmt.Sprintf("mem: node %d has no MC", node))
+		}
+		mc.Deliver(now, m)
+	}
+}
+
+// Access performs a memory operation through node's L1.
+func (s *System) Access(now uint64, node int, addr uint64, write bool, cb func(now uint64)) {
+	s.L1s[node].Access(now, addr, write, cb)
+}
+
+// Tick implements sim.Component: advance internal pipelines.
+func (s *System) Tick(now uint64) { s.delay.RunDue(now) }
+
+// NextWake implements sim.Component.
+func (s *System) NextWake(now uint64) uint64 {
+	if at, ok := s.delay.Next(); ok {
+		return at
+	}
+	return sim.Never
+}
+
+// Pending reports outstanding protocol work (for quiescence checks).
+func (s *System) Pending() int {
+	n := s.delay.Len()
+	for _, l1 := range s.L1s {
+		n += l1.PendingOps()
+	}
+	for _, d := range s.Dirs {
+		n += d.BusyBlocks()
+	}
+	return n
+}
+
+// CheckCoherence verifies the single-writer/multiple-reader invariant and
+// directory/L1 agreement for every block the directory knows about. It is
+// used by tests and returns the first violation found.
+func (s *System) CheckCoherence() error {
+	type blockView struct {
+		owners  []int
+		sharers []int
+	}
+	views := make(map[uint64]*blockView)
+	for n, l1 := range s.L1s {
+		for si := range l1.sets {
+			for wi := range l1.sets[si] {
+				ln := &l1.sets[si][wi]
+				if !ln.valid {
+					continue
+				}
+				v, ok := views[ln.addr]
+				if !ok {
+					v = &blockView{}
+					views[ln.addr] = v
+				}
+				switch ln.state {
+				case Modified, Exclusive, Owned:
+					v.owners = append(v.owners, n)
+				case Shared:
+					v.sharers = append(v.sharers, n)
+				}
+			}
+		}
+	}
+	for addr, v := range views {
+		if len(v.owners) > 1 {
+			return fmt.Errorf("mem: block %x has %d owners: %v", addr, len(v.owners), v.owners)
+		}
+		if len(v.owners) == 1 && len(v.sharers) > 0 {
+			st := s.L1s[v.owners[0]].State(addr)
+			if st == Modified || st == Exclusive {
+				return fmt.Errorf("mem: block %x owned %s by %d but shared by %v", addr, st, v.owners[0], v.sharers)
+			}
+		}
+	}
+	return nil
+}

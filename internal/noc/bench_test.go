@@ -1,0 +1,77 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkUniformTraffic measures simulation throughput of the mesh under
+// uniform random data traffic (flit-cycles per second of wall clock).
+func BenchmarkUniformTraffic(b *testing.B) {
+	for _, prio := range []bool{false, true} {
+		name := "roundrobin"
+		if prio {
+			name = "priority"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := testConfig(8, 8, prio)
+				n := MustNetwork(cfg)
+				for j := 0; j < cfg.Nodes(); j++ {
+					n.SetSink(j, func(now uint64, pkt *Packet) {})
+				}
+				rng := sim.NewRNG(uint64(i + 1))
+				e := sim.NewEngine()
+				e.Register(n)
+				e.Register(&sim.FuncComponent{
+					TickFn: func(now uint64) {
+						if now >= 2000 {
+							return
+						}
+						for s := 0; s < cfg.Nodes(); s++ {
+							if rng.Bool(0.05) {
+								d := rng.Intn(cfg.Nodes())
+								if d != s {
+									n.Send(now, n.NewPacket(s, d, ClassData, rng.Intn(NumVNets), nil))
+								}
+							}
+						}
+					},
+					NextWakeFn: func(now uint64) uint64 {
+						if now < 2000 {
+							return now + 1
+						}
+						return sim.Never
+					},
+				})
+				e.MaxCycles = 1 << 20
+				e.RunUntil(func() bool { return e.Now() > 2000 && !n.Busy() })
+				if n.Busy() {
+					b.Fatal("network did not drain")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSingleFlitLatency measures the uncontended end-to-end cost of a
+// corner-to-corner control packet.
+func BenchmarkSingleFlitLatency(b *testing.B) {
+	cfg := testConfig(8, 8, false)
+	n := MustNetwork(cfg)
+	done := false
+	n.SetSink(63, func(now uint64, pkt *Packet) { done = true })
+	e := sim.NewEngine()
+	e.Register(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done = false
+		n.Send(e.Now(), n.NewPacket(0, 63, ClassCtrl, VNetRequest, nil))
+		e.MaxCycles = e.Now() + 10000
+		e.RunUntil(func() bool { return done })
+		if !done {
+			b.Fatal("not delivered")
+		}
+	}
+}

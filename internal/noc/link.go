@@ -1,0 +1,67 @@
+package noc
+
+// flitEvent is a flit in flight on a link, due at cycle at, destined for
+// input VC vc of the receiver.
+type flitEvent struct {
+	f  flit
+	vc int
+	at uint64
+}
+
+// creditEvent travels upstream on a link: one buffer slot of VC vc was
+// freed; freeVC additionally releases the VC allocation (the tail flit left
+// the downstream buffer).
+type creditEvent struct {
+	vc     int
+	freeVC bool
+	at     uint64
+}
+
+// link is a unidirectional flit channel with its reverse credit channel.
+// Events are appended in increasing `at` order (every sender stamps
+// now+LinkLatency), so the pending slices are FIFO.
+type link struct {
+	flits   []flitEvent
+	credits []creditEvent
+}
+
+func (l *link) sendFlit(f flit, vc int, at uint64) {
+	l.flits = append(l.flits, flitEvent{f: f, vc: vc, at: at})
+}
+
+func (l *link) sendCredit(vc int, freeVC bool, at uint64) {
+	l.credits = append(l.credits, creditEvent{vc: vc, freeVC: freeVC, at: at})
+}
+
+// dueFlits removes and returns the prefix of flit events due at or before
+// now. The returned slice aliases internal storage and is only valid until
+// the next call.
+func (l *link) dueFlits(now uint64, scratch []flitEvent) []flitEvent {
+	n := 0
+	for n < len(l.flits) && l.flits[n].at <= now {
+		n++
+	}
+	if n == 0 {
+		return scratch[:0]
+	}
+	scratch = append(scratch[:0], l.flits[:n]...)
+	l.flits = l.flits[:copy(l.flits, l.flits[n:])]
+	return scratch
+}
+
+// dueCredits removes and returns credit events due at or before now.
+func (l *link) dueCredits(now uint64, scratch []creditEvent) []creditEvent {
+	n := 0
+	for n < len(l.credits) && l.credits[n].at <= now {
+		n++
+	}
+	if n == 0 {
+		return scratch[:0]
+	}
+	scratch = append(scratch[:0], l.credits[:n]...)
+	l.credits = l.credits[:copy(l.credits, l.credits[n:])]
+	return scratch
+}
+
+// pending reports the number of undelivered events.
+func (l *link) pending() int { return len(l.flits) + len(l.credits) }

@@ -1,0 +1,258 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Stats aggregates network-wide measurements.
+type Stats struct {
+	InjectedPkts  [NumClasses]uint64
+	DeliveredPkts [NumClasses]uint64
+	InjectedFlits uint64
+	// Latency accumulators per class (injection to delivery, cycles).
+	NetLatency [NumClasses]sim.Accumulator
+	// Source queueing + network latency per class.
+	TotalLatency [NumClasses]sim.Accumulator
+	// LocalDeliveries counts src==dst messages that bypassed the mesh.
+	LocalDeliveries uint64
+}
+
+// Network is a complete mesh NoC instance: routers, NIs and links. It
+// implements sim.Component; one Tick advances every router and NI by one
+// cycle in a deterministic two-phase (compute/commit) schedule.
+type Network struct {
+	Cfg     Config
+	Routers []*Router
+	NIs     []*NI
+
+	Stats Stats
+
+	pktID uint64
+	// localDelay is the latency charged to src==dst messages that never
+	// enter the mesh (NI loopback).
+	localDelay uint64
+	loopback   []loopbackEvent
+
+	scratchF  []flitEvent
+	scratchC  []creditEvent
+	scratchLB []loopbackEvent
+}
+
+type loopbackEvent struct {
+	pkt *Packet
+	at  uint64
+}
+
+// NewNetwork builds the mesh described by cfg.
+func NewNetwork(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{Cfg: cfg, localDelay: 2}
+	nodes := cfg.Nodes()
+	n.Routers = make([]*Router, nodes)
+	n.NIs = make([]*NI, nodes)
+	for i := 0; i < nodes; i++ {
+		n.Routers[i] = newRouter(&n.Cfg, i)
+		n.NIs[i] = newNI(&n.Cfg, i)
+	}
+	// Wire neighbour links. For each adjacent pair create two directed
+	// links. opposite(d) is the receiving side's port.
+	for i := 0; i < nodes; i++ {
+		r := n.Routers[i]
+		x, y := cfg.XY(i)
+		if x+1 < cfg.Width {
+			nbr := n.Routers[cfg.Node(x+1, y)]
+			east := &link{}
+			west := &link{}
+			r.outLink[East] = east
+			nbr.inLink[West] = east
+			nbr.outLink[West] = west
+			r.inLink[East] = west
+		}
+		if y+1 < cfg.Height {
+			nbr := n.Routers[cfg.Node(x, y+1)]
+			south := &link{}
+			north := &link{}
+			r.outLink[South] = south
+			nbr.inLink[North] = south
+			nbr.outLink[North] = north
+			r.inLink[South] = north
+		}
+		// NI <-> router local port.
+		inj := &link{}
+		ej := &link{}
+		n.NIs[i].toRouter = inj
+		r.inLink[Local] = inj
+		r.outLink[Local] = ej
+		n.NIs[i].fromRouter = ej
+	}
+	for i := 0; i < nodes; i++ {
+		n.NIs[i].onDeliver = n.recordDelivery
+	}
+	return n, nil
+}
+
+// MustNetwork is NewNetwork that panics on configuration errors; intended
+// for tests and examples.
+func MustNetwork(cfg Config) *Network {
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// SetSink registers the delivery callback for a node.
+func (n *Network) SetSink(node int, fn func(now uint64, pkt *Packet)) {
+	n.NIs[node].SetSink(fn)
+}
+
+// NewPacket allocates a packet with a fresh id. Size is derived from the
+// class: data packets use Cfg.DataPacketFlits, everything else one flit.
+func (n *Network) NewPacket(src, dst int, class Class, vnet int, payload any) *Packet {
+	n.pktID++
+	size := 1
+	if class == ClassData {
+		size = n.Cfg.DataPacketFlits
+	}
+	return &Packet{
+		ID:      n.pktID,
+		Src:     src,
+		Dst:     dst,
+		Size:    size,
+		VNet:    vnet,
+		Class:   class,
+		Payload: payload,
+	}
+}
+
+// Send enqueues pkt for injection at its source NI. Messages addressed to
+// the local node bypass the mesh with a small fixed loopback latency.
+func (n *Network) Send(now uint64, pkt *Packet) {
+	if pkt.Src < 0 || pkt.Src >= n.Cfg.Nodes() || pkt.Dst < 0 || pkt.Dst >= n.Cfg.Nodes() {
+		panic(fmt.Sprintf("noc: Send with bad endpoints %d->%d", pkt.Src, pkt.Dst))
+	}
+	n.Stats.InjectedPkts[pkt.Class]++
+	n.Stats.InjectedFlits += uint64(pkt.Size)
+	if pkt.Src == pkt.Dst {
+		pkt.EnqueuedAt = now
+		pkt.InjectedAt = now
+		n.loopback = append(n.loopback, loopbackEvent{pkt: pkt, at: now + n.localDelay})
+		return
+	}
+	n.NIs[pkt.Src].enqueue(now, pkt)
+}
+
+// Tick implements sim.Component.
+func (n *Network) Tick(now uint64) {
+	// Phase 1: commit link events due this cycle into router buffers and
+	// NI/router credit state.
+	for _, r := range n.Routers {
+		for d := Dir(0); d < NumDirs; d++ {
+			if l := r.inLink[d]; l != nil && len(l.flits) > 0 {
+				n.scratchF = l.dueFlits(now, n.scratchF)
+				r.commit(now, n.scratchF, d)
+			}
+			if l := r.outLink[d]; l != nil && len(l.credits) > 0 {
+				n.scratchC = l.dueCredits(now, n.scratchC)
+				r.commitCredits(n.scratchC, d)
+			}
+		}
+	}
+	// Phase 2: NIs eject and absorb credits.
+	for _, ni := range n.NIs {
+		if len(ni.fromRouter.flits) > 0 {
+			ni.eject(now)
+		}
+		if len(ni.toRouter.credits) > 0 {
+			ni.commitCredits(now)
+		}
+	}
+	// Phase 3: loopback deliveries. Copy the due prefix out first: sinks
+	// may send new loopback packets while we iterate.
+	if len(n.loopback) > 0 && n.loopback[0].at <= now {
+		k := 0
+		for k < len(n.loopback) && n.loopback[k].at <= now {
+			k++
+		}
+		n.scratchLB = append(n.scratchLB[:0], n.loopback[:k]...)
+		n.loopback = n.loopback[:copy(n.loopback, n.loopback[k:])]
+		for _, ev := range n.scratchLB {
+			ev.pkt.DeliveredAt = now
+			n.Stats.LocalDeliveries++
+			n.recordDelivery(ev.pkt)
+			if sink := n.NIs[ev.pkt.Dst].sink; sink != nil {
+				sink(now, ev.pkt)
+			}
+		}
+	}
+	// Phase 4: router allocation and traversal.
+	for _, r := range n.Routers {
+		r.tick(now)
+	}
+	// Phase 5: NI injection.
+	for _, ni := range n.NIs {
+		if ni.QueuedPkts > 0 {
+			ni.inject(now)
+		}
+	}
+}
+
+func (n *Network) recordDelivery(pkt *Packet) {
+	n.Stats.DeliveredPkts[pkt.Class]++
+	n.Stats.NetLatency[pkt.Class].Observe(float64(pkt.NetLatency()))
+	n.Stats.TotalLatency[pkt.Class].Observe(float64(pkt.TotalLatency()))
+}
+
+// NextWake implements sim.Component: the network needs ticking while any
+// flit, credit or queued packet exists anywhere.
+func (n *Network) NextWake(now uint64) uint64 {
+	if n.Busy() {
+		return now + 1
+	}
+	return sim.Never
+}
+
+// Busy reports whether any traffic is in flight.
+func (n *Network) Busy() bool {
+	if len(n.loopback) > 0 {
+		return true
+	}
+	for _, r := range n.Routers {
+		if r.flitCount > 0 {
+			return true
+		}
+		for d := Dir(0); d < NumDirs; d++ {
+			if l := r.inLink[d]; l != nil && l.pending() > 0 {
+				return true
+			}
+		}
+	}
+	for _, ni := range n.NIs {
+		if ni.pendingWork() || ni.toRouter.pending() > 0 || ni.fromRouter.pending() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Delivered returns total delivered packets across classes.
+func (n *Network) Delivered() uint64 {
+	var t uint64
+	for _, v := range n.Stats.DeliveredPkts {
+		t += v
+	}
+	return t
+}
+
+// Injected returns total injected packets across classes.
+func (n *Network) Injected() uint64 {
+	var t uint64
+	for _, v := range n.Stats.InjectedPkts {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,179 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// activeStream is a packet that has been allocated an injection VC and is
+// being streamed flit by flit onto the local link.
+type activeStream struct {
+	pkt  *Packet
+	next int // next flit sequence number
+	vc   int
+}
+
+// NI is the network interface of one node. It packetizes outgoing messages
+// (stamping the OCOR priority fields into the head flit, as the paper's
+// enhanced NI does), injects them subject to VC allocation and credits on
+// the local link, and reassembles arriving flits into packets.
+//
+// Under OCOR the injection link is arbitrated with the same Table 1
+// priority rules as the routers, so a locking request is not stuck behind
+// the remaining flits of a data packet at the source either.
+type NI struct {
+	cfg  *Config
+	node int
+
+	// toRouter carries our flits toward the router's Local input port;
+	// credits for it flow back on the same link.
+	toRouter *link
+	// fromRouter carries flits ejected to us; we return credits on it.
+	fromRouter *link
+
+	outCredits []int
+	outAlloc   []bool
+
+	queues [NumVNets][]*Packet
+	active [NumVNets]*activeStream
+	// sink is the node's protocol-level delivery callback; onDeliver is the
+	// network's statistics hook.
+	sink      func(now uint64, pkt *Packet)
+	onDeliver func(pkt *Packet)
+
+	// Stats
+	Injected   [NumClasses]uint64
+	Delivered  [NumClasses]uint64
+	FlitsSent  uint64
+	QueuedPkts int // packets waiting or streaming
+
+	scratchF []flitEvent
+	scratchC []creditEvent
+}
+
+func newNI(cfg *Config, node int) *NI {
+	ni := &NI{cfg: cfg, node: node}
+	ni.outCredits = make([]int, cfg.VCs)
+	ni.outAlloc = make([]bool, cfg.VCs)
+	for v := range ni.outCredits {
+		ni.outCredits[v] = cfg.VCDepth
+	}
+	return ni
+}
+
+// SetSink registers the delivery callback invoked when a packet's tail flit
+// is ejected at this node.
+func (ni *NI) SetSink(fn func(now uint64, pkt *Packet)) { ni.sink = fn }
+
+// enqueue accepts a packet for injection.
+func (ni *NI) enqueue(now uint64, pkt *Packet) {
+	pkt.EnqueuedAt = now
+	ni.queues[pkt.VNet] = append(ni.queues[pkt.VNet], pkt)
+	ni.QueuedPkts++
+}
+
+// eject absorbs flits delivered by the router this cycle, returning one
+// credit per flit and completing packets on tail flits.
+func (ni *NI) eject(now uint64) {
+	ni.scratchF = ni.fromRouter.dueFlits(now, ni.scratchF)
+	for _, ev := range ni.scratchF {
+		ni.fromRouter.sendCredit(ev.vc, ev.f.isTail(), now+uint64(ni.cfg.LinkLatency))
+		if ev.f.isTail() {
+			pkt := ev.f.pkt
+			pkt.DeliveredAt = now
+			ni.Delivered[pkt.Class]++
+			if ni.onDeliver != nil {
+				ni.onDeliver(pkt)
+			}
+			if ni.sink != nil {
+				ni.sink(now, pkt)
+			}
+		}
+	}
+}
+
+// commitCredits absorbs credit returns from the router's Local input port.
+func (ni *NI) commitCredits(now uint64) {
+	ni.scratchC = ni.toRouter.dueCredits(now, ni.scratchC)
+	for _, ev := range ni.scratchC {
+		ni.outCredits[ev.vc]++
+		if ni.outCredits[ev.vc] > ni.cfg.VCDepth {
+			panic(fmt.Sprintf("noc: NI %d credit overflow on vc %d", ni.node, ev.vc))
+		}
+		if ev.freeVC {
+			ni.outAlloc[ev.vc] = false
+		}
+	}
+}
+
+// inject opens streams for waiting packets and sends at most one flit onto
+// the local link (link bandwidth is one flit per cycle).
+func (ni *NI) inject(now uint64) {
+	// Open a stream per vnet whenever a VC is free. Under OCOR pick the
+	// highest-priority waiting packet of the vnet, not merely the oldest.
+	for vn := 0; vn < NumVNets; vn++ {
+		if ni.active[vn] != nil || len(ni.queues[vn]) == 0 {
+			continue
+		}
+		lo, hi := ni.cfg.VCRange(vn)
+		vcFree := -1
+		for v := lo; v < hi; v++ {
+			if !ni.outAlloc[v] {
+				vcFree = v
+				break
+			}
+		}
+		if vcFree < 0 {
+			continue
+		}
+		idx := 0
+		if ni.cfg.Priority {
+			for i := 1; i < len(ni.queues[vn]); i++ {
+				if core.Compare(ni.queues[vn][i].Prio, ni.queues[vn][idx].Prio) > 0 {
+					idx = i
+				}
+			}
+		}
+		pkt := ni.queues[vn][idx]
+		ni.queues[vn] = append(ni.queues[vn][:idx], ni.queues[vn][idx+1:]...)
+		ni.outAlloc[vcFree] = true
+		ni.active[vn] = &activeStream{pkt: pkt, vc: vcFree}
+	}
+
+	// Pick which active stream sends a flit this cycle.
+	best := -1
+	for vn := 0; vn < NumVNets; vn++ {
+		st := ni.active[vn]
+		if st == nil || ni.outCredits[st.vc] <= 0 {
+			continue
+		}
+		if best == -1 {
+			best = vn
+			continue
+		}
+		if ni.cfg.Priority && core.Compare(st.pkt.Prio, ni.active[best].pkt.Prio) > 0 {
+			best = vn
+		}
+	}
+	if best == -1 {
+		return
+	}
+	st := ni.active[best]
+	if st.next == 0 {
+		st.pkt.InjectedAt = now
+		ni.Injected[st.pkt.Class]++
+	}
+	f := flit{pkt: st.pkt, seq: st.next}
+	ni.toRouter.sendFlit(f, st.vc, now+uint64(ni.cfg.LinkLatency))
+	ni.outCredits[st.vc]--
+	ni.FlitsSent++
+	st.next++
+	if st.next == st.pkt.Size {
+		ni.active[best] = nil
+		ni.QueuedPkts--
+	}
+}
+
+// pendingWork reports whether the NI holds packets waiting or streaming.
+func (ni *NI) pendingWork() bool { return ni.QueuedPkts > 0 }

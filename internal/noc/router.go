@@ -1,0 +1,390 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// vcState tracks the pipeline stage of the packet occupying an input VC.
+type vcState uint8
+
+const (
+	vcIdle   vcState = iota // no packet
+	vcRouted                // head flit routed, waiting for VC allocation
+	vcActive                // output VC allocated, flits compete for switch
+)
+
+// vcBuf is one input virtual channel: a FIFO of flits plus the per-packet
+// pipeline state.
+type vcBuf struct {
+	flits  []flit
+	state  vcState
+	outDir Dir
+	outVC  int
+}
+
+func (v *vcBuf) head() *flit { return &v.flits[0] }
+
+func (v *vcBuf) push(f flit) { v.flits = append(v.flits, f) }
+
+func (v *vcBuf) pop() flit {
+	f := v.flits[0]
+	v.flits = v.flits[:copy(v.flits, v.flits[1:])]
+	return f
+}
+
+// outPort is the upstream view of a downstream input port: credit counts
+// and VC allocation flags, plus the round-robin pointers used for
+// tie-breaking in VA and SA at this output.
+type outPort struct {
+	credits []int
+	alloc   []bool
+	vaPtr   int
+	saPtr   int
+}
+
+// RouterStats aggregates per-router activity counters.
+type RouterStats struct {
+	FlitsTraversed uint64 // flits moved through the crossbar
+	VAGrants       uint64
+	SAGrants       uint64
+	SAConflicts    uint64 // cycles an output had >1 bidder
+}
+
+// Router is a 2-stage pipelined speculative VC router. Stage one performs
+// route computation, VC allocation and switch allocation in parallel
+// (a flit committed into a buffer at cycle t becomes eligible at t+1);
+// stage two is switch traversal onto the output link.
+type Router struct {
+	cfg  *Config
+	id   int
+	x, y int
+
+	in  [NumDirs][]*vcBuf
+	out [NumDirs]*outPort
+
+	// inLink[d] carries flits arriving from direction d (credits we emit
+	// travel upstream on the same link); outLink[d] carries flits we send
+	// toward direction d.
+	inLink  [NumDirs]*link
+	outLink [NumDirs]*link
+
+	// lpaPtr is the per-input-port round-robin pointer of the local
+	// (first-stage) arbiter.
+	lpaPtr [NumDirs]int
+
+	// flitCount is the total number of buffered flits; the router is
+	// skipped entirely when zero.
+	flitCount int
+
+	Stats RouterStats
+
+	// scratch buffers reused across cycles to avoid allocation.
+	vaReqs  []vaReq
+	saCands []saCand
+}
+
+type vaReq struct {
+	dir Dir
+	vc  int
+}
+
+type saCand struct {
+	dir Dir
+	vc  int
+}
+
+func newRouter(cfg *Config, id int) *Router {
+	r := &Router{cfg: cfg, id: id}
+	r.x, r.y = cfg.XY(id)
+	for d := Dir(0); d < NumDirs; d++ {
+		r.in[d] = make([]*vcBuf, cfg.VCs)
+		for v := 0; v < cfg.VCs; v++ {
+			r.in[d][v] = &vcBuf{flits: make([]flit, 0, cfg.VCDepth)}
+		}
+		op := &outPort{credits: make([]int, cfg.VCs), alloc: make([]bool, cfg.VCs)}
+		for v := range op.credits {
+			op.credits[v] = cfg.VCDepth
+		}
+		r.out[d] = op
+	}
+	return r
+}
+
+// route computes the dimension-order output direction for dst.
+func (r *Router) route(dst int) Dir {
+	dx, dy := r.cfg.XY(dst)
+	if r.cfg.Routing == RoutingYX {
+		switch {
+		case dy > r.y:
+			return South
+		case dy < r.y:
+			return North
+		case dx > r.x:
+			return East
+		case dx < r.x:
+			return West
+		default:
+			return Local
+		}
+	}
+	switch {
+	case dx > r.x:
+		return East
+	case dx < r.x:
+		return West
+	case dy > r.y:
+		return South
+	case dy < r.y:
+		return North
+	default:
+		return Local
+	}
+}
+
+// commit absorbs flit arrivals and credit returns due this cycle.
+func (r *Router) commit(now uint64, fs []flitEvent, dir Dir) {
+	for _, ev := range fs {
+		vc := r.in[dir][ev.vc]
+		if len(vc.flits) >= r.cfg.VCDepth {
+			panic(fmt.Sprintf("noc: router %d dir %s vc %d buffer overflow", r.id, dir, ev.vc))
+		}
+		f := ev.f
+		f.enqueuedAt = now
+		if f.isHead() {
+			if vc.state != vcIdle {
+				panic(fmt.Sprintf("noc: router %d dir %s vc %d head flit into busy VC", r.id, dir, ev.vc))
+			}
+			vc.state = vcRouted
+			vc.outDir = r.route(f.pkt.Dst)
+		}
+		vc.push(f)
+		r.flitCount++
+	}
+}
+
+func (r *Router) commitCredits(cs []creditEvent, dir Dir) {
+	op := r.out[dir]
+	for _, ev := range cs {
+		op.credits[ev.vc]++
+		if op.credits[ev.vc] > r.cfg.VCDepth {
+			panic(fmt.Sprintf("noc: router %d dir %s vc %d credit overflow", r.id, dir, ev.vc))
+		}
+		if ev.freeVC {
+			op.alloc[ev.vc] = false
+		}
+	}
+}
+
+// tick runs stage one (VA + SA over flits that have sat one cycle) and
+// stage two (switch traversal) of the pipeline.
+func (r *Router) tick(now uint64) {
+	if r.flitCount == 0 {
+		return
+	}
+	r.allocateVCs(now)
+	r.allocateSwitch(now)
+}
+
+// allocateVCs performs virtual-channel allocation for input VCs in the
+// vcRouted state. Under OCOR the grant order is the Table 1 priority
+// order; the baseline uses round-robin.
+func (r *Router) allocateVCs(now uint64) {
+	for outDir := Dir(0); outDir < NumDirs; outDir++ {
+		op := r.out[outDir]
+		reqs := r.vaReqs[:0]
+		for inDir := Dir(0); inDir < NumDirs; inDir++ {
+			if inDir == outDir {
+				continue // no u-turns in XY routing
+			}
+			for v, vc := range r.in[inDir] {
+				if vc.state != vcRouted || vc.outDir != outDir {
+					continue
+				}
+				if len(vc.flits) == 0 || now <= vc.head().enqueuedAt {
+					continue // not yet through stage one
+				}
+				reqs = append(reqs, vaReq{dir: inDir, vc: v})
+			}
+		}
+		r.vaReqs = reqs[:0]
+		if len(reqs) == 0 {
+			continue
+		}
+		if r.cfg.Priority {
+			r.grantVAPriority(op, reqs)
+		} else {
+			r.grantVARoundRobin(op, reqs)
+		}
+	}
+}
+
+func (r *Router) grantVAPriority(op *outPort, reqs []vaReq) {
+	// Repeatedly pick the highest-priority unserved request (ties broken by
+	// the rotating pointer) and hand it the first free VC in its vnet.
+	served := 0
+	for served < len(reqs) {
+		best := -1
+		var bestPrio core.Priority
+		n := len(reqs)
+		for i := 0; i < n; i++ {
+			idx := (op.vaPtr + i) % n
+			if reqs[idx].dir == -1 {
+				continue
+			}
+			p := r.in[reqs[idx].dir][reqs[idx].vc].head().pkt.Prio
+			if best == -1 || core.Compare(p, bestPrio) > 0 {
+				best, bestPrio = idx, p
+			}
+		}
+		if best == -1 {
+			return
+		}
+		req := reqs[best]
+		reqs[best].dir = -1
+		served++
+		if !r.tryAssignVC(op, req) {
+			// No free VC in this packet's vnet; lower-priority requests for
+			// other vnets may still succeed, so keep scanning.
+			continue
+		}
+		op.vaPtr = (best + 1) % len(reqs)
+	}
+}
+
+func (r *Router) grantVARoundRobin(op *outPort, reqs []vaReq) {
+	n := len(reqs)
+	for i := 0; i < n; i++ {
+		idx := (op.vaPtr + i) % n
+		if r.tryAssignVC(op, reqs[idx]) {
+			op.vaPtr = (idx + 1) % n
+		}
+	}
+}
+
+// tryAssignVC gives the requesting input VC the first free output VC within
+// its packet's virtual network. It returns false when none is free.
+func (r *Router) tryAssignVC(op *outPort, req vaReq) bool {
+	vc := r.in[req.dir][req.vc]
+	lo, hi := r.cfg.VCRange(vc.head().pkt.VNet)
+	for v := lo; v < hi; v++ {
+		if !op.alloc[v] {
+			op.alloc[v] = true
+			vc.state = vcActive
+			vc.outVC = v
+			r.Stats.VAGrants++
+			return true
+		}
+	}
+	return false
+}
+
+// allocateSwitch performs the two-stage switch allocation: a Local Priority
+// Arbiter per input port selects one candidate VC, then a per-output-port
+// global arbiter picks the winner. Winners traverse the switch immediately
+// (stage two).
+func (r *Router) allocateSwitch(now uint64) {
+	// Stage 1: LPA per input port.
+	cands := r.saCands[:0]
+	for inDir := Dir(0); inDir < NumDirs; inDir++ {
+		best := -1
+		var bestPrio core.Priority
+		n := r.cfg.VCs
+		for i := 0; i < n; i++ {
+			v := (r.lpaPtr[inDir] + i) % n
+			vc := r.in[inDir][v]
+			if vc.state != vcActive || len(vc.flits) == 0 {
+				continue
+			}
+			if now <= vc.head().enqueuedAt {
+				continue // stage-one latency
+			}
+			if r.out[vc.outDir].credits[vc.outVC] <= 0 {
+				continue // no downstream buffer space
+			}
+			if best == -1 {
+				best, bestPrio = v, vc.head().pkt.Prio
+				if !r.cfg.Priority {
+					break // round-robin: first ready VC from the pointer wins
+				}
+				continue
+			}
+			if p := vc.head().pkt.Prio; core.Compare(p, bestPrio) > 0 {
+				best, bestPrio = v, p
+			}
+		}
+		if best >= 0 {
+			cands = append(cands, saCand{dir: inDir, vc: best})
+		}
+	}
+	r.saCands = cands[:0]
+
+	// Stage 2: per-output global arbitration among the LPA winners.
+	for outDir := Dir(0); outDir < NumDirs; outDir++ {
+		op := r.out[outDir]
+		winner := -1
+		var winPrio core.Priority
+		bidders := 0
+		n := len(cands)
+		for i := 0; i < n; i++ {
+			idx := (op.saPtr + i) % n
+			c := cands[idx]
+			if c.dir == -1 {
+				continue
+			}
+			vc := r.in[c.dir][c.vc]
+			if vc.outDir != outDir {
+				continue
+			}
+			bidders++
+			if winner == -1 {
+				winner, winPrio = idx, vc.head().pkt.Prio
+				if !r.cfg.Priority {
+					break
+				}
+				continue
+			}
+			if p := vc.head().pkt.Prio; core.Compare(p, winPrio) > 0 {
+				winner, winPrio = idx, p
+			}
+		}
+		if bidders > 1 {
+			r.Stats.SAConflicts++
+		}
+		if winner == -1 {
+			continue
+		}
+		op.saPtr = (winner + 1) % n
+		c := cands[winner]
+		cands[winner].dir = -1 // one crossbar grant per input port
+		r.traverse(now, c.dir, c.vc)
+	}
+}
+
+// traverse is stage two: move the head flit of the granted input VC onto
+// the output link and return a credit upstream.
+func (r *Router) traverse(now uint64, inDir Dir, vcIdx int) {
+	vc := r.in[inDir][vcIdx]
+	f := vc.pop()
+	r.flitCount--
+	op := r.out[vc.outDir]
+	op.credits[vc.outVC]--
+	at := now + uint64(r.cfg.LinkLatency)
+	r.outLink[vc.outDir].sendFlit(f, vc.outVC, at)
+	r.inLink[inDir].sendCredit(vcIdx, f.isTail(), at)
+	r.Stats.SAGrants++
+	r.Stats.FlitsTraversed++
+	if f.isHead() {
+		f.pkt.Hops++
+	}
+	if f.isTail() {
+		if len(vc.flits) != 0 {
+			panic(fmt.Sprintf("noc: router %d tail left dir %s vc %d with %d flits behind", r.id, inDir, vcIdx, len(vc.flits)))
+		}
+		vc.state = vcIdle
+	}
+}
+
+// BufferedFlits returns the number of flits currently buffered.
+func (r *Router) BufferedFlits() int { return r.flitCount }

@@ -1,0 +1,69 @@
+package sim
+
+import "container/heap"
+
+// delayItem is a deferred action in a component's pipeline (e.g. cache
+// access latency, DRAM service time, spin intervals).
+type delayItem struct {
+	at  uint64
+	seq uint64 // tie-break: FIFO among equal timestamps
+	fn  func(now uint64)
+}
+
+// DelayQueue is a deterministic min-heap of deferred actions. Actions
+// scheduled for the same cycle run in scheduling order.
+type DelayQueue struct {
+	items []delayItem
+	seq   uint64
+}
+
+// Len implements heap.Interface and reports pending actions.
+func (q *DelayQueue) Len() int { return len(q.items) }
+
+// Less implements heap.Interface.
+func (q *DelayQueue) Less(i, j int) bool {
+	if q.items[i].at != q.items[j].at {
+		return q.items[i].at < q.items[j].at
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+
+// Swap implements heap.Interface.
+func (q *DelayQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+// Push implements heap.Interface; use Schedule instead.
+func (q *DelayQueue) Push(x any) { q.items = append(q.items, x.(delayItem)) }
+
+// Pop implements heap.Interface; use RunDue instead.
+func (q *DelayQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+// Schedule runs fn at cycle `at`.
+func (q *DelayQueue) Schedule(at uint64, fn func(now uint64)) {
+	q.seq++
+	heap.Push(q, delayItem{at: at, seq: q.seq, fn: fn})
+}
+
+// RunDue executes every action due at or before now, including actions
+// scheduled for <= now by the actions themselves. Each action receives its
+// own scheduled cycle, so chained timers keep exact spacing even when
+// RunDue is invoked late (e.g. after a fast-forward jump).
+func (q *DelayQueue) RunDue(now uint64) {
+	for len(q.items) > 0 && q.items[0].at <= now {
+		it := heap.Pop(q).(delayItem)
+		it.fn(it.at)
+	}
+}
+
+// Next returns the earliest scheduled cycle, or ok=false when empty.
+func (q *DelayQueue) Next() (uint64, bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0].at, true
+}

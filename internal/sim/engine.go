@@ -1,0 +1,142 @@
+package sim
+
+import "math"
+
+// Never is the sentinel returned by NextWake when a component has no
+// scheduled work.
+const Never = math.MaxUint64
+
+// Component is the unit of cycle-driven simulation. The engine calls Tick
+// exactly once per simulated cycle on every registered component, in
+// registration order. NextWake lets idle components vote for fast-forward:
+// when every component's next wake time lies in the future, the engine jumps
+// the clock directly to the earliest one.
+type Component interface {
+	// Tick advances the component by one cycle. now is the current cycle.
+	Tick(now uint64)
+	// NextWake returns the earliest future cycle (> now) at which the
+	// component has work to do, or Never when it is quiescent.
+	NextWake(now uint64) uint64
+}
+
+// Engine owns the simulation clock and the registered components.
+type Engine struct {
+	now        uint64
+	components []Component
+	// FastForward enables quiescence skipping. It is on by default and only
+	// disabled by tests that check strict cycle-by-cycle behaviour.
+	FastForward bool
+	// MaxCycles aborts the run when the clock passes it (0 = unlimited).
+	MaxCycles uint64
+	stopped   bool
+	// Stats.
+	TickedCycles  uint64 // cycles actually executed
+	SkippedCycles uint64 // cycles bypassed by fast-forward
+}
+
+// NewEngine returns an empty engine with fast-forward enabled.
+func NewEngine() *Engine {
+	return &Engine{FastForward: true}
+}
+
+// Register adds c to the tick list. Components tick in registration order,
+// which the simulation relies on for determinism.
+func (e *Engine) Register(c Component) {
+	e.components = append(e.components, c)
+}
+
+// Now returns the current cycle.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Stop makes RunUntil return after the current cycle completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Step executes exactly one cycle.
+func (e *Engine) Step() {
+	for _, c := range e.components {
+		c.Tick(e.now)
+	}
+	e.TickedCycles++
+	e.now++
+}
+
+// RunUntil advances the simulation until done() reports true, Stop is
+// called, or MaxCycles is exceeded. It returns the cycle at which it
+// stopped. done is evaluated between cycles.
+func (e *Engine) RunUntil(done func() bool) uint64 {
+	for !e.stopped && !done() {
+		if e.MaxCycles != 0 && e.now >= e.MaxCycles {
+			break
+		}
+		e.Step()
+		if e.FastForward {
+			e.maybeSkip()
+		}
+	}
+	return e.now
+}
+
+// Run advances the simulation for n further cycles (honouring fast-forward,
+// so fewer than n Tick rounds may execute).
+func (e *Engine) Run(n uint64) {
+	target := e.now + n
+	e.RunUntil(func() bool { return e.now >= target })
+}
+
+// maybeSkip jumps the clock forward when all components are idle until a
+// known future cycle.
+func (e *Engine) maybeSkip() {
+	earliest := uint64(Never)
+	for _, c := range e.components {
+		w := c.NextWake(e.now)
+		if w <= e.now {
+			return // something wants to run right now
+		}
+		if w < earliest {
+			earliest = w
+		}
+	}
+	if earliest == Never {
+		// Everything is quiescent: nothing will ever happen again. Leave the
+		// clock alone; RunUntil's predicate or MaxCycles terminates the run.
+		return
+	}
+	if earliest > e.now+1 {
+		e.SkippedCycles += earliest - e.now - 1
+		e.now = earliest
+	}
+}
+
+// Quiescent reports whether every component is idle forever.
+func (e *Engine) Quiescent() bool {
+	for _, c := range e.components {
+		if c.NextWake(e.now) != Never {
+			return false
+		}
+	}
+	return true
+}
+
+// FuncComponent adapts plain functions to the Component interface.
+type FuncComponent struct {
+	TickFn     func(now uint64)
+	NextWakeFn func(now uint64) uint64
+}
+
+// Tick implements Component.
+func (f *FuncComponent) Tick(now uint64) {
+	if f.TickFn != nil {
+		f.TickFn(now)
+	}
+}
+
+// NextWake implements Component.
+func (f *FuncComponent) NextWake(now uint64) uint64 {
+	if f.NextWakeFn == nil {
+		return Never
+	}
+	return f.NextWakeFn(now)
+}

@@ -1,0 +1,114 @@
+// Package sim provides the deterministic cycle-driven simulation engine,
+// random number generation and statistics primitives shared by all
+// subsystems of the OCOR reproduction.
+package sim
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (xoshiro256**). Every simulated component that needs randomness derives
+// its stream from a single run seed so that simulations are exactly
+// reproducible.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitmix64 is used to seed the xoshiro state from a single 64-bit value.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator seeded from seed. Two generators built from the
+// same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	for i := range r.s {
+		r.s[i] = splitmix64(&seed)
+	}
+	// Avoid the all-zero state, which is a fixed point of xoshiro.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Fork derives an independent child generator. The child's stream is
+// decorrelated from the parent's by hashing the parent state with the
+// supplied stream identifier.
+func (r *RNG) Fork(stream uint64) *RNG {
+	seed := r.Uint64() ^ (stream * 0x9e3779b97f4a7c15)
+	return NewRNG(seed)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniformly distributed int in [0, n). n must be > 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Range returns a uniformly distributed int in [lo, hi]. It panics if
+// hi < lo.
+func (r *RNG) Range(lo, hi int) int {
+	if hi < lo {
+		panic("sim: Range with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Jitter returns base perturbed by a uniform factor in [1-f, 1+f]. The
+// result is never below 1 when base >= 1.
+func (r *RNG) Jitter(base int, f float64) int {
+	if base <= 0 {
+		return base
+	}
+	lo := float64(base) * (1 - f)
+	hi := float64(base) * (1 + f)
+	v := int(lo + (hi-lo)*r.Float64())
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Geometric returns a sample from a geometric distribution with mean m
+// (m >= 1); it models inter-arrival gaps of a Bernoulli process.
+func (r *RNG) Geometric(m float64) int {
+	if m <= 1 {
+		return 1
+	}
+	// Inverse-CDF sampling would need math.Log; keep stdlib-light and use a
+	// simple summed Bernoulli walk with p = 1/m, capped for safety.
+	p := 1 / m
+	n := 1
+	for !r.Bool(p) && n < int(m*20) {
+		n++
+	}
+	return n
+}

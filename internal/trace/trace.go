@@ -1,0 +1,179 @@
+// Package trace records per-thread execution timelines (parallel /
+// blocked / critical-section regions) and renders them as ASCII Gantt
+// charts, reproducing the execution profiles of the paper's Fig. 10.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/cpu"
+)
+
+// segment is a half-open interval [start, end) during which a thread was
+// in one region.
+type segment struct {
+	start, end uint64
+	region     cpu.Region
+}
+
+// Timeline collects region transitions for a set of threads.
+type Timeline struct {
+	open     map[int]*segment
+	segments map[int][]segment
+	// Limit stops recording past this cycle (0 = unlimited); Fig. 10 only
+	// shows the first 3000 cycles.
+	Limit uint64
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline {
+	return &Timeline{open: make(map[int]*segment), segments: make(map[int][]segment)}
+}
+
+// Listener returns a cpu.RegionListener that records into the timeline.
+func (tl *Timeline) Listener() cpu.RegionListener {
+	return func(thread int, r cpu.Region, now uint64) {
+		tl.transition(thread, r, now)
+	}
+}
+
+func (tl *Timeline) transition(thread int, r cpu.Region, now uint64) {
+	if cur, ok := tl.open[thread]; ok {
+		cur.end = now
+		if cur.end > cur.start {
+			tl.segments[thread] = append(tl.segments[thread], *cur)
+		}
+	}
+	if r == cpu.RegionDone {
+		delete(tl.open, thread)
+		return
+	}
+	tl.open[thread] = &segment{start: now, region: r}
+}
+
+// Close flushes open segments at cycle end (for threads still running).
+func (tl *Timeline) Close(end uint64) {
+	for th, cur := range tl.open {
+		cur.end = end
+		if cur.end > cur.start {
+			tl.segments[th] = append(tl.segments[th], *cur)
+		}
+		delete(tl.open, th)
+	}
+}
+
+// Threads returns the recorded thread ids in ascending order.
+func (tl *Timeline) Threads() []int {
+	var out []int
+	for th := range tl.segments {
+		out = append(out, th)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Breakdown sums the time each region consumed across the given threads in
+// the window [0, end).
+func (tl *Timeline) Breakdown(threads []int, end uint64) map[cpu.Region]uint64 {
+	out := make(map[cpu.Region]uint64)
+	for _, th := range threads {
+		for _, s := range tl.segments[th] {
+			a, b := s.start, s.end
+			if a >= end {
+				continue
+			}
+			if b > end {
+				b = end
+			}
+			out[s.region] += b - a
+		}
+	}
+	return out
+}
+
+// regionChar is the Gantt glyph per region.
+func regionChar(r cpu.Region) byte {
+	switch r {
+	case cpu.RegionParallel:
+		return '.'
+	case cpu.RegionBlocked:
+		return '#'
+	case cpu.RegionCS:
+		return 'C'
+	}
+	return ' '
+}
+
+// Render writes an ASCII Gantt chart of the first `threads` threads over
+// the window [0, window), with the given column width in cycles.
+// Glyphs: '.' parallel execution, '#' blocked (competition overhead +
+// waiting for other threads' critical sections), 'C' critical section.
+func (tl *Timeline) Render(w io.Writer, threads int, window, colWidth uint64) {
+	if colWidth == 0 {
+		colWidth = 50
+	}
+	cols := int((window + colWidth - 1) / colWidth)
+	ids := tl.Threads()
+	if threads < len(ids) {
+		ids = ids[:threads]
+	}
+	fmt.Fprintf(w, "cycles 0..%d, one column = %d cycles ('.'=parallel '#'=blocked 'C'=critical section)\n", window, colWidth)
+	for _, th := range ids {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, s := range tl.segments[th] {
+			if s.start >= window {
+				continue
+			}
+			end := s.end
+			if end > window {
+				end = window
+			}
+			for c := s.start / colWidth; c <= (end-1)/colWidth && int(c) < cols; c++ {
+				// The dominant region of a column wins; blocked and CS
+				// regions overwrite parallel to stay visible.
+				ch := regionChar(s.region)
+				if row[c] == ' ' || row[c] == '.' || ch == 'C' {
+					row[c] = ch
+				}
+			}
+		}
+		fmt.Fprintf(w, "t%02d |%s|\n", th, string(row))
+	}
+	bd := tl.Breakdown(ids, window)
+	total := float64(window) * float64(len(ids))
+	if total > 0 {
+		fmt.Fprintf(w, "breakdown: parallel %.1f%%  blocked %.1f%%  critical-section %.1f%%\n",
+			100*float64(bd[cpu.RegionParallel])/total,
+			100*float64(bd[cpu.RegionBlocked])/total,
+			100*float64(bd[cpu.RegionCS])/total)
+	}
+}
+
+// RenderString is Render into a string.
+func (tl *Timeline) RenderString(threads int, window, colWidth uint64) string {
+	var sb strings.Builder
+	tl.Render(&sb, threads, window, colWidth)
+	return sb.String()
+}
+
+// WriteCSV emits the recorded segments as CSV rows
+// (thread,region,start,end), for external plotting of execution profiles.
+func (tl *Timeline) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "thread,region,start,end"); err != nil {
+		return err
+	}
+	for _, th := range tl.Threads() {
+		for _, s := range tl.segments[th] {
+			if _, err := fmt.Fprintf(w, "%d,%s,%d,%d\n", th, s.region, s.start, s.end); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+func TestTimelineSegments(t *testing.T) {
+	tl := NewTimeline()
+	l := tl.Listener()
+	l(0, cpu.RegionParallel, 0)
+	l(0, cpu.RegionBlocked, 100)
+	l(0, cpu.RegionCS, 250)
+	l(0, cpu.RegionParallel, 300)
+	l(0, cpu.RegionDone, 1000)
+
+	bd := tl.Breakdown([]int{0}, 1000)
+	if bd[cpu.RegionParallel] != 100+700 {
+		t.Fatalf("parallel = %d", bd[cpu.RegionParallel])
+	}
+	if bd[cpu.RegionBlocked] != 150 {
+		t.Fatalf("blocked = %d", bd[cpu.RegionBlocked])
+	}
+	if bd[cpu.RegionCS] != 50 {
+		t.Fatalf("cs = %d", bd[cpu.RegionCS])
+	}
+}
+
+func TestBreakdownWindowClipping(t *testing.T) {
+	tl := NewTimeline()
+	l := tl.Listener()
+	l(1, cpu.RegionBlocked, 0)
+	l(1, cpu.RegionDone, 1000)
+	bd := tl.Breakdown([]int{1}, 400)
+	if bd[cpu.RegionBlocked] != 400 {
+		t.Fatalf("clipped blocked = %d", bd[cpu.RegionBlocked])
+	}
+}
+
+func TestCloseFlushesOpenSegments(t *testing.T) {
+	tl := NewTimeline()
+	l := tl.Listener()
+	l(2, cpu.RegionParallel, 0)
+	tl.Close(500)
+	bd := tl.Breakdown([]int{2}, 500)
+	if bd[cpu.RegionParallel] != 500 {
+		t.Fatalf("open segment not flushed: %d", bd[cpu.RegionParallel])
+	}
+}
+
+func TestThreadsSorted(t *testing.T) {
+	tl := NewTimeline()
+	l := tl.Listener()
+	for _, th := range []int{5, 1, 3} {
+		l(th, cpu.RegionParallel, 0)
+		l(th, cpu.RegionDone, 10)
+	}
+	got := tl.Threads()
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("threads = %v", got)
+	}
+}
+
+func TestRender(t *testing.T) {
+	tl := NewTimeline()
+	l := tl.Listener()
+	for th := 0; th < 3; th++ {
+		l(th, cpu.RegionParallel, 0)
+		l(th, cpu.RegionBlocked, 300)
+		l(th, cpu.RegionCS, 600)
+		l(th, cpu.RegionParallel, 700)
+		l(th, cpu.RegionDone, 1200)
+	}
+	out := tl.RenderString(3, 1200, 100)
+	if !strings.Contains(out, "t00") || !strings.Contains(out, "t02") {
+		t.Fatalf("missing thread rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "C") || !strings.Contains(out, ".") {
+		t.Fatalf("missing region glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "breakdown:") {
+		t.Fatalf("missing breakdown line:\n%s", out)
+	}
+	// Thread limit respected.
+	limited := tl.RenderString(2, 1200, 100)
+	if strings.Contains(limited, "t02") {
+		t.Fatal("thread limit ignored")
+	}
+}
+
+func TestRenderZeroColWidth(t *testing.T) {
+	tl := NewTimeline()
+	l := tl.Listener()
+	l(0, cpu.RegionParallel, 0)
+	l(0, cpu.RegionDone, 100)
+	out := tl.RenderString(1, 100, 0) // falls back to a default width
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestZeroLengthSegmentsDropped(t *testing.T) {
+	tl := NewTimeline()
+	l := tl.Listener()
+	l(0, cpu.RegionParallel, 50)
+	l(0, cpu.RegionBlocked, 50) // zero-length parallel segment
+	l(0, cpu.RegionDone, 60)
+	bd := tl.Breakdown([]int{0}, 100)
+	if bd[cpu.RegionParallel] != 0 {
+		t.Fatalf("zero-length segment kept: %d", bd[cpu.RegionParallel])
+	}
+	if bd[cpu.RegionBlocked] != 10 {
+		t.Fatalf("blocked = %d", bd[cpu.RegionBlocked])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tl := NewTimeline()
+	l := tl.Listener()
+	l(0, cpu.RegionParallel, 0)
+	l(0, cpu.RegionBlocked, 100)
+	l(0, cpu.RegionDone, 200)
+	var sb strings.Builder
+	if err := tl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := "thread,region,start,end\n0,parallel,0,100\n0,blocked,100,200\n"
+	if out != want {
+		t.Fatalf("csv:\n%s\nwant:\n%s", out, want)
+	}
+}

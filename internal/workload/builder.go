@@ -1,0 +1,116 @@
+package workload
+
+import "repro/internal/cpu"
+
+// Builder constructs custom per-thread programs fluently, for users whose
+// workload does not fit the Profile generator. All addresses are raw; use
+// the helper address methods to stay inside the conventional regions (or
+// pick your own layout — the platform only requires block alignment for
+// meaningful reuse).
+//
+//	prog := workload.NewBuilder().
+//	    Compute(1200).
+//	    Load(workload.PrivateAddr(tid, 0)).
+//	    CriticalSection(0, 80, workload.SharedAddr(0, 0)).
+//	    Program()
+type Builder struct {
+	ops cpu.Program
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Compute appends a computation interval of n cycles.
+func (b *Builder) Compute(n uint64) *Builder {
+	b.ops = append(b.ops, cpu.Op{Kind: cpu.OpCompute, Arg: n})
+	return b
+}
+
+// Load appends a blocking read of addr.
+func (b *Builder) Load(addr uint64) *Builder {
+	b.ops = append(b.ops, cpu.Op{Kind: cpu.OpLoad, Arg: addr})
+	return b
+}
+
+// Store appends a blocking write of addr.
+func (b *Builder) Store(addr uint64) *Builder {
+	b.ops = append(b.ops, cpu.Op{Kind: cpu.OpStore, Arg: addr})
+	return b
+}
+
+// LoadNB and StoreNB append non-blocking accesses (the thread continues
+// while the miss is outstanding).
+func (b *Builder) LoadNB(addr uint64) *Builder {
+	b.ops = append(b.ops, cpu.Op{Kind: cpu.OpLoadNB, Arg: addr})
+	return b
+}
+
+// StoreNB appends a non-blocking write.
+func (b *Builder) StoreNB(addr uint64) *Builder {
+	b.ops = append(b.ops, cpu.Op{Kind: cpu.OpStoreNB, Arg: addr})
+	return b
+}
+
+// Lock appends a queue-spinlock acquisition of lock id.
+func (b *Builder) Lock(lock int) *Builder {
+	b.ops = append(b.ops, cpu.Op{Kind: cpu.OpLock, Arg: uint64(lock)})
+	return b
+}
+
+// Unlock appends the release of lock id.
+func (b *Builder) Unlock(lock int) *Builder {
+	b.ops = append(b.ops, cpu.Op{Kind: cpu.OpUnlock, Arg: uint64(lock)})
+	return b
+}
+
+// Barrier appends a synchronization point of the given group; every thread
+// whose program contains the group participates.
+func (b *Builder) Barrier(group int) *Builder {
+	b.ops = append(b.ops, cpu.Op{Kind: cpu.OpBarrier, Arg: uint64(group)})
+	return b
+}
+
+// CriticalSection appends lock -> (RMW of each addr, compute) -> unlock.
+func (b *Builder) CriticalSection(lock int, compute uint64, addrs ...uint64) *Builder {
+	b.Lock(lock)
+	for _, a := range addrs {
+		b.Load(a)
+		b.Store(a)
+	}
+	if compute > 0 {
+		b.Compute(compute)
+	}
+	return b.Unlock(lock)
+}
+
+// Repeat appends n copies of the program fragment built by fn.
+func (b *Builder) Repeat(n int, fn func(*Builder)) *Builder {
+	for i := 0; i < n; i++ {
+		fn(b)
+	}
+	return b
+}
+
+// Program returns the built program (a copy; the builder can continue).
+func (b *Builder) Program() cpu.Program {
+	out := make(cpu.Program, len(b.ops))
+	copy(out, b.ops)
+	return out
+}
+
+// PrivateAddr returns the i-th block of thread tid's conventional private
+// region.
+func PrivateAddr(tid, i int) uint64 {
+	return privateBase + uint64(tid)*privateStride + uint64(i)*blockBytes
+}
+
+// SharedAddr returns the i-th protected block of a lock's conventional
+// shared region.
+func SharedAddr(lock, i int) uint64 {
+	return sharedBase + uint64(lock)*sharedStride + uint64(i)*blockBytes
+}
+
+// GlobalAddr returns the i-th block of the conventional global region.
+func GlobalAddr(i int) uint64 {
+	return globalBase + uint64(i)*blockBytes
+}

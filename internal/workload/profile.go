@@ -1,0 +1,212 @@
+// Package workload provides synthetic multi-threaded benchmark models for
+// the 25 programs of the paper's evaluation (11 PARSEC + 14 SPEC OMP2012).
+//
+// The real benchmark binaries cannot run inside a Go simulation, so each
+// program is modelled by a profile that reproduces the two characteristics
+// the paper identifies as governing OCOR's benefit (Fig. 12 and Table 3):
+// the critical-section access rate and the network utilisation. A profile
+// generates per-thread programs of interleaved computation, private and
+// shared memory accesses, and critical sections protected by the queue
+// spinlock.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// Address-space layout (block-aligned regions, disjoint by construction).
+const (
+	blockBytes = 128
+	// privateBase begins the per-thread private working sets.
+	privateBase uint64 = 0x1000_0000
+	// privateStride separates the threads' private regions.
+	privateStride uint64 = 0x0010_0000
+	// sharedBase begins the per-lock protected data regions.
+	sharedBase uint64 = 0x4000_0000
+	// sharedStride separates per-lock regions.
+	sharedStride uint64 = 0x0001_0000
+	// globalBase begins the global read-mostly shared region.
+	globalBase uint64 = 0x6000_0000
+)
+
+// Class is a coarse high/low characterisation used by Table 3.
+type Class uint8
+
+// Characterisation classes.
+const (
+	Low Class = iota
+	High
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if c == High {
+		return "high"
+	}
+	return "low"
+}
+
+// Profile describes one benchmark model.
+type Profile struct {
+	// Name is the abbreviated benchmark name as the paper's Table 3 lists
+	// it; Full gives the full suite name.
+	Name string
+	Full string
+	// Suite is "PARSEC" or "OMP2012".
+	Suite string
+	// CSRate and NetUtil are the Table 3 characterisation classes.
+	CSRate  Class
+	NetUtil Class
+
+	// Generator parameters (cycles / counts, before per-thread jitter):
+
+	// ComputeGap is the mean parallel-computation time between critical-
+	// section visits; smaller gap = higher CS access rate.
+	ComputeGap int
+	// GapMemOps is the number of memory accesses interleaved into each
+	// gap; together with WorkingSet it drives network utilisation.
+	GapMemOps int
+	// WorkingSet is the per-thread private footprint in blocks; footprints
+	// beyond the L1 capacity (256 blocks) miss and load the network.
+	WorkingSet int
+	// Barrier inserts a cohort synchronization point before each critical
+	// section (the Fig. 1 wave structure); without it threads free-run.
+	Barrier bool
+	// Stream makes gap accesses walk the private region sequentially
+	// without reuse (compulsory misses all the way to DRAM), modelling
+	// memory-streaming applications; false re-uses a random-access
+	// footprint of WorkingSet blocks.
+	Stream bool
+	// SharedFrac is the probability that a gap access touches the global
+	// shared region instead of private data (coherence traffic).
+	SharedFrac float64
+	// GlobalBlocks is the size of the global shared region in blocks.
+	GlobalBlocks int
+	// SharedWriteFrac is the probability that a shared access is a write
+	// (invalidation storms).
+	SharedWriteFrac float64
+	// Locks is the number of distinct lock variables; contention per lock
+	// grows with threads/Locks.
+	Locks int
+	// CSLen is the mean computation inside a critical section.
+	CSLen int
+	// CSMemOps is the number of protected shared-block accesses inside a
+	// critical section.
+	CSMemOps int
+	// Iterations is the number of critical-section visits per thread.
+	Iterations int
+}
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	return fmt.Sprintf("%s(%s, cs=%s, net=%s)", p.Name, p.Suite, p.CSRate, p.NetUtil)
+}
+
+// Programs generates one program per thread. The generation is
+// deterministic in rng; callers pass a run-seeded generator.
+//
+// The generated programs follow the paper's Fig. 1 structure: threads run
+// a parallel phase (computation interleaved with memory traffic), meet at
+// a synchronization point, and then compete for a critical section — one
+// wave per iteration. Threads are partitioned into `Locks` cohorts; each
+// cohort synchronizes on its own barrier and contends on its own lock, so
+// the cohort size (threads/Locks) sets the contention depth.
+func (p Profile) Programs(threads int, rng *sim.RNG) []cpu.Program {
+	progs := make([]cpu.Program, threads)
+	for t := 0; t < threads; t++ {
+		progs[t] = p.program(t, threads, rng.Fork(uint64(t)+1))
+	}
+	return progs
+}
+
+// program builds the instruction stream of one thread.
+func (p Profile) program(thread, threads int, rng *sim.RNG) cpu.Program {
+	var prog cpu.Program
+	privBase := privateBase + uint64(thread)*privateStride
+	group := thread % max(p.Locks, 1)
+
+	// gapAccess produces one parallel-phase memory access. Most issue
+	// non-blocking (the MLP of an out-of-order core); periodic blocking
+	// accesses pace the thread at a few memory round trips per batch.
+	streamPos := uint64(0)
+	gapAccess := func(k int) cpu.Op {
+		var addr uint64
+		var write bool
+		if rng.Bool(p.SharedFrac) && p.GlobalBlocks > 0 {
+			addr = globalBase + uint64(rng.Intn(p.GlobalBlocks))*blockBytes
+			write = rng.Bool(p.SharedWriteFrac)
+		} else if p.Stream {
+			addr = privBase + (streamPos%uint64(max(p.WorkingSet, 1)))*blockBytes
+			streamPos++
+			write = rng.Bool(0.25)
+		} else {
+			addr = privBase + uint64(rng.Intn(max(p.WorkingSet, 1)))*blockBytes
+			write = rng.Bool(0.3)
+		}
+		blocking := k%6 == 5
+		switch {
+		case blocking && write:
+			return cpu.Op{Kind: cpu.OpStore, Arg: addr}
+		case blocking:
+			return cpu.Op{Kind: cpu.OpLoad, Arg: addr}
+		case write:
+			return cpu.Op{Kind: cpu.OpStoreNB, Arg: addr}
+		default:
+			return cpu.Op{Kind: cpu.OpLoadNB, Arg: addr}
+		}
+	}
+
+	for it := 0; it < p.Iterations; it++ {
+		// Parallel gap: computation interleaved with memory traffic.
+		ops := p.GapMemOps
+		slice := p.ComputeGap
+		if ops > 0 {
+			slice = p.ComputeGap / (ops + 1)
+		}
+		for k := 0; k < ops; k++ {
+			if slice > 0 {
+				prog = append(prog, cpu.Op{Kind: cpu.OpCompute, Arg: uint64(rng.Jitter(slice, 0.4))})
+			}
+			prog = append(prog, gapAccess(k))
+		}
+		if slice > 0 {
+			prog = append(prog, cpu.Op{Kind: cpu.OpCompute, Arg: uint64(rng.Jitter(slice, 0.4))})
+		}
+
+		// Critical section; with Barrier the cohort meets at a
+		// synchronization point first and competes as a wave on the
+		// cohort's own lock (Fig. 1). Free-running threads pick a lock at
+		// random each visit, re-scrambling the contention pattern.
+		lock := group
+		if p.Barrier {
+			prog = append(prog, cpu.Op{Kind: cpu.OpBarrier, Arg: uint64(group)})
+		} else {
+			lock = rng.Intn(max(p.Locks, 1))
+		}
+		prog = append(prog, cpu.Op{Kind: cpu.OpLock, Arg: uint64(lock)})
+		lockBase := sharedBase + uint64(lock)*sharedStride
+		for k := 0; k < p.CSMemOps; k++ {
+			addr := lockBase + uint64(k)*blockBytes
+			// Protected data: read-modify-write, the canonical critical-
+			// section body.
+			prog = append(prog, cpu.Op{Kind: cpu.OpLoad, Arg: addr})
+			prog = append(prog, cpu.Op{Kind: cpu.OpCompute, Arg: uint64(rng.Jitter(max(p.CSLen/max(p.CSMemOps, 1), 1), 0.3))})
+			prog = append(prog, cpu.Op{Kind: cpu.OpStore, Arg: addr})
+		}
+		if p.CSMemOps == 0 && p.CSLen > 0 {
+			prog = append(prog, cpu.Op{Kind: cpu.OpCompute, Arg: uint64(rng.Jitter(p.CSLen, 0.3))})
+		}
+		prog = append(prog, cpu.Op{Kind: cpu.OpUnlock, Arg: uint64(lock)})
+	}
+	return prog
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

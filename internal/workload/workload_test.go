@@ -1,0 +1,302 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+func TestCatalogShape(t *testing.T) {
+	all := Catalog()
+	if len(all) != 25 {
+		t.Fatalf("catalog has %d entries, want 25", len(all))
+	}
+	if n := len(Suite("PARSEC")); n != 11 {
+		t.Fatalf("PARSEC has %d programs, want 11", n)
+	}
+	if n := len(Suite("OMP2012")); n != 14 {
+		t.Fatalf("OMP2012 has %d programs, want 14", n)
+	}
+	seen := map[string]bool{}
+	for _, p := range all {
+		if seen[p.Name] {
+			t.Fatalf("duplicate name %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.ComputeGap <= 0 || p.Locks <= 0 || p.Iterations <= 0 || p.CSLen <= 0 {
+			t.Fatalf("%s has degenerate parameters: %+v", p.Name, p)
+		}
+		if p.NetUtil == High && !p.Stream && p.GapMemOps < 30 {
+			t.Fatalf("%s claims high net util without traffic", p.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("botss")
+	if err != nil || p.Full != "botsspar" {
+		t.Fatalf("ByName(botss): %v %v", p, err)
+	}
+	p2, err := ByName("botsspar") // full name works too
+	if err != nil || p2.Name != "botss" {
+		t.Fatalf("ByName(botsspar): %v %v", p2, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("unknown benchmark did not error")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 25 || names[0] != "ferret" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestCatalogMutationIsolated(t *testing.T) {
+	a := Catalog()
+	a[0].Iterations = 9999
+	b := Catalog()
+	if b[0].Iterations == 9999 {
+		t.Fatal("catalog copy aliases internal state")
+	}
+}
+
+func TestProgramsValid(t *testing.T) {
+	// Every catalog profile must generate structurally valid programs.
+	rng := sim.NewRNG(1)
+	for _, p := range Catalog() {
+		progs := p.Programs(8, rng.Fork(77))
+		if len(progs) != 8 {
+			t.Fatalf("%s generated %d programs", p.Name, len(progs))
+		}
+		for i, prog := range progs {
+			if err := prog.Validate(); err != nil {
+				t.Fatalf("%s thread %d: %v", p.Name, i, err)
+			}
+			_, memOps, cs := prog.Stats()
+			if cs != p.Iterations {
+				t.Fatalf("%s thread %d: %d critical sections, want %d", p.Name, i, cs, p.Iterations)
+			}
+			if memOps == 0 {
+				t.Fatalf("%s thread %d: no memory ops", p.Name, i)
+			}
+		}
+	}
+}
+
+func TestProgramsDeterministic(t *testing.T) {
+	p, _ := ByName("body")
+	a := p.Programs(4, sim.NewRNG(5))
+	b := p.Programs(4, sim.NewRNG(5))
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("thread %d: lengths differ", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("thread %d op %d differs", i, j)
+			}
+		}
+	}
+	c := p.Programs(4, sim.NewRNG(6))
+	same := true
+	for i := range a {
+		if len(a[i]) != len(c[i]) {
+			same = false
+			break
+		}
+		for j := range a[i] {
+			if a[i][j] != c[i][j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical programs")
+	}
+}
+
+func TestPrivateRegionsDisjoint(t *testing.T) {
+	// Threads' private accesses must never alias another thread's region
+	// or the shared regions.
+	p, _ := ByName("can")
+	progs := p.Programs(16, sim.NewRNG(3))
+	for tid, prog := range progs {
+		lo := privateBase + uint64(tid)*privateStride
+		hi := lo + privateStride
+		for _, op := range prog {
+			switch op.Kind {
+			case cpu.OpLoad, cpu.OpStore, cpu.OpLoadNB, cpu.OpStoreNB:
+				a := op.Arg
+				if a >= privateBase && a < sharedBase {
+					if a < lo || a >= hi {
+						t.Fatalf("thread %d touches foreign private address %x", tid, a)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStreamingNeverReuses(t *testing.T) {
+	// A streaming profile with WorkingSet > accesses must touch distinct
+	// private blocks (compulsory misses throughout).
+	p := Profile{Name: "s", ComputeGap: 100, GapMemOps: 50, WorkingSet: 100000,
+		Stream: true, Locks: 1, CSLen: 10, CSMemOps: 0, Iterations: 4}
+	prog := p.Programs(1, sim.NewRNG(9))[0]
+	seen := map[uint64]int{}
+	for _, op := range prog {
+		if op.Kind == cpu.OpLoad || op.Kind == cpu.OpLoadNB || op.Kind == cpu.OpStore || op.Kind == cpu.OpStoreNB {
+			if op.Arg >= privateBase && op.Arg < sharedBase {
+				seen[op.Arg]++
+			}
+		}
+	}
+	for addr, n := range seen {
+		if n > 1 {
+			t.Fatalf("streaming reused block %x %d times", addr, n)
+		}
+	}
+	if len(seen) < 100 {
+		t.Fatalf("too few distinct blocks: %d", len(seen))
+	}
+}
+
+func TestBarrierMode(t *testing.T) {
+	p := Profile{Name: "b", ComputeGap: 100, GapMemOps: 2, WorkingSet: 16,
+		Barrier: true, Locks: 2, CSLen: 10, CSMemOps: 1, Iterations: 3}
+	progs := p.Programs(4, sim.NewRNG(2))
+	for tid, prog := range progs {
+		barriers := 0
+		var lock uint64 = 999
+		for _, op := range prog {
+			if op.Kind == cpu.OpBarrier {
+				barriers++
+				if int(op.Arg) != tid%2 {
+					t.Fatalf("thread %d in barrier group %d", tid, op.Arg)
+				}
+			}
+			if op.Kind == cpu.OpLock {
+				if lock != 999 && lock != op.Arg {
+					t.Fatalf("thread %d switched locks in barrier mode", tid)
+				}
+				lock = op.Arg
+			}
+		}
+		if barriers != p.Iterations {
+			t.Fatalf("thread %d has %d barriers, want %d", tid, barriers, p.Iterations)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	p, _ := ByName("imag")
+	if got := p.Scale(0.5).Iterations; got != p.Iterations/2 {
+		t.Fatalf("Scale(0.5) iterations = %d", got)
+	}
+	if got := p.Scale(0.0001).Iterations; got != 1 {
+		t.Fatalf("Scale floor = %d", got)
+	}
+	if got := p.Scale(2).Iterations; got != p.Iterations*2 {
+		t.Fatalf("Scale(2) = %d", got)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Low.String() != "low" || High.String() != "high" {
+		t.Fatal("class strings wrong")
+	}
+	p, _ := ByName("botss")
+	if p.String() == "" {
+		t.Fatal("profile string empty")
+	}
+}
+
+func TestProgramGenerationProperty(t *testing.T) {
+	// Property: any sane parameter combination yields a valid program
+	// whose critical sections match Iterations.
+	f := func(seed uint64, gapRaw, memRaw, locksRaw, itersRaw uint8) bool {
+		p := Profile{
+			Name:       "prop",
+			ComputeGap: 10 + int(gapRaw)*20,
+			GapMemOps:  int(memRaw) % 30,
+			WorkingSet: 64,
+			SharedFrac: 0.2, GlobalBlocks: 16, SharedWriteFrac: 0.2,
+			Locks:      1 + int(locksRaw)%8,
+			CSLen:      20,
+			CSMemOps:   int(memRaw) % 3,
+			Iterations: 1 + int(itersRaw)%6,
+		}
+		prog := p.Programs(3, sim.NewRNG(seed))[1]
+		if prog.Validate() != nil {
+			return false
+		}
+		_, _, cs := prog.Stats()
+		return cs == p.Iterations
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	prog := NewBuilder().
+		Compute(100).
+		Load(PrivateAddr(2, 0)).
+		StoreNB(PrivateAddr(2, 1)).
+		LoadNB(GlobalAddr(3)).
+		Barrier(1).
+		CriticalSection(4, 60, SharedAddr(4, 0), SharedAddr(4, 1)).
+		Program()
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	compute, memOps, cs := prog.Stats()
+	if cs != 1 {
+		t.Fatalf("cs = %d", cs)
+	}
+	if compute != 160 {
+		t.Fatalf("compute = %d", compute)
+	}
+	if memOps != 3+4 { // 3 explicit + 2 RMW pairs
+		t.Fatalf("memOps = %d", memOps)
+	}
+	// Builder copies: mutating the returned program must not affect the
+	// builder's next Program().
+	b := NewBuilder().Compute(1)
+	p1 := b.Program()
+	p1[0].Arg = 999
+	if b.Program()[0].Arg != 1 {
+		t.Fatal("builder aliases returned program")
+	}
+}
+
+func TestBuilderRepeat(t *testing.T) {
+	prog := NewBuilder().Repeat(3, func(b *Builder) {
+		b.Compute(10).CriticalSection(0, 5, SharedAddr(0, 0))
+	}).Program()
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, cs := prog.Stats()
+	if cs != 3 {
+		t.Fatalf("cs = %d", cs)
+	}
+}
+
+func TestAddressHelpersDisjoint(t *testing.T) {
+	if PrivateAddr(0, 0) == PrivateAddr(1, 0) {
+		t.Fatal("private regions collide")
+	}
+	if SharedAddr(0, 0) == SharedAddr(1, 0) {
+		t.Fatal("shared regions collide")
+	}
+	// Regions are ordered private < shared < global.
+	if !(PrivateAddr(63, 8191) < SharedAddr(0, 0) && SharedAddr(63, 127) < GlobalAddr(0)) {
+		t.Fatal("region layout overlaps")
+	}
+}

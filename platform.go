@@ -1,0 +1,265 @@
+// Package repro is a library reproduction of "Opportunistic Competition
+// Overhead Reduction for Expediting Critical Section in NoC based CMPs"
+// (Yao & Lu, ISCA 2016).
+//
+// It assembles a full NoC-based CMP platform — a cycle-accurate mesh
+// network with priority-capable virtual-channel routers, a directory-MOESI
+// memory hierarchy, and the Linux-style queue spinlock with futex sleeping
+// — and implements the paper's OCOR mechanism on top: locking-request
+// packets carry the thread's remaining times of retry (RTR) and progress
+// (PROG), and routers prioritize them per Table 1 so that threads about to
+// fall asleep win critical sections while still in the cheap spinning
+// phase.
+//
+// Quick start:
+//
+//	p, _ := workload.ByName("body")   // via repro.Benchmark("body")
+//	base, ocor, _ := repro.Compare(p, 16, 1)
+//	fmt.Println(metrics.COHImprovement(base, ocor))
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Benchmark selects a workload model from the catalog (see
+	// workload.Catalog); ignored when Programs is set.
+	Benchmark workload.Profile
+	// Programs optionally supplies explicit per-thread programs
+	// (program i runs as thread i on node i).
+	Programs []cpu.Program
+	// Threads is the thread count (one per core); 0 means one per node.
+	Threads int
+	// MeshWidth/MeshHeight give the mesh; 0 derives a mesh that fits
+	// Threads (2x2, 4x4, 8x4, 8x8 for the paper's 4/16/32/64 cores).
+	MeshWidth, MeshHeight int
+	// OCOR enables the paper's mechanism: priority-based router
+	// arbitration plus the enhanced queue spinlock. False runs the
+	// baseline (round-robin routers, unmodified queue spinlock).
+	OCOR bool
+	// PriorityLevels is the number of priority levels for locking
+	// requests (paper default 8; Fig. 16 sweeps it).
+	PriorityLevels int
+	// Seed makes runs reproducible; runs with the same seed and
+	// configuration are cycle-identical.
+	Seed uint64
+	// MaxCycles aborts a stuck run (0 = default guard).
+	MaxCycles uint64
+	// Trace enables per-thread region timeline recording (Fig. 10).
+	Trace bool
+
+	// NoC, Mem and Kernel override subsystem defaults when non-nil.
+	NoC    *noc.Config
+	Mem    *mem.Config
+	Kernel *kernel.Config
+}
+
+// MeshFor returns the paper's mesh for a given core count: 2x2, 4x4, 8x4
+// and 8x8 for 4, 16, 32 and 64 cores; other counts get the smallest
+// near-square mesh that fits.
+func MeshFor(cores int) (w, h int) {
+	switch cores {
+	case 4:
+		return 2, 2
+	case 16:
+		return 4, 4
+	case 32:
+		return 8, 4
+	case 64:
+		return 8, 8
+	}
+	w = 1
+	for w*w < cores {
+		w++
+	}
+	h = (cores + w - 1) / w
+	return w, h
+}
+
+// System is an assembled platform instance.
+type System struct {
+	Cfg Config
+
+	Engine    *sim.Engine
+	Net       *noc.Network
+	Mem       *mem.System
+	Kernel    *kernel.System
+	CPU       *cpu.System
+	Collector *metrics.Collector
+	Timeline  *trace.Timeline
+}
+
+// New builds a platform from cfg.
+func New(cfg Config) (*System, error) {
+	if cfg.PriorityLevels == 0 {
+		cfg.PriorityLevels = core.DefaultLockLevels
+	}
+
+	// Network.
+	var ncfg noc.Config
+	if cfg.NoC != nil {
+		ncfg = *cfg.NoC
+	} else {
+		ncfg = noc.DefaultConfig()
+	}
+	if cfg.MeshWidth > 0 && cfg.MeshHeight > 0 {
+		ncfg.Width, ncfg.Height = cfg.MeshWidth, cfg.MeshHeight
+	} else if cfg.Threads > 0 {
+		ncfg.Width, ncfg.Height = MeshFor(cfg.Threads)
+	}
+	ncfg.Priority = cfg.OCOR
+	net, err := noc.NewNetwork(ncfg)
+	if err != nil {
+		return nil, err
+	}
+	nodes := ncfg.Nodes()
+	if cfg.Threads == 0 {
+		cfg.Threads = nodes
+	}
+	if cfg.Threads > nodes {
+		return nil, fmt.Errorf("repro: %d threads exceed %d nodes", cfg.Threads, nodes)
+	}
+
+	// Memory hierarchy.
+	var mcfg mem.Config
+	if cfg.Mem != nil {
+		mcfg = *cfg.Mem
+	} else {
+		mcfg = mem.DefaultConfig()
+	}
+	msys, err := mem.NewSystem(mcfg, net)
+	if err != nil {
+		return nil, err
+	}
+
+	// Lock kernel with the OCOR policy.
+	var kcfg kernel.Config
+	if cfg.Kernel != nil {
+		kcfg = *cfg.Kernel
+	} else {
+		kcfg = kernel.DefaultConfig()
+	}
+	kcfg.Policy.Enabled = cfg.OCOR
+	if kcfg.Policy.MaxSpin == 0 {
+		kcfg.Policy.MaxSpin = core.MaxSpinCount
+	}
+	kcfg.Policy.LockLevels = cfg.PriorityLevels
+	if kcfg.Policy.ProgSegments == 0 {
+		d := core.DefaultPolicy()
+		kcfg.Policy.ProgSegments = d.ProgSegments
+		kcfg.Policy.ProgSpan = d.ProgSpan
+	}
+	ksys := kernel.NewSystem(kcfg, net)
+
+	// Programs.
+	progs := cfg.Programs
+	if progs == nil {
+		rng := sim.NewRNG(cfg.Seed ^ 0xc0ffee)
+		progs = cfg.Benchmark.Programs(cfg.Threads, rng)
+	}
+	csys, err := cpu.NewSystem(msys, ksys, progs)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &System{
+		Cfg:       cfg,
+		Engine:    sim.NewEngine(),
+		Net:       net,
+		Mem:       msys,
+		Kernel:    ksys,
+		CPU:       csys,
+		Collector: metrics.NewCollector(),
+	}
+	ksys.SetListener(s.Collector)
+	if cfg.Trace {
+		s.Timeline = trace.NewTimeline()
+		csys.AddRegionListener(s.Timeline.Listener())
+	}
+
+	// Node sink: demultiplex protocol payloads to their subsystem.
+	for i := 0; i < nodes; i++ {
+		node := i
+		net.SetSink(node, func(now uint64, pkt *noc.Packet) {
+			switch m := pkt.Payload.(type) {
+			case *mem.Msg:
+				msys.Deliver(now, node, m)
+			case *kernel.Msg:
+				ksys.Deliver(now, node, m)
+			default:
+				panic(fmt.Sprintf("repro: node %d unknown payload %T", node, pkt.Payload))
+			}
+		})
+	}
+
+	s.Engine.Register(net)
+	s.Engine.Register(msys)
+	s.Engine.Register(ksys)
+	s.Engine.Register(csys)
+	s.Engine.MaxCycles = cfg.MaxCycles
+	if s.Engine.MaxCycles == 0 {
+		s.Engine.MaxCycles = 500_000_000
+	}
+	return s, nil
+}
+
+// Run executes the workload to completion and returns the consolidated
+// results.
+func (s *System) Run() (metrics.Results, error) {
+	s.CPU.Start(s.Engine.Now())
+	s.Engine.RunUntil(s.CPU.AllDone)
+	if !s.CPU.AllDone() {
+		return metrics.Results{}, fmt.Errorf("repro: run aborted at cycle %d (MaxCycles guard)", s.Engine.Now())
+	}
+	// Drain in-flight protocol stragglers (final releases, wakeups,
+	// write-backs) so the platform ends quiescent and coherent.
+	s.Engine.RunUntil(func() bool {
+		return !s.Net.Busy() && s.Mem.Pending() == 0 && s.Kernel.Pending() == 0
+	})
+	if s.Timeline != nil {
+		s.Timeline.Close(s.Engine.Now())
+	}
+	name := s.Cfg.Benchmark.Name
+	if name == "" {
+		name = "custom"
+	}
+	return s.Collector.Finalize(name, s.Cfg.OCOR, s.CPU, s.Net), nil
+}
+
+// Benchmark looks up a catalog profile by name.
+func Benchmark(name string) (workload.Profile, error) { return workload.ByName(name) }
+
+// Catalog returns all 25 benchmark profiles.
+func Catalog() []workload.Profile { return workload.Catalog() }
+
+// RunBenchmark runs one catalog profile at the given scale.
+func RunBenchmark(p workload.Profile, threads int, ocor bool, seed uint64) (metrics.Results, error) {
+	sys, err := New(Config{Benchmark: p, Threads: threads, OCOR: ocor, Seed: seed})
+	if err != nil {
+		return metrics.Results{}, err
+	}
+	return sys.Run()
+}
+
+// Compare runs a profile with and without OCOR under identical seeds and
+// returns both results (the paper's Original vs OCOR comparison).
+func Compare(p workload.Profile, threads int, seed uint64) (base, ocor metrics.Results, err error) {
+	base, err = RunBenchmark(p, threads, false, seed)
+	if err != nil {
+		return
+	}
+	ocor, err = RunBenchmark(p, threads, true, seed)
+	return
+}

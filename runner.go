@@ -1,0 +1,56 @@
+package repro
+
+import (
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// init installs the platform entry points into the experiments package,
+// which cannot import this package directly.
+func init() {
+	experiments.SetRunner(experimentRun, experimentTrace)
+}
+
+// experimentRun is the experiments.Runner backed by the full platform.
+func experimentRun(p workload.Profile, threads int, ocor bool, levels int, seed uint64) (metrics.Results, error) {
+	cfg := Config{Benchmark: p, Threads: threads, OCOR: ocor, Seed: seed}
+	if levels > 0 {
+		cfg.PriorityLevels = levels
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		return metrics.Results{}, err
+	}
+	return sys.Run()
+}
+
+// experimentTrace is the experiments.TraceRunner: it runs with timeline
+// recording enabled and renders the first window cycles of the first
+// traceThreads threads (window 0 selects 1/8 of the run, mirroring the
+// paper's 3000-cycle excerpt).
+func experimentTrace(p workload.Profile, threads int, ocor bool, seed uint64, traceThreads int, window uint64) (metrics.Results, string, error) {
+	sys, err := New(Config{Benchmark: p, Threads: threads, OCOR: ocor, Seed: seed, Trace: true})
+	if err != nil {
+		return metrics.Results{}, "", err
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return metrics.Results{}, "", err
+	}
+	if window == 0 {
+		window = res.ROIFinish / 8
+		if window == 0 {
+			window = res.ROIFinish
+		}
+	}
+	col := window / 60
+	if col == 0 {
+		col = 1
+	}
+	return res, sys.Timeline.RenderString(traceThreads, window, col), nil
+}
+
+// Experiments re-exports the experiment options type for cmd binaries and
+// library users.
+type Experiments = experiments.Options
