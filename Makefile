@@ -1,0 +1,26 @@
+# Development shortcuts; CI (.github/workflows/ci.yml) runs `make check`
+# equivalents step by step.
+
+GO ?= go
+
+.PHONY: build vet test race check bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent code paths: the bounded-parallelism helper, the
+# experiment harness that fans simulations out over it, and the simulation
+# engine it drives.
+race:
+	$(GO) test -race ./internal/par/... ./internal/experiments/... ./internal/sim/...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/noc/ .

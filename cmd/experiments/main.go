@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/export"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -27,12 +28,26 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "simulation seed")
 		scale   = flag.Float64("scale", 1.0, "iteration scale factor (smaller = faster)")
 		quick   = flag.Bool("quick", false, "run a representative benchmark subset")
+		jobs    = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		verbose = flag.Bool("v", true, "print per-run progress")
 		csvDir  = flag.String("csv", "", "also write figure/table CSV files into this directory")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
-	opt := experiments.Options{Threads: *threads, Seed: *seed, Scale: *scale, Quick: *quick}
+	stopCPU, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := profiling.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}()
+
+	opt := experiments.Options{Threads: *threads, Seed: *seed, Scale: *scale, Quick: *quick, Jobs: *jobs}
 	want := map[string]bool{}
 	for _, name := range strings.Split(*runList, ",") {
 		want[strings.TrimSpace(strings.ToLower(name))] = true

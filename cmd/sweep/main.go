@@ -6,7 +6,7 @@
 //
 //	sweep -bench botss -threads 4,16,32,64
 //	sweep -bench can -levels 1,2,4,8,16 -threads 64
-//	sweep -bench body -seeds 5 > body.csv
+//	sweep -bench body -seeds 5 -j 4 > body.csv
 package main
 
 import (
@@ -19,7 +19,16 @@ import (
 
 	"repro"
 	"repro/internal/metrics"
+	"repro/internal/par"
+	"repro/internal/profiling"
 )
+
+// cell is one grid point of the sweep.
+type cell struct {
+	threads int
+	levels  int
+	seed    uint64
+}
 
 func main() {
 	var (
@@ -28,8 +37,16 @@ func main() {
 		levels  = flag.String("levels", "8", "comma-separated OCOR priority-level counts")
 		seeds   = flag.Int("seeds", 1, "number of seeds per configuration")
 		scale   = flag.Float64("scale", 1.0, "iteration scale factor")
+		jobs    = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopCPU, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		fatal(err)
+	}
 
 	p, err := repro.Benchmark(*bench)
 	if err != nil {
@@ -37,37 +54,58 @@ func main() {
 	}
 	p = p.Scale(*scale)
 
+	var grid []cell
+	for _, th := range parseInts(*threads) {
+		for _, lv := range parseInts(*levels) {
+			for seed := uint64(1); seed <= uint64(*seeds); seed++ {
+				grid = append(grid, cell{threads: th, levels: lv, seed: seed})
+			}
+		}
+	}
+
 	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
 	_ = w.Write([]string{
 		"benchmark", "threads", "levels", "seed", "config",
 		"roi_finish", "total_coh", "spin_fraction", "sleeps",
 		"coh_improvement", "roi_improvement",
 	})
 
-	for _, th := range parseInts(*threads) {
-		for _, lv := range parseInts(*levels) {
-			for seed := uint64(1); seed <= uint64(*seeds); seed++ {
-				base, err := repro.RunBenchmark(p, th, false, seed)
-				if err != nil {
-					fatal(err)
-				}
-				sys, err := repro.New(repro.Config{
-					Benchmark: p, Threads: th, OCOR: true,
-					PriorityLevels: lv, Seed: seed,
-				})
-				if err != nil {
-					fatal(err)
-				}
-				ocor, err := sys.Run()
-				if err != nil {
-					fatal(err)
-				}
-				emit(w, p.Name, th, lv, seed, "baseline", base, 0, 0)
-				emit(w, p.Name, th, lv, seed, "ocor", ocor,
-					metrics.COHImprovement(base, ocor), metrics.ROIImprovement(base, ocor))
-			}
+	// Two independent simulations per grid cell: even index = baseline,
+	// odd = OCOR. The ordered emitter writes both CSV rows once the OCOR
+	// half completes, so row order matches the serial grid walk exactly
+	// regardless of -j.
+	var lastBase metrics.Results
+	_, err = par.Map(2*len(grid), *jobs, func(i int) (metrics.Results, error) {
+		c := grid[i/2]
+		if i%2 == 0 {
+			return repro.RunBenchmark(p, c.threads, false, c.seed)
 		}
+		sys, err := repro.New(repro.Config{
+			Benchmark: p, Threads: c.threads, OCOR: true,
+			PriorityLevels: c.levels, Seed: c.seed,
+		})
+		if err != nil {
+			return metrics.Results{}, err
+		}
+		return sys.Run()
+	}, func(i int, r metrics.Results) {
+		if i%2 == 0 {
+			lastBase = r
+			return
+		}
+		c := grid[i/2]
+		emit(w, p.Name, c.threads, c.levels, c.seed, "baseline", lastBase, 0, 0)
+		emit(w, p.Name, c.threads, c.levels, c.seed, "ocor", r,
+			metrics.COHImprovement(lastBase, r), metrics.ROIImprovement(lastBase, r))
+	})
+	w.Flush()
+	if err != nil {
+		fatal(err)
+	}
+
+	stopCPU()
+	if err := profiling.WriteHeap(*memProf); err != nil {
+		fatal(err)
 	}
 }
 

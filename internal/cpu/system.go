@@ -133,3 +133,8 @@ func (s *System) NextWake(now uint64) uint64 {
 	}
 	return sim.Never
 }
+
+// SetWaker implements sim.WakeSetter: every action scheduled on the shared
+// delay queue (including ones scheduled by other components' ticks, e.g. a
+// NoC delivery callback) forwards its cycle to the engine.
+func (s *System) SetWaker(w sim.Waker) { s.delay.SetNotify(w.Wake) }

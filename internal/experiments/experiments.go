@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/workload"
 )
 
@@ -29,6 +30,11 @@ type Options struct {
 	// Quick restricts suite-wide experiments to a representative subset
 	// of benchmarks.
 	Quick bool
+	// Jobs bounds how many independent simulations run concurrently
+	// (0 = GOMAXPROCS). Results and progress output are independent of
+	// the setting: every simulation is seeded individually and reports
+	// are assembled in catalog order.
+	Jobs int
 }
 
 // withDefaults normalises unset options.
@@ -114,25 +120,46 @@ func RunSuite(o Options, progress io.Writer) ([]BenchResult, error) {
 	if runner == nil {
 		return nil, fmt.Errorf("experiments: no runner installed")
 	}
-	var out []BenchResult
-	for _, p := range o.profiles() {
-		p = p.Scale(o.Scale)
-		if progress != nil {
-			fmt.Fprintf(progress, "running %-8s (%s, cs=%s net=%s) ... ", p.Name, p.Suite, p.CSRate, p.NetUtil)
-		}
-		base, err := run(p, o.Threads, false, o.Seed)
+	profs := o.profiles()
+	scaled := make([]workload.Profile, len(profs))
+	for i, p := range profs {
+		scaled[i] = p.Scale(o.Scale)
+	}
+	// Two independent jobs per benchmark: even index = baseline, odd =
+	// OCOR. The ordered emitter prints one combined progress line per
+	// benchmark once its OCOR half (the higher index) completes, so the
+	// output bytes match the serial loop regardless of Jobs.
+	var lastBase metrics.Results
+	res, err := par.Map(2*len(scaled), o.Jobs, func(i int) (metrics.Results, error) {
+		p := scaled[i/2]
+		ocor := i%2 == 1
+		r, err := run(p, o.Threads, ocor, o.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s baseline: %w", p.Name, err)
+			kind := "baseline"
+			if ocor {
+				kind = "ocor"
+			}
+			return metrics.Results{}, fmt.Errorf("experiments: %s %s: %w", p.Name, kind, err)
 		}
-		ocor, err := run(p, o.Threads, true, o.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s ocor: %w", p.Name, err)
+		return r, nil
+	}, func(i int, v metrics.Results) {
+		if i%2 == 0 {
+			lastBase = v
+			return
 		}
-		br := BenchResult{Profile: p, Base: base, OCOR: ocor}
 		if progress != nil {
-			fmt.Fprintf(progress, "COH -%.1f%%  ROI -%.1f%%\n", 100*br.COHImprovement(), 100*br.ROIImprovement())
+			p := scaled[i/2]
+			br := BenchResult{Profile: p, Base: lastBase, OCOR: v}
+			fmt.Fprintf(progress, "running %-8s (%s, cs=%s net=%s) ... COH -%.1f%%  ROI -%.1f%%\n",
+				p.Name, p.Suite, p.CSRate, p.NetUtil, 100*br.COHImprovement(), 100*br.ROIImprovement())
 		}
-		out = append(out, br)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BenchResult, len(scaled))
+	for i, p := range scaled {
+		out[i] = BenchResult{Profile: p, Base: res[2*i], OCOR: res[2*i+1]}
 	}
 	return out, nil
 }

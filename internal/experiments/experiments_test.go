@@ -1,8 +1,13 @@
 package experiments
 
 import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/workload"
@@ -253,3 +258,82 @@ func TestNoRunnerInstalled(t *testing.T) {
 		t.Fatal("missing runner not detected in fig16")
 	}
 }
+
+// slowFakeRunner adds a tiny index-dependent delay so parallel completions
+// arrive out of order, stressing the ordered reassembly.
+func slowFakeRunner(p workload.Profile, threads int, ocor bool, levels int, seed uint64) (metrics.Results, error) {
+	d := time.Duration(len(p.Name)%3) * time.Millisecond
+	if ocor {
+		d += time.Millisecond
+	}
+	time.Sleep(d)
+	return fakeRunner(p, threads, ocor, levels, seed)
+}
+
+// TestParallelMatchesSerial checks that RunSuite, Fig15 and Fig16 return the
+// same results and identical progress bytes for any Jobs setting.
+func TestParallelMatchesSerial(t *testing.T) {
+	oldR, oldT := runner, tracer
+	SetRunner(slowFakeRunner, fakeTracer)
+	t.Cleanup(func() { SetRunner(oldR, oldT) })
+
+	type harness struct {
+		name string
+		run  func(o Options, w io.Writer) (any, error)
+	}
+	harnesses := []harness{
+		{"RunSuite", func(o Options, w io.Writer) (any, error) { return RunSuite(o, w) }},
+		{"Fig15", func(o Options, w io.Writer) (any, error) { return Fig15(o, w) }},
+		{"Fig16", func(o Options, w io.Writer) (any, error) { return Fig16(o, w) }},
+	}
+	for _, h := range harnesses {
+		var wantRes any
+		var wantOut string
+		for i, jobs := range []int{1, 2, 8} {
+			o := Options{Quick: true, Jobs: jobs}
+			var buf bytes.Buffer
+			res, err := h.run(o, &buf)
+			if err != nil {
+				t.Fatalf("%s jobs=%d: %v", h.name, jobs, err)
+			}
+			if i == 0 {
+				wantRes, wantOut = res, buf.String()
+				continue
+			}
+			if !reflect.DeepEqual(res, wantRes) {
+				t.Fatalf("%s: jobs=%d results differ from jobs=1", h.name, jobs)
+			}
+			if buf.String() != wantOut {
+				t.Fatalf("%s: jobs=%d progress differs from jobs=1:\n%s\nvs\n%s", h.name, jobs, buf.String(), wantOut)
+			}
+		}
+	}
+}
+
+// TestRunSuiteErrorIsDeterministic makes sure a failing benchmark surfaces
+// the same error regardless of parallelism.
+func TestRunSuiteErrorIsDeterministic(t *testing.T) {
+	oldR, oldT := runner, tracer
+	SetRunner(func(p workload.Profile, threads int, ocor bool, levels int, seed uint64) (metrics.Results, error) {
+		if p.Name == "can" && ocor {
+			return metrics.Results{}, errForced
+		}
+		return fakeRunner(p, threads, ocor, levels, seed)
+	}, fakeTracer)
+	t.Cleanup(func() { SetRunner(oldR, oldT) })
+
+	var want string
+	for _, jobs := range []int{1, 4} {
+		_, err := RunSuite(Options{Quick: true, Jobs: jobs}, nil)
+		if err == nil {
+			t.Fatalf("jobs=%d: expected error", jobs)
+		}
+		if want == "" {
+			want = err.Error()
+		} else if err.Error() != want {
+			t.Fatalf("jobs=%d error %q, want %q", jobs, err.Error(), want)
+		}
+	}
+}
+
+var errForced = errors.New("forced failure")

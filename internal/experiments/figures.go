@@ -3,6 +3,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/par"
 )
 
 // ---------------------------------------------------------------- Fig 2 --
@@ -273,26 +276,44 @@ func Fig15(o Options, progress io.Writer) ([]Fig15Row, error) {
 	if runner == nil {
 		return nil, fmt.Errorf("experiments: no runner installed")
 	}
+	profs := o.profiles()
+	nt := len(Fig15Threads)
+	// Index layout: ((profile*nt)+thread)*2 + ocorBit — every (benchmark,
+	// thread count, config) triple is an independent simulation.
+	var lastBase metrics.Results
+	res, err := par.Map(len(profs)*nt*2, o.Jobs, func(i int) (metrics.Results, error) {
+		p := profs[i/(nt*2)].Scale(o.Scale)
+		th := Fig15Threads[(i/2)%nt]
+		return run(p, th, i%2 == 1, o.Seed)
+	}, func(i int, v metrics.Results) {
+		// The emitter runs in index order, so the paired baseline (i-1)
+		// arrived just before its OCOR result.
+		if i%2 == 0 {
+			lastBase = v
+			return
+		}
+		if progress != nil {
+			norm := 1.0
+			if lastBase.TotalCOH > 0 {
+				norm = float64(v.TotalCOH) / float64(lastBase.TotalCOH)
+			}
+			fmt.Fprintf(progress, "fig15 %-8s %2d threads: normalised COH %s\n",
+				profs[i/(nt*2)].Name, Fig15Threads[(i/2)%nt], pct(norm))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig15Row
-	for _, p := range o.profiles() {
-		p := p.Scale(o.Scale)
-		for _, th := range Fig15Threads {
-			base, err := run(p, th, false, o.Seed)
-			if err != nil {
-				return nil, err
-			}
-			ocor, err := run(p, th, true, o.Seed)
-			if err != nil {
-				return nil, err
-			}
+	for pi, p := range profs {
+		for ti, th := range Fig15Threads {
+			base := res[((pi*nt)+ti)*2]
+			ocor := res[((pi*nt)+ti)*2+1]
 			norm := 1.0
 			if base.TotalCOH > 0 {
 				norm = float64(ocor.TotalCOH) / float64(base.TotalCOH)
 			}
 			out = append(out, Fig15Row{Name: p.Name, Threads: th, NormalizedCOH: norm})
-			if progress != nil {
-				fmt.Fprintf(progress, "fig15 %-8s %2d threads: normalised COH %s\n", p.Name, th, pct(norm))
-			}
 		}
 	}
 	return out, nil
@@ -346,30 +367,51 @@ func Fig16(o Options, progress io.Writer) ([]Fig16Row, error) {
 	if runner == nil {
 		return nil, fmt.Errorf("experiments: no runner installed")
 	}
-	var out []Fig16Row
-	for _, name := range Fig16Benchmarks {
+	profs := make([]profileT, len(Fig16Benchmarks))
+	for i, name := range Fig16Benchmarks {
 		p, err := byName(name)
 		if err != nil {
 			return nil, err
 		}
-		p = p.Scale(o.Scale)
-		base, err := run(p, o.Threads, false, o.Seed)
-		if err != nil {
-			return nil, err
+		profs[i] = p.Scale(o.Scale)
+	}
+	// Index layout: per benchmark one baseline (stride offset 0) followed
+	// by one OCOR run per priority-level count.
+	stride := 1 + len(Fig16Levels)
+	var lastBase metrics.Results
+	res, err := par.Map(len(profs)*stride, o.Jobs, func(i int) (metrics.Results, error) {
+		p := profs[i/stride]
+		if i%stride == 0 {
+			return run(p, o.Threads, false, o.Seed)
 		}
-		for _, lv := range Fig16Levels {
-			ocor, err := runner(p, o.Threads, true, lv, o.Seed)
-			if err != nil {
-				return nil, err
+		return runner(p, o.Threads, true, Fig16Levels[i%stride-1], o.Seed)
+	}, func(i int, v metrics.Results) {
+		if i%stride == 0 {
+			lastBase = v
+			return
+		}
+		if progress != nil {
+			imp := 0.0
+			if lastBase.TotalCOH > 0 {
+				imp = 1 - float64(v.TotalCOH)/float64(lastBase.TotalCOH)
 			}
+			fmt.Fprintf(progress, "fig16 %-8s %2d levels: COH improvement %s\n",
+				profs[i/stride].Name, Fig16Levels[i%stride-1], pct(imp))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig16Row
+	for bi, p := range profs {
+		base := res[bi*stride]
+		for li, lv := range Fig16Levels {
+			ocor := res[bi*stride+1+li]
 			imp := 0.0
 			if base.TotalCOH > 0 {
 				imp = 1 - float64(ocor.TotalCOH)/float64(base.TotalCOH)
 			}
-			out = append(out, Fig16Row{Name: name, Levels: lv, COHImprovement: imp})
-			if progress != nil {
-				fmt.Fprintf(progress, "fig16 %-8s %2d levels: COH improvement %s\n", name, lv, pct(imp))
-			}
+			out = append(out, Fig16Row{Name: p.Name, Levels: lv, COHImprovement: imp})
 		}
 	}
 	return out, nil

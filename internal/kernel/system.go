@@ -116,6 +116,11 @@ func (s *System) NextWake(now uint64) uint64 {
 	return sim.Never
 }
 
+// SetWaker implements sim.WakeSetter: every action scheduled on the shared
+// delay queue (including ones scheduled by other components' ticks, e.g. a
+// NoC delivery callback) forwards its cycle to the engine.
+func (s *System) SetWaker(w sim.Waker) { s.delay.SetNotify(w.Wake) }
+
 // Pending reports in-flight lock operations (for quiescence checks).
 func (s *System) Pending() int {
 	n := s.delay.Len()

@@ -6,6 +6,8 @@
 package metrics
 
 import (
+	"sort"
+
 	"repro/internal/cpu"
 	"repro/internal/kernel"
 	"repro/internal/noc"
@@ -228,9 +230,17 @@ func SpinFractionGain(base, ocor Results) float64 {
 // within VCs and slow-progress threads are boosted; this index quantifies
 // that claim for a run.
 func (c *Collector) JainFairness() float64 {
+	// Iterate threads in id order: float summation order must not depend
+	// on map iteration, or the index's low bits vary run to run.
+	ids := make([]int, 0, len(c.perThread))
+	for id := range c.perThread {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	var sum, sumSq float64
 	n := 0
-	for _, tm := range c.perThread {
+	for _, id := range ids {
+		tm := c.perThread[id]
 		if tm.Acquisitions == 0 {
 			continue
 		}

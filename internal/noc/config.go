@@ -121,6 +121,10 @@ func (c *Config) Validate() error {
 	if c.VCs < NumVNets {
 		return fmt.Errorf("noc: need at least %d VCs (one per virtual network), got %d", NumVNets, c.VCs)
 	}
+	if c.VCs > 64 {
+		// The router tracks per-port VC state in 64-bit masks.
+		return fmt.Errorf("noc: at most 64 VCs per port, got %d", c.VCs)
+	}
 	if c.VCDepth <= 0 {
 		c.VCDepth = 4
 	}

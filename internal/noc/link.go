@@ -19,18 +19,56 @@ type creditEvent struct {
 
 // link is a unidirectional flit channel with its reverse credit channel.
 // Events are appended in increasing `at` order (every sender stamps
-// now+LinkLatency), so the pending slices are FIFO.
+// now+LinkLatency), so the pending slices are FIFO. act points at the
+// owning network's activity counter; every event in flight contributes one
+// unit, which is what makes Network.Busy O(1).
+//
+// flitRecv/creditRecv, when non-nil, name the router input/output port that
+// consumes this link's flit/credit events. Such links enqueue themselves on
+// the network's pending lists on first send, so Network.Tick visits only
+// links that hold events instead of scanning every port. Links whose events
+// are consumed by an NI leave the receiver nil and are drained by the
+// ordered NI phases (NI order is visible through delivery callbacks, so it
+// must stay index-sequential).
 type link struct {
 	flits   []flitEvent
 	credits []creditEvent
+	act     *int
+
+	net        *Network
+	flitRecv   *Router
+	flitDir    Dir
+	creditRecv *Router
+	creditDir  Dir
+
+	flitQueued   bool
+	creditQueued bool
 }
 
 func (l *link) sendFlit(f flit, vc int, at uint64) {
 	l.flits = append(l.flits, flitEvent{f: f, vc: vc, at: at})
+	*l.act++
+	if l.flitRecv != nil {
+		if !l.flitQueued {
+			l.flitQueued = true
+			l.net.pendFlits = append(l.net.pendFlits, l)
+		}
+	} else {
+		l.net.niEvents++
+	}
 }
 
 func (l *link) sendCredit(vc int, freeVC bool, at uint64) {
 	l.credits = append(l.credits, creditEvent{vc: vc, freeVC: freeVC, at: at})
+	*l.act++
+	if l.creditRecv != nil {
+		if !l.creditQueued {
+			l.creditQueued = true
+			l.net.pendCredits = append(l.net.pendCredits, l)
+		}
+	} else {
+		l.net.niEvents++
+	}
 }
 
 // dueFlits removes and returns the prefix of flit events due at or before
@@ -46,6 +84,10 @@ func (l *link) dueFlits(now uint64, scratch []flitEvent) []flitEvent {
 	}
 	scratch = append(scratch[:0], l.flits[:n]...)
 	l.flits = l.flits[:copy(l.flits, l.flits[n:])]
+	*l.act -= n
+	if l.flitRecv == nil {
+		l.net.niEvents -= n
+	}
 	return scratch
 }
 
@@ -60,6 +102,10 @@ func (l *link) dueCredits(now uint64, scratch []creditEvent) []creditEvent {
 	}
 	scratch = append(scratch[:0], l.credits[:n]...)
 	l.credits = l.credits[:copy(l.credits, l.credits[n:])]
+	*l.act -= n
+	if l.creditRecv == nil {
+		l.net.niEvents -= n
+	}
 	return scratch
 }
 

@@ -35,6 +35,25 @@ type Network struct {
 	localDelay uint64
 	loopback   []loopbackEvent
 
+	// activity counts every unit of in-flight work: link events (flits and
+	// credits), router-buffered flits, NI packets (waiting or streaming) and
+	// pending loopback deliveries. Links, routers and NIs all mutate it
+	// through shared pointers, making Busy O(1) instead of an O(nodes) scan.
+	activity int
+	// pendFlits/pendCredits list the router-consumed links currently holding
+	// undelivered events, so Tick skips the hundreds of empty ports.
+	pendFlits   []*link
+	pendCredits []*link
+	// Sub-counts of activity gating individual Tick phases: NI-consumed
+	// link events (phase 2), router-buffered flits (phase 4) and NI-queued
+	// packets (phase 5). A phase whose count is zero is a provable no-op.
+	niEvents    int
+	routerFlits int
+	queuedPkts  int
+	// waker, when set, is notified on Send so an event-driven engine learns
+	// the network has work without polling it.
+	waker sim.Waker
+
 	scratchF  []flitEvent
 	scratchC  []creditEvent
 	scratchLB []loopbackEvent
@@ -54,9 +73,10 @@ func NewNetwork(cfg Config) (*Network, error) {
 	nodes := cfg.Nodes()
 	n.Routers = make([]*Router, nodes)
 	n.NIs = make([]*NI, nodes)
+	act := &n.activity
 	for i := 0; i < nodes; i++ {
-		n.Routers[i] = newRouter(&n.Cfg, i)
-		n.NIs[i] = newNI(&n.Cfg, i)
+		n.Routers[i] = newRouter(&n.Cfg, i, act, &n.routerFlits)
+		n.NIs[i] = newNI(&n.Cfg, i, act, &n.queuedPkts)
 	}
 	// Wire neighbour links. For each adjacent pair create two directed
 	// links. opposite(d) is the receiving side's port.
@@ -65,8 +85,8 @@ func NewNetwork(cfg Config) (*Network, error) {
 		x, y := cfg.XY(i)
 		if x+1 < cfg.Width {
 			nbr := n.Routers[cfg.Node(x+1, y)]
-			east := &link{}
-			west := &link{}
+			east := &link{act: act}
+			west := &link{act: act}
 			r.outLink[East] = east
 			nbr.inLink[West] = east
 			nbr.outLink[West] = west
@@ -74,16 +94,16 @@ func NewNetwork(cfg Config) (*Network, error) {
 		}
 		if y+1 < cfg.Height {
 			nbr := n.Routers[cfg.Node(x, y+1)]
-			south := &link{}
-			north := &link{}
+			south := &link{act: act}
+			north := &link{act: act}
 			r.outLink[South] = south
 			nbr.inLink[North] = south
 			nbr.outLink[North] = north
 			r.inLink[South] = north
 		}
 		// NI <-> router local port.
-		inj := &link{}
-		ej := &link{}
+		inj := &link{act: act}
+		ej := &link{act: act}
 		n.NIs[i].toRouter = inj
 		r.inLink[Local] = inj
 		r.outLink[Local] = ej
@@ -91,6 +111,24 @@ func NewNetwork(cfg Config) (*Network, error) {
 	}
 	for i := 0; i < nodes; i++ {
 		n.NIs[i].onDeliver = n.recordDelivery
+	}
+	// Register event consumers: a router consumes the flits of each of its
+	// input links and the credits of each of its output links. Links that
+	// appear in neither set (the NI sides of the local ports) are drained by
+	// the NI phases.
+	for _, r := range n.Routers {
+		for d := Dir(0); d < NumDirs; d++ {
+			if l := r.inLink[d]; l != nil {
+				l.net = n
+				l.flitRecv = r
+				l.flitDir = d
+			}
+			if l := r.outLink[d]; l != nil {
+				l.net = n
+				l.creditRecv = r
+				l.creditDir = d
+			}
+		}
 	}
 	return n, nil
 }
@@ -141,34 +179,65 @@ func (n *Network) Send(now uint64, pkt *Packet) {
 		pkt.EnqueuedAt = now
 		pkt.InjectedAt = now
 		n.loopback = append(n.loopback, loopbackEvent{pkt: pkt, at: now + n.localDelay})
-		return
+		n.activity++
+	} else {
+		n.NIs[pkt.Src].enqueue(now, pkt)
 	}
-	n.NIs[pkt.Src].enqueue(now, pkt)
+	if n.waker != nil {
+		n.waker.Wake(now + 1)
+	}
 }
+
+// SetWaker implements sim.WakeSetter: the network pushes a wake
+// notification on every Send instead of being polled each cycle.
+func (n *Network) SetWaker(w sim.Waker) { n.waker = w }
 
 // Tick implements sim.Component.
 func (n *Network) Tick(now uint64) {
 	// Phase 1: commit link events due this cycle into router buffers and
-	// NI/router credit state.
-	for _, r := range n.Routers {
-		for d := Dir(0); d < NumDirs; d++ {
-			if l := r.inLink[d]; l != nil && len(l.flits) > 0 {
+	// router credit state. Only links holding events are on the pending
+	// lists; commits to distinct (router, port) pairs are independent, so
+	// list order (send order) yields the same state as the full port scan.
+	if len(n.pendFlits) > 0 {
+		keep := n.pendFlits[:0]
+		for _, l := range n.pendFlits {
+			if l.flits[0].at <= now {
 				n.scratchF = l.dueFlits(now, n.scratchF)
-				r.commit(now, n.scratchF, d)
+				l.flitRecv.commit(now, n.scratchF, l.flitDir)
 			}
-			if l := r.outLink[d]; l != nil && len(l.credits) > 0 {
-				n.scratchC = l.dueCredits(now, n.scratchC)
-				r.commitCredits(n.scratchC, d)
+			if len(l.flits) > 0 {
+				keep = append(keep, l)
+			} else {
+				l.flitQueued = false
 			}
 		}
+		n.pendFlits = keep
 	}
-	// Phase 2: NIs eject and absorb credits.
-	for _, ni := range n.NIs {
-		if len(ni.fromRouter.flits) > 0 {
-			ni.eject(now)
+	if len(n.pendCredits) > 0 {
+		keep := n.pendCredits[:0]
+		for _, l := range n.pendCredits {
+			if l.credits[0].at <= now {
+				n.scratchC = l.dueCredits(now, n.scratchC)
+				l.creditRecv.commitCredits(n.scratchC, l.creditDir)
+			}
+			if len(l.credits) > 0 {
+				keep = append(keep, l)
+			} else {
+				l.creditQueued = false
+			}
 		}
-		if len(ni.toRouter.credits) > 0 {
-			ni.commitCredits(now)
+		n.pendCredits = keep
+	}
+	// Phase 2: NIs eject and absorb credits, in node order (delivery
+	// callbacks are order-sensitive).
+	if n.niEvents > 0 {
+		for _, ni := range n.NIs {
+			if len(ni.fromRouter.flits) > 0 {
+				ni.eject(now)
+			}
+			if len(ni.toRouter.credits) > 0 {
+				ni.commitCredits(now)
+			}
 		}
 	}
 	// Phase 3: loopback deliveries. Copy the due prefix out first: sinks
@@ -180,6 +249,7 @@ func (n *Network) Tick(now uint64) {
 		}
 		n.scratchLB = append(n.scratchLB[:0], n.loopback[:k]...)
 		n.loopback = n.loopback[:copy(n.loopback, n.loopback[k:])]
+		n.activity -= k
 		for _, ev := range n.scratchLB {
 			ev.pkt.DeliveredAt = now
 			n.Stats.LocalDeliveries++
@@ -190,13 +260,17 @@ func (n *Network) Tick(now uint64) {
 		}
 	}
 	// Phase 4: router allocation and traversal.
-	for _, r := range n.Routers {
-		r.tick(now)
+	if n.routerFlits > 0 {
+		for _, r := range n.Routers {
+			r.tick(now)
+		}
 	}
 	// Phase 5: NI injection.
-	for _, ni := range n.NIs {
-		if ni.QueuedPkts > 0 {
-			ni.inject(now)
+	if n.queuedPkts > 0 {
+		for _, ni := range n.NIs {
+			if ni.QueuedPkts > 0 {
+				ni.inject(now)
+			}
 		}
 	}
 }
@@ -216,8 +290,19 @@ func (n *Network) NextWake(now uint64) uint64 {
 	return sim.Never
 }
 
-// Busy reports whether any traffic is in flight.
+// Busy reports whether any traffic is in flight. It reads the maintained
+// activity counter, so it is O(1); scanBusy is the reference O(nodes)
+// implementation kept for cross-checking in tests.
 func (n *Network) Busy() bool {
+	if n.activity < 0 {
+		panic(fmt.Sprintf("noc: activity counter went negative (%d)", n.activity))
+	}
+	return n.activity > 0
+}
+
+// scanBusy recomputes Busy by walking every router, link and NI. Tests
+// assert it always agrees with the incremental counter.
+func (n *Network) scanBusy() bool {
 	if len(n.loopback) > 0 {
 		return true
 	}

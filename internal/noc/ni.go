@@ -42,6 +42,12 @@ type NI struct {
 	sink      func(now uint64, pkt *Packet)
 	onDeliver func(pkt *Packet)
 
+	// act points at the network-wide activity counter; each waiting or
+	// streaming packet contributes one unit. qp mirrors QueuedPkts into the
+	// network's queued-packet total, which gates the injection phase.
+	act *int
+	qp  *int
+
 	// Stats
 	Injected   [NumClasses]uint64
 	Delivered  [NumClasses]uint64
@@ -52,8 +58,8 @@ type NI struct {
 	scratchC []creditEvent
 }
 
-func newNI(cfg *Config, node int) *NI {
-	ni := &NI{cfg: cfg, node: node}
+func newNI(cfg *Config, node int, act, qp *int) *NI {
+	ni := &NI{cfg: cfg, node: node, act: act, qp: qp}
 	ni.outCredits = make([]int, cfg.VCs)
 	ni.outAlloc = make([]bool, cfg.VCs)
 	for v := range ni.outCredits {
@@ -71,6 +77,8 @@ func (ni *NI) enqueue(now uint64, pkt *Packet) {
 	pkt.EnqueuedAt = now
 	ni.queues[pkt.VNet] = append(ni.queues[pkt.VNet], pkt)
 	ni.QueuedPkts++
+	*ni.act++
+	*ni.qp++
 }
 
 // eject absorbs flits delivered by the router this cycle, returning one
@@ -172,6 +180,8 @@ func (ni *NI) inject(now uint64) {
 	if st.next == st.pkt.Size {
 		ni.active[best] = nil
 		ni.QueuedPkts--
+		*ni.act--
+		*ni.qp--
 	}
 }
 

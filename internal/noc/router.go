@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/core"
 )
@@ -15,22 +16,37 @@ const (
 	vcActive                // output VC allocated, flits compete for switch
 )
 
-// vcBuf is one input virtual channel: a FIFO of flits plus the per-packet
-// pipeline state.
+// vcBuf is one input virtual channel: a fixed-capacity ring FIFO of flits
+// (backing storage allocated once at VCDepth and reused across packets)
+// plus the per-packet pipeline state.
 type vcBuf struct {
-	flits  []flit
+	flits  []flit // ring storage; len == VCDepth
+	hd     int    // index of the oldest flit
+	n      int    // occupied slots
 	state  vcState
 	outDir Dir
 	outVC  int
 }
 
-func (v *vcBuf) head() *flit { return &v.flits[0] }
+func (v *vcBuf) head() *flit { return &v.flits[v.hd] }
 
-func (v *vcBuf) push(f flit) { v.flits = append(v.flits, f) }
+func (v *vcBuf) push(f flit) {
+	i := v.hd + v.n
+	if i >= len(v.flits) {
+		i -= len(v.flits)
+	}
+	v.flits[i] = f
+	v.n++
+}
 
 func (v *vcBuf) pop() flit {
-	f := v.flits[0]
-	v.flits = v.flits[:copy(v.flits, v.flits[1:])]
+	f := v.flits[v.hd]
+	v.flits[v.hd] = flit{} // drop the packet reference
+	v.hd++
+	if v.hd == len(v.flits) {
+		v.hd = 0
+	}
+	v.n--
 	return f
 }
 
@@ -77,12 +93,35 @@ type Router struct {
 	// flitCount is the total number of buffered flits; the router is
 	// skipped entirely when zero.
 	flitCount int
+	// portFlits counts buffered flits per input port, so allocation skips
+	// empty ports without scanning their VCs. portRouted / portActive count
+	// that port's VCs in the vcRouted / vcActive states for the same reason.
+	portFlits  [NumDirs]int
+	portRouted [NumDirs]int
+	portActive [NumDirs]int
+	// routedMask / activeMask mirror portRouted / portActive as per-port
+	// bitmasks (bit v = VC v), letting the allocators iterate exactly the
+	// VCs in the wanted state instead of testing all of them.
+	routedMask [NumDirs]uint64
+	activeMask [NumDirs]uint64
+	// routedCount / activeCount track how many input VCs sit in the
+	// vcRouted / vcActive states, gating VA and SA respectively.
+	routedCount int
+	activeCount int
+	// act points at the network-wide activity counter; buffered flits
+	// contribute one unit each. rf mirrors flitCount into the network's
+	// router-flit total, which gates the router phase of Network.Tick.
+	act *int
+	rf  *int
 
 	Stats RouterStats
 
-	// scratch buffers reused across cycles to avoid allocation.
-	vaReqs  []vaReq
-	saCands []saCand
+	// scratch buffers reused across cycles to avoid allocation. vaPerOut
+	// groups VA requests by output direction in a single input scan;
+	// vaPrios caches head-flit priorities for the priority VA arbiter.
+	vaPerOut [NumDirs][]vaReq
+	vaPrios  []core.Priority
+	saCands  []saCand
 }
 
 type vaReq struct {
@@ -95,13 +134,13 @@ type saCand struct {
 	vc  int
 }
 
-func newRouter(cfg *Config, id int) *Router {
-	r := &Router{cfg: cfg, id: id}
+func newRouter(cfg *Config, id int, act, rf *int) *Router {
+	r := &Router{cfg: cfg, id: id, act: act, rf: rf}
 	r.x, r.y = cfg.XY(id)
 	for d := Dir(0); d < NumDirs; d++ {
 		r.in[d] = make([]*vcBuf, cfg.VCs)
 		for v := 0; v < cfg.VCs; v++ {
-			r.in[d][v] = &vcBuf{flits: make([]flit, 0, cfg.VCDepth)}
+			r.in[d][v] = &vcBuf{flits: make([]flit, cfg.VCDepth)}
 		}
 		op := &outPort{credits: make([]int, cfg.VCs), alloc: make([]bool, cfg.VCs)}
 		for v := range op.credits {
@@ -147,7 +186,7 @@ func (r *Router) route(dst int) Dir {
 func (r *Router) commit(now uint64, fs []flitEvent, dir Dir) {
 	for _, ev := range fs {
 		vc := r.in[dir][ev.vc]
-		if len(vc.flits) >= r.cfg.VCDepth {
+		if vc.n >= r.cfg.VCDepth {
 			panic(fmt.Sprintf("noc: router %d dir %s vc %d buffer overflow", r.id, dir, ev.vc))
 		}
 		f := ev.f
@@ -158,9 +197,15 @@ func (r *Router) commit(now uint64, fs []flitEvent, dir Dir) {
 			}
 			vc.state = vcRouted
 			vc.outDir = r.route(f.pkt.Dst)
+			r.routedCount++
+			r.portRouted[dir]++
+			r.routedMask[dir] |= 1 << uint(ev.vc)
 		}
 		vc.push(f)
 		r.flitCount++
+		r.portFlits[dir]++
+		*r.act++
+		*r.rf++
 	}
 }
 
@@ -191,27 +236,35 @@ func (r *Router) tick(now uint64) {
 // vcRouted state. Under OCOR the grant order is the Table 1 priority
 // order; the baseline uses round-robin.
 func (r *Router) allocateVCs(now uint64) {
-	for outDir := Dir(0); outDir < NumDirs; outDir++ {
-		op := r.out[outDir]
-		reqs := r.vaReqs[:0]
-		for inDir := Dir(0); inDir < NumDirs; inDir++ {
-			if inDir == outDir {
-				continue // no u-turns in XY routing
-			}
-			for v, vc := range r.in[inDir] {
-				if vc.state != vcRouted || vc.outDir != outDir {
-					continue
-				}
-				if len(vc.flits) == 0 || now <= vc.head().enqueuedAt {
-					continue // not yet through stage one
-				}
-				reqs = append(reqs, vaReq{dir: inDir, vc: v})
+	if r.routedCount == 0 {
+		return
+	}
+	// Single pass over the input VCs, grouping requests by output
+	// direction. Requests land in each group in (inDir, vc) order —
+	// identical to the order the per-output scan produced, so the
+	// round-robin and priority arbiters see the exact same lists.
+	for d := range r.vaPerOut {
+		r.vaPerOut[d] = r.vaPerOut[d][:0]
+	}
+	for inDir := Dir(0); inDir < NumDirs; inDir++ {
+		// Bit iteration visits exactly the vcRouted VCs in ascending index
+		// order — the same order a full scan would.
+		for m := r.routedMask[inDir]; m != 0; m &= m - 1 {
+			v := bits.TrailingZeros64(m)
+			vc := r.in[inDir][v]
+			// Conditions in the original order: staged one cycle, no
+			// u-turns in XY routing.
+			if vc.n != 0 && now > vc.head().enqueuedAt && vc.outDir != inDir {
+				r.vaPerOut[vc.outDir] = append(r.vaPerOut[vc.outDir], vaReq{dir: inDir, vc: v})
 			}
 		}
-		r.vaReqs = reqs[:0]
+	}
+	for outDir := Dir(0); outDir < NumDirs; outDir++ {
+		reqs := r.vaPerOut[outDir]
 		if len(reqs) == 0 {
 			continue
 		}
+		op := r.out[outDir]
 		if r.cfg.Priority {
 			r.grantVAPriority(op, reqs)
 		} else {
@@ -221,21 +274,32 @@ func (r *Router) allocateVCs(now uint64) {
 }
 
 func (r *Router) grantVAPriority(op *outPort, reqs []vaReq) {
+	n := len(reqs)
+	// Priorities are stable for the duration of the grant loop (grants pop
+	// no flits); fetch each head's priority word once instead of chasing
+	// vcBuf -> flit -> packet pointers on every selection round.
+	prios := r.vaPrios[:0]
+	for _, req := range reqs {
+		prios = append(prios, r.in[req.dir][req.vc].head().pkt.Prio)
+	}
+	r.vaPrios = prios
 	// Repeatedly pick the highest-priority unserved request (ties broken by
 	// the rotating pointer) and hand it the first free VC in its vnet.
 	served := 0
-	for served < len(reqs) {
+	for served < n {
 		best := -1
 		var bestPrio core.Priority
-		n := len(reqs)
+		p := op.vaPtr % n
 		for i := 0; i < n; i++ {
-			idx := (op.vaPtr + i) % n
+			idx := p + i
+			if idx >= n {
+				idx -= n
+			}
 			if reqs[idx].dir == -1 {
 				continue
 			}
-			p := r.in[reqs[idx].dir][reqs[idx].vc].head().pkt.Prio
-			if best == -1 || core.Compare(p, bestPrio) > 0 {
-				best, bestPrio = idx, p
+			if best == -1 || core.Compare(prios[idx], bestPrio) > 0 {
+				best, bestPrio = idx, prios[idx]
 			}
 		}
 		if best == -1 {
@@ -249,16 +313,27 @@ func (r *Router) grantVAPriority(op *outPort, reqs []vaReq) {
 			// other vnets may still succeed, so keep scanning.
 			continue
 		}
-		op.vaPtr = (best + 1) % len(reqs)
+		op.vaPtr = best + 1
+		if op.vaPtr == len(reqs) {
+			op.vaPtr = 0
+		}
 	}
 }
 
 func (r *Router) grantVARoundRobin(op *outPort, reqs []vaReq) {
 	n := len(reqs)
+	p := op.vaPtr % n
 	for i := 0; i < n; i++ {
-		idx := (op.vaPtr + i) % n
+		idx := p + i
+		if idx >= n {
+			idx -= n
+		}
 		if r.tryAssignVC(op, reqs[idx]) {
-			op.vaPtr = (idx + 1) % n
+			op.vaPtr = idx + 1
+			if op.vaPtr == n {
+				op.vaPtr = 0
+			}
+			p = op.vaPtr
 		}
 	}
 }
@@ -271,6 +346,17 @@ func (r *Router) tryAssignVC(op *outPort, req vaReq) bool {
 	for v := lo; v < hi; v++ {
 		if !op.alloc[v] {
 			op.alloc[v] = true
+			if vc.state == vcRouted {
+				// The round-robin arbiter can revisit an index after its
+				// pointer advances and re-grant a VC that is already active;
+				// only genuine vcRouted->vcActive transitions are counted.
+				r.routedCount--
+				r.activeCount++
+				r.portRouted[req.dir]--
+				r.portActive[req.dir]++
+				r.routedMask[req.dir] &^= 1 << uint(req.vc)
+				r.activeMask[req.dir] |= 1 << uint(req.vc)
+			}
 			vc.state = vcActive
 			vc.outVC = v
 			r.Stats.VAGrants++
@@ -285,33 +371,43 @@ func (r *Router) tryAssignVC(op *outPort, req vaReq) bool {
 // global arbiter picks the winner. Winners traverse the switch immediately
 // (stage two).
 func (r *Router) allocateSwitch(now uint64) {
+	if r.activeCount == 0 {
+		return
+	}
 	// Stage 1: LPA per input port.
 	cands := r.saCands[:0]
 	for inDir := Dir(0); inDir < NumDirs; inDir++ {
+		mask := r.activeMask[inDir]
+		if mask == 0 || r.portFlits[inDir] == 0 {
+			continue // no active VC holding a flit on this port
+		}
 		best := -1
 		var bestPrio core.Priority
 		n := r.cfg.VCs
-		for i := 0; i < n; i++ {
-			v := (r.lpaPtr[inDir] + i) % n
-			vc := r.in[inDir][v]
-			if vc.state != vcActive || len(vc.flits) == 0 {
-				continue
-			}
-			if now <= vc.head().enqueuedAt {
-				continue // stage-one latency
-			}
-			if r.out[vc.outDir].credits[vc.outVC] <= 0 {
-				continue // no downstream buffer space
-			}
-			if best == -1 {
-				best, bestPrio = v, vc.head().pkt.Prio
-				if !r.cfg.Priority {
-					break // round-robin: first ready VC from the pointer wins
+		p := r.lpaPtr[inDir]
+		if p >= n {
+			p %= n
+		}
+		// Bit iteration over the active VCs in rotated order: indices
+		// [p, n) first, then [0, p) — the same circular visit order as a
+		// full scan starting at the pointer.
+		lo := uint64(1)<<uint(p) - 1
+	scan:
+		for _, m := range [2]uint64{mask &^ lo, mask & lo} {
+			for ; m != 0; m &= m - 1 {
+				v := bits.TrailingZeros64(m)
+				vc := r.in[inDir][v]
+				if vc.n != 0 && now > vc.head().enqueuedAt && // stage-one latency
+					r.out[vc.outDir].credits[vc.outVC] > 0 { // downstream space
+					if best == -1 {
+						best, bestPrio = v, vc.head().pkt.Prio
+						if !r.cfg.Priority {
+							break scan // round-robin: first ready VC from the pointer wins
+						}
+					} else if pr := vc.head().pkt.Prio; core.Compare(pr, bestPrio) > 0 {
+						best, bestPrio = v, pr
+					}
 				}
-				continue
-			}
-			if p := vc.head().pkt.Prio; core.Compare(p, bestPrio) > 0 {
-				best, bestPrio = v, p
 			}
 		}
 		if best >= 0 {
@@ -319,18 +415,46 @@ func (r *Router) allocateSwitch(now uint64) {
 		}
 	}
 	r.saCands = cands[:0]
+	if len(cands) == 0 {
+		return
+	}
+	if len(cands) == 1 {
+		// Single LPA winner: it is the sole (and winning) bidder at its
+		// output, and the rotating pointer lands back on 0 as (0+1)%1 does.
+		c := cands[0]
+		vc := r.in[c.dir][c.vc]
+		r.out[vc.outDir].saPtr = 0
+		r.traverse(now, c.dir, c.vc)
+		return
+	}
+	// bidCount tallies bidders per output, so each output's scan stops as
+	// soon as it has seen all of its own bidders (and outputs with none are
+	// skipped entirely).
+	var bidCount [NumDirs]int
+	for _, c := range cands {
+		bidCount[r.in[c.dir][c.vc].outDir]++
+	}
 
 	// Stage 2: per-output global arbitration among the LPA winners.
 	for outDir := Dir(0); outDir < NumDirs; outDir++ {
+		if bidCount[outDir] == 0 {
+			continue
+		}
 		op := r.out[outDir]
 		winner := -1
 		var winPrio core.Priority
 		bidders := 0
 		n := len(cands)
+		p := op.saPtr % n
 		for i := 0; i < n; i++ {
-			idx := (op.saPtr + i) % n
+			idx := p + i
+			if idx >= n {
+				idx -= n
+			}
 			c := cands[idx]
 			if c.dir == -1 {
+				// Already granted at an earlier output this cycle; its own
+				// output was that one, so it is not a bidder here.
 				continue
 			}
 			vc := r.in[c.dir][c.vc]
@@ -343,10 +467,11 @@ func (r *Router) allocateSwitch(now uint64) {
 				if !r.cfg.Priority {
 					break
 				}
-				continue
-			}
-			if p := vc.head().pkt.Prio; core.Compare(p, winPrio) > 0 {
+			} else if p := vc.head().pkt.Prio; core.Compare(p, winPrio) > 0 {
 				winner, winPrio = idx, p
+			}
+			if bidders == bidCount[outDir] {
+				break
 			}
 		}
 		if bidders > 1 {
@@ -355,7 +480,10 @@ func (r *Router) allocateSwitch(now uint64) {
 		if winner == -1 {
 			continue
 		}
-		op.saPtr = (winner + 1) % n
+		op.saPtr = winner + 1
+		if op.saPtr == n {
+			op.saPtr = 0
+		}
 		c := cands[winner]
 		cands[winner].dir = -1 // one crossbar grant per input port
 		r.traverse(now, c.dir, c.vc)
@@ -368,6 +496,9 @@ func (r *Router) traverse(now uint64, inDir Dir, vcIdx int) {
 	vc := r.in[inDir][vcIdx]
 	f := vc.pop()
 	r.flitCount--
+	r.portFlits[inDir]--
+	*r.act--
+	*r.rf--
 	op := r.out[vc.outDir]
 	op.credits[vc.outVC]--
 	at := now + uint64(r.cfg.LinkLatency)
@@ -379,10 +510,13 @@ func (r *Router) traverse(now uint64, inDir Dir, vcIdx int) {
 		f.pkt.Hops++
 	}
 	if f.isTail() {
-		if len(vc.flits) != 0 {
-			panic(fmt.Sprintf("noc: router %d tail left dir %s vc %d with %d flits behind", r.id, inDir, vcIdx, len(vc.flits)))
+		if vc.n != 0 {
+			panic(fmt.Sprintf("noc: router %d tail left dir %s vc %d with %d flits behind", r.id, inDir, vcIdx, vc.n))
 		}
 		vc.state = vcIdle
+		r.activeCount--
+		r.portActive[inDir]--
+		r.activeMask[inDir] &^= 1 << uint(vcIdx)
 	}
 }
 

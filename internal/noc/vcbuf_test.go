@@ -1,0 +1,51 @@
+package noc
+
+import "testing"
+
+// TestVCBufRing exercises the fixed-capacity ring buffer through several
+// wrap-arounds, including interleaved push/pop.
+func TestVCBufRing(t *testing.T) {
+	const depth = 4
+	v := &vcBuf{flits: make([]flit, depth)}
+	pkt := &Packet{}
+	mk := func(seq int) flit { return flit{pkt: pkt, seq: seq} }
+
+	next := 0 // next sequence to push
+	want := 0 // next sequence expected from pop
+	for round := 0; round < 3*depth; round++ {
+		// Fill to capacity...
+		for v.n < depth {
+			v.push(mk(next))
+			next++
+		}
+		if v.head().seq != want {
+			t.Fatalf("round %d: head seq %d, want %d", round, v.head().seq, want)
+		}
+		// ...then drain a varying amount so hd lands on every slot.
+		drain := 1 + round%depth
+		for i := 0; i < drain; i++ {
+			f := v.pop()
+			if f.seq != want {
+				t.Fatalf("round %d: pop seq %d, want %d", round, f.seq, want)
+			}
+			want++
+		}
+	}
+	// Drain the rest.
+	for v.n > 0 {
+		if f := v.pop(); f.seq != want {
+			t.Fatalf("final drain: pop seq %d, want %d", f.seq, want)
+		} else {
+			want++
+		}
+	}
+	if want != next {
+		t.Fatalf("popped %d flits, pushed %d", want, next)
+	}
+	// Popped slots must be zeroed so packet pointers do not linger.
+	for i, f := range v.flits {
+		if f.pkt != nil {
+			t.Fatalf("slot %d retains a packet pointer after pop", i)
+		}
+	}
+}

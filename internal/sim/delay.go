@@ -13,9 +13,16 @@ type delayItem struct {
 // DelayQueue is a deterministic min-heap of deferred actions. Actions
 // scheduled for the same cycle run in scheduling order.
 type DelayQueue struct {
-	items []delayItem
-	seq   uint64
+	items  []delayItem
+	seq    uint64
+	notify func(at uint64)
 }
+
+// SetNotify installs fn, invoked on every Schedule with the scheduled
+// cycle. Components owned by an event-driven engine use it to forward
+// their wake times (typically fn = Waker.Wake), so the engine learns about
+// work scheduled from outside the component's own Tick.
+func (q *DelayQueue) SetNotify(fn func(at uint64)) { q.notify = fn }
 
 // Len implements heap.Interface and reports pending actions.
 func (q *DelayQueue) Len() int { return len(q.items) }
@@ -47,6 +54,9 @@ func (q *DelayQueue) Pop() any {
 func (q *DelayQueue) Schedule(at uint64, fn func(now uint64)) {
 	q.seq++
 	heap.Push(q, delayItem{at: at, seq: q.seq, fn: fn})
+	if q.notify != nil {
+		q.notify(at)
+	}
 }
 
 // RunDue executes every action due at or before now, including actions

@@ -7,10 +7,10 @@ import "math"
 const Never = math.MaxUint64
 
 // Component is the unit of cycle-driven simulation. The engine calls Tick
-// exactly once per simulated cycle on every registered component, in
-// registration order. NextWake lets idle components vote for fast-forward:
-// when every component's next wake time lies in the future, the engine jumps
-// the clock directly to the earliest one.
+// on a component for every cycle in which it has work to do (always in
+// registration order among same-cycle components). NextWake lets the engine
+// find the next busy cycle: when every component's next wake time lies in
+// the future, the engine jumps the clock directly to the earliest one.
 type Component interface {
 	// Tick advances the component by one cycle. now is the current cycle.
 	Tick(now uint64)
@@ -19,19 +19,66 @@ type Component interface {
 	NextWake(now uint64) uint64
 }
 
-// Engine owns the simulation clock and the registered components.
+// Waker is the engine-side half of wake notification. A component (or
+// anything acting on its behalf) calls Wake when new work appears for a
+// cycle possibly earlier than the component's last reported wake time.
+// Wake never delays a component: it only moves the wake time earlier.
+type Waker interface {
+	Wake(at uint64)
+}
+
+// WakeSetter is implemented by components that push wake notifications to
+// the engine instead of relying on per-cycle polling. The engine calls
+// SetWaker once at Register time; the component must then call Wake
+// whenever external input (a message send, a scheduled callback) gives it
+// work the engine does not yet know about. Work a component creates for
+// itself during its own Tick needs no notification — the engine re-reads
+// NextWake after every tick.
+//
+// Components that do not implement WakeSetter are handled compatibly: the
+// engine ticks them on every non-skipped cycle and re-polls their NextWake
+// each time, exactly like the original poll-everything scheduler.
+type WakeSetter interface {
+	SetWaker(w Waker)
+}
+
+// Engine owns the simulation clock and the registered components. It is an
+// event-driven scheduler: an indexed min-heap keyed by per-component wake
+// time picks the next busy cycle in O(1), and Step ticks only the
+// components whose wake time is due.
 type Engine struct {
 	now        uint64
 	components []Component
+	// wake[i] is the next cycle component i must tick (Never = idle).
+	wake []uint64
+	// legacy[i] marks components without push notification: they tick on
+	// every executed cycle, like under the original poll scheduler.
+	legacy []bool
+	// anyLegacy caches whether legacy contains true.
+	anyLegacy bool
+	// heap is an indexed min-heap over (wake[i], i); pos[i] is component
+	// i's slot in it. Every registered component is always present.
+	heap []int
+	pos  []int
+
+	// ticking/tickPos identify the in-progress tick pass so Wake calls can
+	// tell "not yet reached this cycle" from "already ticked this cycle".
+	ticking bool
+	tickPos int
+
 	// FastForward enables quiescence skipping. It is on by default and only
-	// disabled by tests that check strict cycle-by-cycle behaviour.
+	// disabled by tests that check strict cycle-by-cycle behaviour; when
+	// off, every component ticks every cycle.
 	FastForward bool
 	// MaxCycles aborts the run when the clock passes it (0 = unlimited).
 	MaxCycles uint64
 	stopped   bool
-	// Stats.
-	TickedCycles  uint64 // cycles actually executed
-	SkippedCycles uint64 // cycles bypassed by fast-forward
+	// Stats. TickedCycles counts cycles in which at least one component
+	// ticked; SkippedCycles counts cycles the clock jumped over because no
+	// component was due. The two sum to the wall-clock cycle span of the
+	// run (plus idle single-cycle advances, which count as skipped).
+	TickedCycles  uint64
+	SkippedCycles uint64
 }
 
 // NewEngine returns an empty engine with fast-forward enabled.
@@ -39,10 +86,61 @@ func NewEngine() *Engine {
 	return &Engine{FastForward: true}
 }
 
-// Register adds c to the tick list. Components tick in registration order,
-// which the simulation relies on for determinism.
+// handle binds a registered component index to its engine.
+type handle struct {
+	e   *Engine
+	idx int
+}
+
+// Wake implements Waker.
+func (h *handle) Wake(at uint64) { h.e.wakeIdx(h.idx, at) }
+
+// Register adds c to the schedule. Components due on the same cycle tick
+// in registration order, which the simulation relies on for determinism.
+// Components implementing WakeSetter are event-driven; others are ticked
+// every executed cycle (legacy poll behaviour).
 func (e *Engine) Register(c Component) {
+	idx := len(e.components)
 	e.components = append(e.components, c)
+	e.wake = append(e.wake, 0)
+	e.pos = append(e.pos, -1)
+	if ws, ok := c.(WakeSetter); ok {
+		e.legacy = append(e.legacy, false)
+		ws.SetWaker(&handle{e: e, idx: idx})
+	} else {
+		e.legacy = append(e.legacy, true)
+		e.anyLegacy = true
+	}
+	e.heapPush(idx, c.NextWake(e.now))
+}
+
+// Wake moves component c's wake time earlier, to at (clamped so that a
+// component never re-ticks within the cycle it already ticked). It is the
+// map-based convenience form; components wired via SetWaker use their
+// handle instead.
+func (e *Engine) Wake(c Component, at uint64) {
+	for i, rc := range e.components {
+		if rc == c {
+			e.wakeIdx(i, at)
+			return
+		}
+	}
+}
+
+func (e *Engine) wakeIdx(i int, at uint64) {
+	floor := e.now
+	if e.ticking && i <= e.tickPos {
+		// Already ticked (or mid-tick) this cycle: earliest next chance is
+		// the following cycle — matching the poll engine, where work pushed
+		// into an already-ticked component ran on the next cycle.
+		floor = e.now + 1
+	}
+	if at < floor {
+		at = floor
+	}
+	if at < e.wake[i] {
+		e.heapFix(i, at)
+	}
 }
 
 // Now returns the current cycle.
@@ -54,12 +152,33 @@ func (e *Engine) Stop() { e.stopped = true }
 // Stopped reports whether Stop has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
 
-// Step executes exactly one cycle.
+// Step executes exactly one cycle: every due component (plus every legacy
+// poll component; all components when FastForward is off) ticks in
+// registration order, then reports its next wake time.
 func (e *Engine) Step() {
-	for _, c := range e.components {
+	e.ticking = true
+	ticked := false
+	strict := !e.FastForward
+	for i := range e.components {
+		if !strict && !e.legacy[i] && e.wake[i] > e.now {
+			continue
+		}
+		e.tickPos = i
+		c := e.components[i]
 		c.Tick(e.now)
+		w := c.NextWake(e.now)
+		if w <= e.now {
+			// Defensive clamp: NextWake must be in the future; treating a
+			// stale "now" as "next cycle" keeps the engine moving.
+			w = e.now + 1
+		}
+		e.heapFix(i, w)
+		ticked = true
 	}
-	e.TickedCycles++
+	e.ticking = false
+	if ticked {
+		e.TickedCycles++
+	}
 	e.now++
 }
 
@@ -67,60 +186,192 @@ func (e *Engine) Step() {
 // called, or MaxCycles is exceeded. It returns the cycle at which it
 // stopped. done is evaluated between cycles.
 func (e *Engine) RunUntil(done func() bool) uint64 {
+	e.resync()
 	for !e.stopped && !done() {
 		if e.MaxCycles != 0 && e.now >= e.MaxCycles {
 			break
 		}
-		e.Step()
 		if e.FastForward {
-			e.maybeSkip()
+			m := e.earliestWake()
+			if m > e.now && e.anyLegacy {
+				// A legacy component's stored wake time goes stale the
+				// moment a later-ticking component hands it work (nothing
+				// notifies the engine). Re-poll before trusting a jump,
+				// like the poll engine's per-cycle minimum scan did.
+				for i, c := range e.components {
+					if e.legacy[i] {
+						e.heapFix(i, c.NextWake(e.now))
+					}
+				}
+				m = e.earliestWake()
+				if m == e.now+1 {
+					// NextWake's contract is "strictly future", so a legacy
+					// component with work in the CURRENT cycle (e.g. a busy
+					// network that re-polls itself every cycle) can only
+					// answer now+1. The poll engine compensated by skipping
+					// only past now+1; execute this cycle likewise.
+					m = e.now
+				}
+			}
+			if m > e.now {
+				if m != Never {
+					// Jump the clock to the next busy cycle; done is
+					// re-checked before it executes, mirroring the poll
+					// engine, which skipped after each executed cycle.
+					e.SkippedCycles += m - e.now
+					e.now = m
+					continue
+				}
+				if !e.anyLegacy {
+					// Everything is quiescent: nothing will ever happen
+					// again on its own. Advance one cycle at a time so the
+					// done predicate (which may watch the clock) still
+					// terminates the run.
+					e.now++
+					e.SkippedCycles++
+					continue
+				}
+				// Legacy poll components may have stale wake times; fall
+				// through and keep ticking them, like the poll engine did.
+			}
 		}
+		e.Step()
 	}
 	return e.now
 }
 
 // Run advances the simulation for n further cycles (honouring fast-forward,
-// so fewer than n Tick rounds may execute).
+// so fewer than n Tick rounds may execute, and a clock jump may overshoot).
 func (e *Engine) Run(n uint64) {
 	target := e.now + n
 	e.RunUntil(func() bool { return e.now >= target })
 }
 
-// maybeSkip jumps the clock forward when all components are idle until a
-// known future cycle.
-func (e *Engine) maybeSkip() {
-	earliest := uint64(Never)
-	for _, c := range e.components {
-		w := c.NextWake(e.now)
-		if w <= e.now {
-			return // something wants to run right now
-		}
-		if w < earliest {
-			earliest = w
+// resync re-reads every component's NextWake. RunUntil calls it once on
+// entry so state changed outside the engine (between runs, or before the
+// first run) is picked up even without a Wake notification.
+func (e *Engine) resync() {
+	for i, c := range e.components {
+		e.heapFix(i, c.NextWake(e.now))
+	}
+}
+
+// earliestWake returns the minimum wake time across all components, in
+// O(1) via the heap root, or Never when no components are registered.
+func (e *Engine) earliestWake() uint64 {
+	if len(e.heap) == 0 {
+		return Never
+	}
+	return e.wake[e.heap[0]]
+}
+
+// Quiescent reports whether every component is idle forever. Event-driven
+// components are answered from the heap minimum in O(1); legacy poll
+// components are re-polled, since their wake times may be stale.
+func (e *Engine) Quiescent() bool {
+	if e.anyLegacy {
+		for i, c := range e.components {
+			if !e.legacy[i] {
+				continue
+			}
+			w := c.NextWake(e.now)
+			e.heapFix(i, w)
+			if w != Never {
+				return false
+			}
 		}
 	}
-	if earliest == Never {
-		// Everything is quiescent: nothing will ever happen again. Leave the
-		// clock alone; RunUntil's predicate or MaxCycles terminates the run.
+	return e.earliestWake() == Never
+}
+
+// ---------------------------------------------------------------- heap --
+
+// heapLess orders heap slots by (wake time, registration index) so that
+// same-cycle pops are deterministic.
+func (e *Engine) heapLess(a, b int) bool {
+	ia, ib := e.heap[a], e.heap[b]
+	if e.wake[ia] != e.wake[ib] {
+		return e.wake[ia] < e.wake[ib]
+	}
+	return ia < ib
+}
+
+func (e *Engine) heapSwap(a, b int) {
+	e.heap[a], e.heap[b] = e.heap[b], e.heap[a]
+	e.pos[e.heap[a]] = a
+	e.pos[e.heap[b]] = b
+}
+
+func (e *Engine) heapPush(idx int, w uint64) {
+	e.wake[idx] = w
+	e.heap = append(e.heap, idx)
+	e.pos[idx] = len(e.heap) - 1
+	e.siftUp(len(e.heap) - 1)
+}
+
+// heapFix sets component idx's wake time and restores heap order.
+func (e *Engine) heapFix(idx int, w uint64) {
+	if e.wake[idx] == w {
 		return
 	}
-	if earliest > e.now+1 {
-		e.SkippedCycles += earliest - e.now - 1
-		e.now = earliest
+	up := w < e.wake[idx]
+	e.wake[idx] = w
+	if up {
+		e.siftUp(e.pos[idx])
+	} else {
+		e.siftDown(e.pos[idx])
 	}
 }
 
-// Quiescent reports whether every component is idle forever.
-func (e *Engine) Quiescent() bool {
-	for _, c := range e.components {
-		if c.NextWake(e.now) != Never {
-			return false
+func (e *Engine) siftUp(s int) {
+	for s > 0 {
+		parent := (s - 1) / 2
+		if !e.heapLess(s, parent) {
+			return
 		}
+		e.heapSwap(s, parent)
+		s = parent
 	}
-	return true
 }
 
-// FuncComponent adapts plain functions to the Component interface.
+func (e *Engine) siftDown(s int) {
+	n := len(e.heap)
+	for {
+		l, r := 2*s+1, 2*s+2
+		min := s
+		if l < n && e.heapLess(l, min) {
+			min = l
+		}
+		if r < n && e.heapLess(r, min) {
+			min = r
+		}
+		if min == s {
+			return
+		}
+		e.heapSwap(s, min)
+		s = min
+	}
+}
+
+// polled hides a component's WakeSetter implementation (if any) so the
+// engine falls back to ticking it every executed cycle.
+type polled struct{ c Component }
+
+// Tick implements Component.
+func (p polled) Tick(now uint64) { p.c.Tick(now) }
+
+// NextWake implements Component.
+func (p polled) NextWake(now uint64) uint64 { return p.c.NextWake(now) }
+
+// Polled wraps c so that Register treats it as a legacy poll component even
+// when it implements WakeSetter. It exists as an escape hatch for
+// cross-checking the event-driven scheduler against exhaustive polling:
+// both modes must produce cycle-identical simulations.
+func Polled(c Component) Component { return polled{c: c} }
+
+// FuncComponent adapts plain functions to the Component interface. It does
+// not implement WakeSetter, so the engine treats it as a legacy poll
+// component: ticked every executed cycle, NextWake re-polled each time.
 type FuncComponent struct {
 	TickFn     func(now uint64)
 	NextWakeFn func(now uint64) uint64

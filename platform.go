@@ -59,6 +59,12 @@ type Config struct {
 	MaxCycles uint64
 	// Trace enables per-thread region timeline recording (Fig. 10).
 	Trace bool
+	// PollEngine registers every subsystem behind sim.Polled, making the
+	// engine fall back to ticking all components every executed cycle
+	// instead of event-driven scheduling. Results are cycle-identical
+	// either way (a regression test asserts it); this is an escape hatch
+	// for cross-checking scheduler changes.
+	PollEngine bool
 
 	// NoC, Mem and Kernel override subsystem defaults when non-nil.
 	NoC    *noc.Config
@@ -204,10 +210,16 @@ func New(cfg Config) (*System, error) {
 		})
 	}
 
-	s.Engine.Register(net)
-	s.Engine.Register(msys)
-	s.Engine.Register(ksys)
-	s.Engine.Register(csys)
+	register := func(c sim.Component) {
+		if cfg.PollEngine {
+			c = sim.Polled(c)
+		}
+		s.Engine.Register(c)
+	}
+	register(net)
+	register(msys)
+	register(ksys)
+	register(csys)
 	s.Engine.MaxCycles = cfg.MaxCycles
 	if s.Engine.MaxCycles == 0 {
 		s.Engine.MaxCycles = 500_000_000
