@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench
+.PHONY: build vet test race check bench fmt-check
 
 build:
 	$(GO) build ./...
@@ -11,16 +11,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 # Race-check the concurrent code paths: the bounded-parallelism helper, the
-# experiment harness that fans simulations out over it, and the simulation
-# engine it drives.
+# experiment harness that fans simulations out over it, the simulation
+# engine it drives, and the recorder the parallel trace capture shares.
 race:
-	$(GO) test -race ./internal/par/... ./internal/experiments/... ./internal/sim/...
+	$(GO) test -race ./internal/par/... ./internal/experiments/... ./internal/sim/... ./internal/obs/...
 
-check: build vet test race
+check: build vet fmt-check test race
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/noc/ .

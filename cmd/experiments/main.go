@@ -6,6 +6,7 @@
 //	experiments -run fig11,table3         # selected experiments
 //	experiments -run fig10 -scale 0.5     # shorter runs
 //	experiments -run table3 -quick        # representative benchmark subset
+//	experiments -trace fig10.json         # Perfetto trace of the Fig. 10 run
 package main
 
 import (
@@ -14,27 +15,46 @@ import (
 	"os"
 	"strings"
 
-	_ "repro" // installs the platform runner into the experiments package
+	"repro" // also installs the platform runner into the experiments package
 
 	"repro/internal/experiments"
 	"repro/internal/export"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 )
 
 func main() {
 	var (
-		runList = flag.String("run", "all", "comma-separated experiments: fig2,fig10,fig11,fig12,fig13,fig14,fig15,fig16,table3 or all")
-		threads = flag.Int("threads", 64, "thread/core count for suite experiments")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		scale   = flag.Float64("scale", 1.0, "iteration scale factor (smaller = faster)")
-		quick   = flag.Bool("quick", false, "run a representative benchmark subset")
-		jobs    = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		verbose = flag.Bool("v", true, "print per-run progress")
-		csvDir  = flag.String("csv", "", "also write figure/table CSV files into this directory")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		runList  = flag.String("run", "all", "comma-separated experiments: fig2,fig10,fig11,fig12,fig13,fig14,fig15,fig16,table3 or all")
+		threads  = flag.Int("threads", 64, "thread/core count for suite experiments")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		scale    = flag.Float64("scale", 1.0, "iteration scale factor (smaller = faster)")
+		quick    = flag.Bool("quick", false, "run a representative benchmark subset")
+		jobs     = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		verbose  = flag.Bool("v", true, "print per-run progress")
+		csvDir   = flag.String("csv", "", "also write figure/table CSV files into this directory")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		traceOut = flag.String("trace", "", "write a Perfetto trace of the Fig. 10 bodytrack OCOR run to this file")
 	)
 	flag.Parse()
+
+	if *traceOut != "" {
+		if err := writeFig10Trace(*traceOut, *threads, *seed, *scale); err != nil {
+			fatal(err)
+		}
+		// A bare -trace invocation only captures the trace; combine with an
+		// explicit -run to also regenerate figures in the same process.
+		runSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "run" {
+				runSet = true
+			}
+		})
+		if !runSet {
+			return
+		}
+	}
 
 	stopCPU, err := profiling.StartCPU(*cpuProf)
 	if err != nil {
@@ -123,6 +143,39 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d CSV files to %s\n", len(names), *csvDir)
 	}
+}
+
+// writeFig10Trace runs the Fig. 10 configuration (bodytrack with OCOR
+// enabled) with a structured-event recorder attached and exports the
+// captured events as a Perfetto trace-event JSON file.
+func writeFig10Trace(path string, threads int, seed uint64, scale float64) error {
+	p, err := repro.Benchmark("body")
+	if err != nil {
+		return err
+	}
+	p = p.Scale(scale)
+	rec := obs.NewRecorder(0)
+	sys, err := repro.New(repro.Config{Benchmark: p, Threads: threads, OCOR: true, Seed: seed, Obs: rec})
+	if err != nil {
+		return err
+	}
+	if _, err := sys.Run(); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTrace(f, rec.Events(), rec.Dropped()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "experiments: wrote %s (%d events, %d evicted); open in ui.perfetto.dev\n",
+		path, rec.Len(), rec.Dropped())
+	return nil
 }
 
 func fatal(err error) {

@@ -9,6 +9,8 @@
 //	noctrace -pattern uniform -load 0.1 -priority
 //	noctrace -pattern hotspot -cycles 20000 -lockfrac 0.05
 //	noctrace -pattern transpose -mesh 8x8
+//	noctrace -pattern hotspot -priority -csv          # machine-readable rows
+//	noctrace -pattern hotspot -trace out.json         # Perfetto trace
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -31,6 +34,8 @@ func main() {
 		cycles   = flag.Uint64("cycles", 10000, "injection window in cycles")
 		priority = flag.Bool("priority", false, "enable OCOR priority arbitration")
 		seed     = flag.Uint64("seed", 1, "rng seed")
+		csv      = flag.Bool("csv", false, "print machine-readable per-class CSV rows instead of the table")
+		traceOut = flag.String("trace", "", "write a Perfetto trace-event JSON file of the run")
 	)
 	flag.Parse()
 
@@ -47,6 +52,11 @@ func main() {
 	}
 	for i := 0; i < cfg.Nodes(); i++ {
 		net.SetSink(i, func(now uint64, pkt *noc.Packet) {})
+	}
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		rec = obs.NewRecorder(0)
+		net.SetObserver(rec)
 	}
 
 	rng := sim.NewRNG(*seed)
@@ -105,25 +115,55 @@ func main() {
 		fatal(fmt.Errorf("network did not drain (saturated); lower -load"))
 	}
 
-	fmt.Printf("mesh %dx%d, pattern %s, load %.3f, priority=%v\n", w, h, *pattern, *load, *priority)
-	fmt.Printf("drained at cycle %d (injection window %d)\n\n", e.Now(), *cycles)
-	fmt.Printf("%-8s %10s %10s %12s %12s %12s\n", "class", "injected", "delivered", "avg net lat", "avg tot lat", "max net lat")
 	classes := []noc.Class{noc.ClassData, noc.ClassCtrl, noc.ClassLock, noc.ClassWakeup}
-	for _, c := range classes {
-		nl := &net.Stats.NetLatency[c]
-		tl := &net.Stats.TotalLatency[c]
-		if net.Stats.InjectedPkts[c] == 0 {
-			continue
+	if *csv {
+		// Machine-readable form, mirroring the experiment harness CSVs: one
+		// row per traffic class with the run parameters repeated.
+		fmt.Println("mesh,pattern,load,priority,class,injected,delivered,avg_net_lat,avg_tot_lat,max_net_lat")
+		for _, c := range classes {
+			if net.Stats.InjectedPkts[c] == 0 {
+				continue
+			}
+			nl := &net.Stats.NetLatency[c]
+			tl := &net.Stats.TotalLatency[c]
+			fmt.Printf("%dx%d,%s,%.3f,%v,%s,%d,%d,%.3f,%.3f,%.0f\n",
+				w, h, *pattern, *load, *priority, c,
+				net.Stats.InjectedPkts[c], net.Stats.DeliveredPkts[c], nl.Mean(), tl.Mean(), nl.Max())
 		}
-		fmt.Printf("%-8s %10d %10d %12.1f %12.1f %12.0f\n",
-			c, net.Stats.InjectedPkts[c], net.Stats.DeliveredPkts[c], nl.Mean(), tl.Mean(), nl.Max())
+	} else {
+		fmt.Printf("mesh %dx%d, pattern %s, load %.3f, priority=%v\n", w, h, *pattern, *load, *priority)
+		fmt.Printf("drained at cycle %d (injection window %d)\n\n", e.Now(), *cycles)
+		fmt.Printf("%-8s %10s %10s %12s %12s %12s\n", "class", "injected", "delivered", "avg net lat", "avg tot lat", "max net lat")
+		for _, c := range classes {
+			nl := &net.Stats.NetLatency[c]
+			tl := &net.Stats.TotalLatency[c]
+			if net.Stats.InjectedPkts[c] == 0 {
+				continue
+			}
+			fmt.Printf("%-8s %10d %10d %12.1f %12.1f %12.0f\n",
+				c, net.Stats.InjectedPkts[c], net.Stats.DeliveredPkts[c], nl.Mean(), tl.Mean(), nl.Max())
+		}
+		var traversed, conflicts uint64
+		for _, r := range net.Routers {
+			traversed += r.Stats.FlitsTraversed
+			conflicts += r.Stats.SAConflicts
+		}
+		fmt.Printf("\nflit-hops %d, switch-allocation conflict cycles %d\n", traversed, conflicts)
 	}
-	var traversed, conflicts uint64
-	for _, r := range net.Routers {
-		traversed += r.Stats.FlitsTraversed
-		conflicts += r.Stats.SAConflicts
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteTrace(f, rec.Events(), rec.Dropped()); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "noctrace: wrote %s (%d events, %d evicted)\n", *traceOut, rec.Len(), rec.Dropped())
 	}
-	fmt.Printf("\nflit-hops %d, switch-allocation conflict cycles %d\n", traversed, conflicts)
 }
 
 func fatal(err error) {

@@ -17,20 +17,24 @@ import (
 
 	"repro"
 	"repro/internal/metrics"
+	"repro/internal/noc"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		bench   = flag.String("bench", "body", "benchmark name (see -list)")
-		threads = flag.Int("threads", 64, "thread/core count")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		scale   = flag.Float64("scale", 1.0, "iteration scale factor")
-		compare = flag.Bool("compare", true, "run both baseline and OCOR")
-		ocor    = flag.Bool("ocor", true, "enable OCOR (single-run mode)")
-		levels  = flag.Int("levels", 8, "OCOR priority levels")
-		trace   = flag.Bool("trace", false, "print an execution profile (Fig. 10 style)")
-		locks   = flag.Bool("locks", false, "print per-lock contention statistics")
-		list    = flag.Bool("list", false, "list the benchmark catalog and exit")
+		bench    = flag.String("bench", "body", "benchmark name (see -list)")
+		threads  = flag.Int("threads", 64, "thread/core count")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		scale    = flag.Float64("scale", 1.0, "iteration scale factor")
+		compare  = flag.Bool("compare", true, "run both baseline and OCOR")
+		ocor     = flag.Bool("ocor", true, "enable OCOR (single-run mode)")
+		levels   = flag.Int("levels", 8, "OCOR priority levels")
+		trace    = flag.Bool("trace", false, "print an execution profile (Fig. 10 style)")
+		locks    = flag.Bool("locks", false, "print per-lock contention statistics")
+		list     = flag.Bool("list", false, "list the benchmark catalog and exit")
+		traceOut = flag.String("traceout", "", "write a Perfetto trace-event JSON file (OCOR run in compare mode)")
+		histo    = flag.Bool("histo", false, "print streaming latency histograms and arbitration counters")
 	)
 	flag.Parse()
 
@@ -48,10 +52,10 @@ func main() {
 	}
 	p = p.Scale(*scale)
 
-	runOne := func(enabled bool) metrics.Results {
+	runOne := func(enabled bool, rec *obs.Recorder) metrics.Results {
 		sys, err := repro.New(repro.Config{
 			Benchmark: p, Threads: *threads, OCOR: enabled,
-			PriorityLevels: *levels, Seed: *seed, Trace: *trace,
+			PriorityLevels: *levels, Seed: *seed, Trace: *trace, Obs: rec,
 		})
 		if err != nil {
 			fatal(err)
@@ -59,6 +63,19 @@ func main() {
 		res, err := sys.Run()
 		if err != nil {
 			fatal(err)
+		}
+		if rec != nil {
+			if *histo {
+				fmt.Printf("\nstreaming statistics (ocor=%v):\n", enabled)
+				rec.Stats.Summary(os.Stdout, func(i int) string { return noc.Class(i).String() })
+			}
+			if *traceOut != "" {
+				if err := writeTrace(*traceOut, rec); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "ocorsim: wrote %s (%d events, %d evicted); open in ui.perfetto.dev\n",
+					*traceOut, rec.Len(), rec.Dropped())
+			}
 		}
 		if *trace {
 			window := res.ROIFinish / 8
@@ -80,12 +97,18 @@ func main() {
 		return res
 	}
 
+	// A recorder is only allocated when something consumes it; in compare
+	// mode it observes the OCOR run (the interesting one for Table 1 rules).
+	var rec *obs.Recorder
+	if *traceOut != "" || *histo {
+		rec = obs.NewRecorder(0)
+	}
 	if !*compare {
-		print1(runOne(*ocor))
+		print1(runOne(*ocor, rec))
 		return
 	}
-	base := runOne(false)
-	oc := runOne(true)
+	base := runOne(false, nil)
+	oc := runOne(true, rec)
 	print1(base)
 	print1(oc)
 	fmt.Printf("\nOCOR vs baseline: COH reduced %.1f%%, ROI reduced %.1f%%, spin entries %+.1f points\n",
@@ -108,6 +131,18 @@ func print1(r metrics.Results) {
 	fmt.Printf("  mean blocking time     %12.0f cycles (mean COH %.0f)\n", r.MeanBT, r.MeanCOH)
 	fmt.Printf("  lock packet latency    %12.1f cycles (data %.1f)\n", r.LockLatency, r.DataLatency)
 	fmt.Printf("  injection rate         %12.4f flits/node/cycle\n", r.NetInjRate)
+}
+
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTrace(f, rec.Events(), rec.Dropped()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

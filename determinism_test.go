@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -42,6 +43,48 @@ func TestPollEngineMatchesEventEngine(t *testing.T) {
 		}
 		if !reflect.DeepEqual(got[0], got[1]) {
 			t.Fatalf("ocor=%v: event-driven results differ from polled:\nevent: %+v\npoll:  %+v", ocor, got[0], got[1])
+		}
+	}
+}
+
+// TestObserverDoesNotPerturbResults attaches a structured-event recorder
+// and requires results byte-identical to an unobserved run, across both
+// engines and both OCOR modes: every emission site must be read-only, so
+// tracing a run can never change what it measures.
+func TestObserverDoesNotPerturbResults(t *testing.T) {
+	for _, ocor := range []bool{false, true} {
+		for _, poll := range []bool{false, true} {
+			var got [2]metrics.Results
+			var rec *obs.Recorder
+			for i, observe := range []bool{false, true} {
+				cfg := Config{
+					Benchmark: detProfile(), Threads: 16, OCOR: ocor,
+					Seed: 7, PollEngine: poll,
+				}
+				if observe {
+					rec = obs.NewRecorder(0)
+					cfg.Obs = rec
+				}
+				sys, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := sys.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got[i] = r
+			}
+			if !reflect.DeepEqual(got[0], got[1]) {
+				t.Fatalf("ocor=%v poll=%v: observed run differs from unobserved:\nbare:     %+v\nobserved: %+v",
+					ocor, poll, got[0], got[1])
+			}
+			if rec.Len() == 0 {
+				t.Fatalf("ocor=%v poll=%v: recorder attached but captured nothing", ocor, poll)
+			}
+			if rec.Stats.Acquires == 0 {
+				t.Fatalf("ocor=%v poll=%v: no acquisitions recorded", ocor, poll)
+			}
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -20,6 +21,8 @@ type System struct {
 	remaining int
 	listeners []RegionListener
 	barriers  map[int]*barrier
+	// obs, when non-nil, receives region-transition events.
+	obs *obs.Recorder
 
 	// BarrierLatency is the release cost of a barrier in cycles.
 	BarrierLatency uint64
@@ -93,7 +96,13 @@ func (s *System) AddRegionListener(l RegionListener) {
 	s.listeners = append(s.listeners, l)
 }
 
+// SetObserver attaches a structured-event recorder (nil detaches).
+func (s *System) SetObserver(r *obs.Recorder) { s.obs = r }
+
 func (s *System) notifyRegion(thread int, r Region, now uint64) {
+	if s.obs != nil {
+		s.obs.Region(now, thread, uint8(r))
+	}
 	for _, l := range s.listeners {
 		l(thread, r, now)
 	}

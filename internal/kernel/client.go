@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -123,6 +124,9 @@ type Client struct {
 	acquired uint64
 
 	listener Listener
+	// obs, when non-nil, receives lock lifecycle events; emission is
+	// read-only and cannot perturb the protocol.
+	obs *obs.Recorder
 
 	// Stats.
 	Acquisitions  uint64
@@ -168,6 +172,9 @@ func (c *Client) setState(now uint64, st ThreadState) {
 		return
 	}
 	c.state = st
+	if c.obs != nil {
+		c.obs.ThreadState(now, c.node, uint8(st))
+	}
 	c.listener.StateChanged(c.node, st, now)
 }
 
@@ -186,6 +193,9 @@ func (c *Client) Lock(now uint64, lock int, cb func(now uint64)) {
 	}
 	c.cur = ctx
 	c.setState(now, StateSpinning)
+	if c.obs != nil {
+		c.obs.SpinStart(now, c.node, lock, ctx.budget)
+	}
 	c.sendTry(now)
 	c.scheduleSpinTick(now, ctx)
 }
@@ -223,6 +233,9 @@ func (c *Client) scheduleSpinTick(now uint64, ctx *acquireCtx) {
 		}
 		ctx.budget--
 		c.Regs.WriteLockRegs(ctx.budget, c.prog)
+		if c.obs != nil {
+			c.obs.RTRTick(t, c.node, ctx.lock, ctx.budget)
+		}
 		if ctx.budget <= 0 {
 			if ctx.outstanding {
 				// A final request is in flight; its outcome decides
@@ -291,6 +304,9 @@ func (c *Client) onGrant(now uint64, m *Msg) {
 	} else {
 		c.SleepAcquires++
 	}
+	if c.obs != nil {
+		c.obs.Acquired(now, c.node, ctx.lock, bt, ev.COH, ev.SpinPhase, ctx.retries, ctx.sleeps, m.PktID, m.ReqPktID)
+	}
 	c.heldLock = ctx.lock
 	c.acquired = now
 	cb := ctx.cb
@@ -349,6 +365,9 @@ func (c *Client) goSleep(now uint64, ctx *acquireCtx) {
 	c.TotalSleeps++
 	ctx.pendingNotify = false
 	c.setState(now, StateSleepPrep)
+	if c.obs != nil {
+		c.obs.FutexWait(now, c.node, ctx.lock, ctx.sleeps)
+	}
 	c.Regs.WriteLockRegs(0, c.prog)
 	c.send(now, LockHome(ctx.lock, c.nodes), &Msg{
 		Type: MsgFutexWait, To: ToController, Lock: ctx.lock,
@@ -386,6 +405,9 @@ func (c *Client) onWakeup(now uint64, m *Msg) {
 func (c *Client) beginWake(now uint64, ctx *acquireCtx) {
 	ctx.wakePending = false
 	c.setState(now, StateWaking)
+	if c.obs != nil {
+		c.obs.WakeupBegin(now, c.node, ctx.lock)
+	}
 	c.delay.Schedule(now+uint64(c.cfg.WakeLatency), func(t uint64) {
 		if c.cur != ctx {
 			return
@@ -413,6 +435,9 @@ func (c *Client) Unlock(now uint64) {
 	c.Regs.WriteProg(c.prog)
 	c.send(now, home, &Msg{Type: MsgFutexWake, To: ToController, Lock: lock, From: c.node, Thread: c.node, Prog: c.prog},
 		c.Regs.WakeupPriority(c.cfg.Policy))
+	if c.obs != nil {
+		c.obs.Released(now, c.node, lock, now-c.acquired)
+	}
 	c.listener.Released(ReleaseEvent{Thread: c.node, Lock: lock, Acquired: c.acquired, Released: now})
 	c.setState(now, StateIdle)
 }

@@ -1,6 +1,10 @@
 package kernel
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // lockVar is the home-node state of one lock variable: the lock word, the
 // set of threads spinning on their cached copy (to be notified on release,
@@ -70,6 +74,9 @@ type Controller struct {
 	locks map[int]*lockVar
 
 	Stats ControllerStats
+
+	// obs, when non-nil, receives grant/fail decision events.
+	obs *obs.Recorder
 }
 
 func newController(node int, queueHandoff bool, send func(now uint64, dst int, m *Msg)) *Controller {
@@ -99,14 +106,20 @@ func (c *Controller) Deliver(now uint64, m *Msg) {
 			lv.acquiredAt = now
 			lv.acquisitions++
 			c.Stats.Grants++
-			c.send(now, m.From, &Msg{Type: MsgGrant, To: ToClient, Lock: m.Lock, From: c.node, Thread: m.Thread, RTR: m.RTR, Prog: m.Prog, AcquiredAt: now})
+			if c.obs != nil {
+				c.obs.LockDecision(now, c.node, m.Lock, m.Thread, m.PktID, true)
+			}
+			c.send(now, m.From, &Msg{Type: MsgGrant, To: ToClient, Lock: m.Lock, From: c.node, Thread: m.Thread, RTR: m.RTR, Prog: m.Prog, AcquiredAt: now, ReqPktID: m.PktID})
 		} else {
 			lv.fails++
 			c.Stats.Fails++
+			if c.obs != nil {
+				c.obs.LockDecision(now, c.node, m.Lock, m.Thread, m.PktID, false)
+			}
 			// The failing thread keeps the lock variable cached and spins
 			// locally; remember to notify it on release.
 			c.addPoller(lv, m.Thread)
-			c.send(now, m.From, &Msg{Type: MsgFail, To: ToClient, Lock: m.Lock, From: c.node, Thread: m.Thread, RTR: m.RTR, Prog: m.Prog})
+			c.send(now, m.From, &Msg{Type: MsgFail, To: ToClient, Lock: m.Lock, From: c.node, Thread: m.Thread, RTR: m.RTR, Prog: m.Prog, ReqPktID: m.PktID})
 		}
 	case MsgFutexWait:
 		c.Stats.FutexWaits++

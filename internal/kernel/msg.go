@@ -78,4 +78,12 @@ type Msg struct {
 	// AcquiredAt is stamped into grants: the home-node cycle at which the
 	// lock was assigned to the requester (used for overhead accounting).
 	AcquiredAt uint64
+	// PktID is the id of the packet that carried this message, stamped by
+	// the sending system so observability can link a message to its network
+	// journey. Zero for loopback-free configurations predating the stamp.
+	PktID uint64
+	// ReqPktID, set on Grant/Fail responses, is the PktID of the try-lock
+	// request being answered — the link from an acquisition back to the
+	// winning request packet's per-hop history.
+	ReqPktID uint64
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -63,6 +64,7 @@ func classOf(t MsgType) (noc.Class, int) {
 func (s *System) sendMsg(now uint64, src, dst int, m *Msg, prio core.Priority) {
 	class, vnet := classOf(m.Type)
 	pkt := s.Net.NewPacket(src, dst, class, vnet, m)
+	m.PktID = pkt.ID
 	pkt.Prio = prio
 	// Grants and fails inherit the priority of the request they answer, so
 	// the response leg of a critical try-lock is expedited the same way.
@@ -102,6 +104,18 @@ func (s *System) Unlock(now uint64, thread int) {
 func (s *System) SetListener(l Listener) {
 	for _, c := range s.Clients {
 		c.SetListener(l)
+	}
+}
+
+// SetObserver attaches a structured-event recorder to every client and
+// controller (nil detaches). Emission is read-only: results are identical
+// with or without it.
+func (s *System) SetObserver(r *obs.Recorder) {
+	for _, c := range s.Clients {
+		c.obs = r
+	}
+	for _, c := range s.Controllers {
+		c.obs = r
 	}
 }
 

@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -146,6 +147,19 @@ func MustNetwork(cfg Config) *Network {
 // SetSink registers the delivery callback for a node.
 func (n *Network) SetSink(node int, fn func(now uint64, pkt *Packet)) {
 	n.NIs[node].SetSink(fn)
+}
+
+// SetObserver attaches a structured-event recorder to every router and NI
+// (nil detaches). Loopback (src==dst) messages bypass the mesh and are not
+// recorded. All emission sites are read-only, so simulation results are
+// identical with or without a recorder.
+func (n *Network) SetObserver(r *obs.Recorder) {
+	for _, rt := range n.Routers {
+		rt.obs = r
+	}
+	for _, ni := range n.NIs {
+		ni.obs = r
+	}
 }
 
 // NewPacket allocates a packet with a fresh id. Size is derived from the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // activeStream is a packet that has been allocated an injection VC and is
@@ -41,6 +42,8 @@ type NI struct {
 	// network's statistics hook.
 	sink      func(now uint64, pkt *Packet)
 	onDeliver func(pkt *Packet)
+	// obs, when non-nil, receives packet injection/ejection events.
+	obs *obs.Recorder
 
 	// act points at the network-wide activity counter; each waiting or
 	// streaming packet contributes one unit. qp mirrors QueuedPkts into the
@@ -91,6 +94,9 @@ func (ni *NI) eject(now uint64) {
 			pkt := ev.f.pkt
 			pkt.DeliveredAt = now
 			ni.Delivered[pkt.Class]++
+			if ni.obs != nil {
+				ni.obs.PktEjected(now, pkt.ID, ni.node, pkt.Hops, pkt.NetLatency(), pkt.TotalLatency(), uint8(pkt.Class))
+			}
 			if ni.onDeliver != nil {
 				ni.onDeliver(pkt)
 			}
@@ -171,6 +177,9 @@ func (ni *NI) inject(now uint64) {
 	if st.next == 0 {
 		st.pkt.InjectedAt = now
 		ni.Injected[st.pkt.Class]++
+		if ni.obs != nil {
+			ni.obs.PktInjected(now, st.pkt.ID, ni.node, st.pkt.Dst, uint8(st.pkt.Class), st.pkt.VNet, st.pkt.Size, st.pkt.Prio)
+		}
 	}
 	f := flit{pkt: st.pkt, seq: st.next}
 	ni.toRouter.sendFlit(f, st.vc, now+uint64(ni.cfg.LinkLatency))

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // vcState tracks the pipeline stage of the packet occupying an input VC.
@@ -115,6 +116,11 @@ type Router struct {
 	rf  *int
 
 	Stats RouterStats
+
+	// obs, when non-nil, receives structured VA/SA/traversal events. Every
+	// emission site is read-only: attaching a recorder cannot perturb the
+	// simulation.
+	obs *obs.Recorder
 
 	// scratch buffers reused across cycles to avoid allocation. vaPerOut
 	// groups VA requests by output direction in a single input scan;
@@ -266,14 +272,14 @@ func (r *Router) allocateVCs(now uint64) {
 		}
 		op := r.out[outDir]
 		if r.cfg.Priority {
-			r.grantVAPriority(op, reqs)
+			r.grantVAPriority(now, op, reqs)
 		} else {
-			r.grantVARoundRobin(op, reqs)
+			r.grantVARoundRobin(now, op, reqs)
 		}
 	}
 }
 
-func (r *Router) grantVAPriority(op *outPort, reqs []vaReq) {
+func (r *Router) grantVAPriority(now uint64, op *outPort, reqs []vaReq) {
 	n := len(reqs)
 	// Priorities are stable for the duration of the grant loop (grants pop
 	// no flits); fetch each head's priority word once instead of chasing
@@ -308,7 +314,7 @@ func (r *Router) grantVAPriority(op *outPort, reqs []vaReq) {
 		req := reqs[best]
 		reqs[best].dir = -1
 		served++
-		if !r.tryAssignVC(op, req) {
+		if !r.tryAssignVC(now, op, req) {
 			// No free VC in this packet's vnet; lower-priority requests for
 			// other vnets may still succeed, so keep scanning.
 			continue
@@ -320,7 +326,7 @@ func (r *Router) grantVAPriority(op *outPort, reqs []vaReq) {
 	}
 }
 
-func (r *Router) grantVARoundRobin(op *outPort, reqs []vaReq) {
+func (r *Router) grantVARoundRobin(now uint64, op *outPort, reqs []vaReq) {
 	n := len(reqs)
 	p := op.vaPtr % n
 	for i := 0; i < n; i++ {
@@ -328,7 +334,7 @@ func (r *Router) grantVARoundRobin(op *outPort, reqs []vaReq) {
 		if idx >= n {
 			idx -= n
 		}
-		if r.tryAssignVC(op, reqs[idx]) {
+		if r.tryAssignVC(now, op, reqs[idx]) {
 			op.vaPtr = idx + 1
 			if op.vaPtr == n {
 				op.vaPtr = 0
@@ -340,12 +346,15 @@ func (r *Router) grantVARoundRobin(op *outPort, reqs []vaReq) {
 
 // tryAssignVC gives the requesting input VC the first free output VC within
 // its packet's virtual network. It returns false when none is free.
-func (r *Router) tryAssignVC(op *outPort, req vaReq) bool {
+func (r *Router) tryAssignVC(now uint64, op *outPort, req vaReq) bool {
 	vc := r.in[req.dir][req.vc]
 	lo, hi := r.cfg.VCRange(vc.head().pkt.VNet)
 	for v := lo; v < hi; v++ {
 		if !op.alloc[v] {
 			op.alloc[v] = true
+			if r.obs != nil {
+				r.obs.VAGranted(now, r.id, vc.head().pkt.ID, int(req.dir), req.vc, v)
+			}
 			if vc.state == vcRouted {
 				// The round-robin arbiter can revisit an index after its
 				// pointer advances and re-grant a VC that is already active;
@@ -480,6 +489,9 @@ func (r *Router) allocateSwitch(now uint64) {
 		if winner == -1 {
 			continue
 		}
+		if r.obs != nil && bidCount[outDir] > 1 {
+			r.recordArbitration(now, cands, winner, outDir)
+		}
 		op.saPtr = winner + 1
 		if op.saPtr == n {
 			op.saPtr = 0
@@ -488,6 +500,48 @@ func (r *Router) allocateSwitch(now uint64) {
 		cands[winner].dir = -1 // one crossbar grant per input port
 		r.traverse(now, c.dir, c.vc)
 	}
+}
+
+// recordArbitration re-scans the candidates bidding for outDir and emits
+// one SAWin plus one SALoss per losing bidder, classified by the Table 1
+// rule that separated the loser from the winner (RuleTie under round-robin
+// arbitration, where priorities are never consulted). The scan is
+// read-only and runs only with a recorder attached and >1 bidder.
+func (r *Router) recordArbitration(now uint64, cands []saCand, winner int, outDir Dir) {
+	wpkt := r.in[cands[winner].dir][cands[winner].vc].head().pkt
+	var bestLose core.Priority
+	bidders, losers := 0, 0
+	for i, c := range cands {
+		if c.dir == -1 {
+			continue
+		}
+		vc := r.in[c.dir][c.vc]
+		if vc.outDir != outDir {
+			continue
+		}
+		bidders++
+		if i == winner {
+			continue
+		}
+		lp := vc.head().pkt.Prio
+		rule := obs.RuleTie
+		if r.cfg.Priority {
+			rule = obs.DecisiveRule(wpkt.Prio, lp)
+		}
+		r.obs.SALoss(now, r.id, vc.head().pkt.ID, wpkt.ID, int(outDir), rule)
+		if losers == 0 || core.Compare(lp, bestLose) > 0 {
+			bestLose = lp
+		}
+		losers++
+	}
+	if losers == 0 {
+		return
+	}
+	winRule := obs.RuleTie
+	if r.cfg.Priority {
+		winRule = obs.DecisiveRule(wpkt.Prio, bestLose)
+	}
+	r.obs.SAWin(now, r.id, wpkt.ID, int(outDir), winRule, bidders)
 }
 
 // traverse is stage two: move the head flit of the granted input VC onto
@@ -508,6 +562,9 @@ func (r *Router) traverse(now uint64, inDir Dir, vcIdx int) {
 	r.Stats.FlitsTraversed++
 	if f.isHead() {
 		f.pkt.Hops++
+		if r.obs != nil {
+			r.obs.Hop(now, r.id, f.pkt.ID, now-f.enqueuedAt, int(inDir), int(vc.outDir), vc.outVC)
+		}
 	}
 	if f.isTail() {
 		if vc.n != 0 {

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PathHop is one router traversal of a packet, reconstructed from KindHop
+// events.
+type PathHop struct {
+	At      uint64 // cycle the head flit left the router
+	Router  int32
+	Latency uint64 // cycles buffered at this router (arrival to departure)
+	In, Out uint8  // port directions
+}
+
+// Acquisition is one completed lock acquisition materialized from a
+// KindAcquire event plus the router hops of the winning try-lock request
+// and the returning grant.
+type Acquisition struct {
+	Thread    int32
+	Lock      uint64
+	Granted   uint64 // cycle of the acquire
+	BT        uint64 // blocking time (request issue to acquire)
+	COH       uint64 // competition overhead share of BT
+	SpinPhase bool   // true when won while still spinning (never slept)
+	Retries   uint8  // try-lock retries, saturated at 255
+	Sleeps    uint8  // futex sleeps, saturated at 255
+	ReqPkt    uint64 // winning try-lock request packet id (0 if untracked)
+	GrantPkt  uint64 // grant packet id (0 if untracked)
+	ReqPath   []PathHop
+	GrantPath []PathHop
+}
+
+// NetLatency sums the per-router buffering latencies over both packet
+// paths — the in-network share of the acquisition's blocking time.
+func (a *Acquisition) NetLatency() uint64 {
+	var n uint64
+	for _, h := range a.ReqPath {
+		n += h.Latency
+	}
+	for _, h := range a.GrantPath {
+		n += h.Latency
+	}
+	return n
+}
+
+// Acquisitions reconstructs every completed acquisition in the event
+// stream, in event order. Hop events evicted from the ring before export
+// simply leave the corresponding path empty.
+func Acquisitions(evs []Event) []Acquisition {
+	hops := make(map[uint64][]PathHop)
+	for i := range evs {
+		ev := &evs[i]
+		if ev.Kind != KindHop {
+			continue
+		}
+		hops[ev.Pkt] = append(hops[ev.Pkt], PathHop{
+			At: ev.At, Router: ev.Node, Latency: ev.V1, In: ev.A, Out: ev.B,
+		})
+	}
+	var acqs []Acquisition
+	for i := range evs {
+		ev := &evs[i]
+		if ev.Kind != KindAcquire {
+			continue
+		}
+		acqs = append(acqs, Acquisition{
+			Thread:    ev.Node,
+			Lock:      ev.V1,
+			Granted:   ev.At,
+			BT:        ev.V2,
+			COH:       ev.V3,
+			SpinPhase: ev.A != 0,
+			Retries:   ev.B,
+			Sleeps:    ev.C,
+			ReqPkt:    ev.Pkt2,
+			GrantPkt:  ev.Pkt,
+			ReqPath:   hops[ev.Pkt2],
+			GrantPath: hops[ev.Pkt],
+		})
+	}
+	return acqs
+}
+
+// TopSlowest returns the n acquisitions with the largest blocking time,
+// slowest first. Ties break by grant cycle, then thread, so the order is
+// deterministic for a fixed event stream.
+func TopSlowest(acqs []Acquisition, n int) []Acquisition {
+	out := append([]Acquisition{}, acqs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].BT != out[j].BT {
+			return out[i].BT > out[j].BT
+		}
+		if out[i].Granted != out[j].Granted {
+			return out[i].Granted < out[j].Granted
+		}
+		return out[i].Thread < out[j].Thread
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// WriteBreakdown renders one acquisition with its per-hop latency
+// breakdown.
+func (a *Acquisition) WriteBreakdown(w io.Writer) {
+	entry := "spin"
+	if !a.SpinPhase {
+		entry = "sleep"
+	}
+	fmt.Fprintf(w, "thread %d lock %d: BT=%d COH=%d granted@%d entry=%s retries=%d sleeps=%d net=%d\n",
+		a.Thread, a.Lock, a.BT, a.COH, a.Granted, entry, a.Retries, a.Sleeps, a.NetLatency())
+	writePath := func(label string, pkt uint64, path []PathHop) {
+		if pkt == 0 {
+			return
+		}
+		fmt.Fprintf(w, "  %s pkt#%d:", label, pkt)
+		if len(path) == 0 {
+			fmt.Fprintf(w, " no recorded hops (local delivery or evicted)\n")
+			return
+		}
+		for _, h := range path {
+			fmt.Fprintf(w, " r%d+%d", h.Router, h.Latency)
+		}
+		fmt.Fprintf(w, "\n")
+	}
+	writePath("request", a.ReqPkt, a.ReqPath)
+	writePath("grant  ", a.GrantPkt, a.GrantPath)
+}

@@ -1,6 +1,10 @@
 package sim
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/obs"
+)
 
 // Never is the sentinel returned by NextWake when a component has no
 // scheduled work.
@@ -79,6 +83,9 @@ type Engine struct {
 	// run (plus idle single-cycle advances, which count as skipped).
 	TickedCycles  uint64
 	SkippedCycles uint64
+
+	// obs, when non-nil, receives engine wake-jump and step events.
+	obs *obs.Recorder
 }
 
 // NewEngine returns an empty engine with fast-forward enabled.
@@ -143,6 +150,11 @@ func (e *Engine) wakeIdx(i int, at uint64) {
 	}
 }
 
+// SetObserver attaches a structured-event recorder (nil detaches). Fast-
+// forward jumps emit KindEngineWake; executed cycles emit KindEngineStep,
+// which is disabled by default in the recorder because of its volume.
+func (e *Engine) SetObserver(r *obs.Recorder) { e.obs = r }
+
 // Now returns the current cycle.
 func (e *Engine) Now() uint64 { return e.now }
 
@@ -156,6 +168,9 @@ func (e *Engine) Stopped() bool { return e.stopped }
 // poll component; all components when FastForward is off) ticks in
 // registration order, then reports its next wake time.
 func (e *Engine) Step() {
+	if e.obs != nil {
+		e.obs.EngineStep(e.now)
+	}
 	e.ticking = true
 	ticked := false
 	strict := !e.FastForward
@@ -218,6 +233,9 @@ func (e *Engine) RunUntil(done func() bool) uint64 {
 					// Jump the clock to the next busy cycle; done is
 					// re-checked before it executes, mirroring the poll
 					// engine, which skipped after each executed cycle.
+					if e.obs != nil {
+						e.obs.EngineWake(m, m-e.now)
+					}
 					e.SkippedCycles += m - e.now
 					e.now = m
 					continue

@@ -41,8 +41,12 @@ func (tl *Timeline) Listener() cpu.RegionListener {
 }
 
 func (tl *Timeline) transition(thread int, r cpu.Region, now uint64) {
+	at := now
+	if tl.Limit > 0 && at > tl.Limit {
+		at = tl.Limit
+	}
 	if cur, ok := tl.open[thread]; ok {
-		cur.end = now
+		cur.end = at
 		if cur.end > cur.start {
 			tl.segments[thread] = append(tl.segments[thread], *cur)
 		}
@@ -51,11 +55,20 @@ func (tl *Timeline) transition(thread int, r cpu.Region, now uint64) {
 		delete(tl.open, thread)
 		return
 	}
+	if tl.Limit > 0 && now >= tl.Limit {
+		// The recording window is over; transitions still close whatever
+		// was open (clipped to Limit above) but open nothing new.
+		delete(tl.open, thread)
+		return
+	}
 	tl.open[thread] = &segment{start: now, region: r}
 }
 
 // Close flushes open segments at cycle end (for threads still running).
 func (tl *Timeline) Close(end uint64) {
+	if tl.Limit > 0 && end > tl.Limit {
+		end = tl.Limit
+	}
 	for th, cur := range tl.open {
 		cur.end = end
 		if cur.end > cur.start {

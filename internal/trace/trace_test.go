@@ -116,6 +116,79 @@ func TestZeroLengthSegmentsDropped(t *testing.T) {
 	}
 }
 
+func TestLimitClipsRecording(t *testing.T) {
+	tl := NewTimeline()
+	tl.Limit = 100
+	l := tl.Listener()
+	l(0, cpu.RegionParallel, 0)
+	l(0, cpu.RegionBlocked, 60)   // open at 60, will be clipped at 100
+	l(0, cpu.RegionCS, 150)       // past Limit: closes blocked at 100, opens nothing
+	l(0, cpu.RegionParallel, 200) // ignored entirely (nothing open, past Limit)
+	tl.Close(400)
+
+	bd := tl.Breakdown([]int{0}, 400)
+	if bd[cpu.RegionParallel] != 60 {
+		t.Fatalf("parallel = %d, want 60", bd[cpu.RegionParallel])
+	}
+	if bd[cpu.RegionBlocked] != 40 {
+		t.Fatalf("blocked = %d, want 40 (clipped at Limit)", bd[cpu.RegionBlocked])
+	}
+	if bd[cpu.RegionCS] != 0 {
+		t.Fatalf("cs = %d, want 0 (opened past Limit)", bd[cpu.RegionCS])
+	}
+}
+
+func TestLimitBoundaryTransition(t *testing.T) {
+	// A transition at exactly Limit closes the open segment there and must
+	// not start a new one: [start, Limit) is the last recordable interval.
+	tl := NewTimeline()
+	tl.Limit = 100
+	l := tl.Listener()
+	l(0, cpu.RegionParallel, 0)
+	l(0, cpu.RegionBlocked, 100)
+	tl.Close(300)
+	bd := tl.Breakdown([]int{0}, 300)
+	if bd[cpu.RegionParallel] != 100 {
+		t.Fatalf("parallel = %d, want 100", bd[cpu.RegionParallel])
+	}
+	if bd[cpu.RegionBlocked] != 0 {
+		t.Fatalf("blocked = %d, want 0 (opened at Limit)", bd[cpu.RegionBlocked])
+	}
+}
+
+func TestLimitClipsClose(t *testing.T) {
+	tl := NewTimeline()
+	tl.Limit = 100
+	l := tl.Listener()
+	l(0, cpu.RegionParallel, 20)
+	tl.Close(500) // still open at Limit: flushed as [20, 100)
+	bd := tl.Breakdown([]int{0}, 500)
+	if bd[cpu.RegionParallel] != 80 {
+		t.Fatalf("parallel = %d, want 80", bd[cpu.RegionParallel])
+	}
+}
+
+func TestDoneOnlyThreadRecordsNothing(t *testing.T) {
+	// A thread whose only observed transition is RegionDone (it never ran)
+	// must not appear in the timeline, and a zero-length run must vanish.
+	tl := NewTimeline()
+	l := tl.Listener()
+	l(3, cpu.RegionDone, 500)
+	l(4, cpu.RegionParallel, 7)
+	l(4, cpu.RegionDone, 7)
+	tl.Close(1000)
+	if got := tl.Threads(); len(got) != 0 {
+		t.Fatalf("threads = %v, want none", got)
+	}
+	var sb strings.Builder
+	if err := tl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "thread,region,start,end\n" {
+		t.Fatalf("csv rows for empty timeline:\n%s", sb.String())
+	}
+}
+
 func TestWriteCSV(t *testing.T) {
 	tl := NewTimeline()
 	l := tl.Listener()

@@ -27,6 +27,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -59,6 +60,11 @@ type Config struct {
 	MaxCycles uint64
 	// Trace enables per-thread region timeline recording (Fig. 10).
 	Trace bool
+	// Obs, when non-nil, attaches a structured-event recorder to every
+	// layer (NoC, lock kernel, cores, engine). Emission sites are
+	// read-only, so results are bit-identical with or without it (a
+	// regression test asserts this).
+	Obs *obs.Recorder
 	// PollEngine registers every subsystem behind sim.Polled, making the
 	// engine fall back to ticking all components every executed cycle
 	// instead of event-driven scheduling. Results are cycle-identical
@@ -193,6 +199,12 @@ func New(cfg Config) (*System, error) {
 	if cfg.Trace {
 		s.Timeline = trace.NewTimeline()
 		csys.AddRegionListener(s.Timeline.Listener())
+	}
+	if cfg.Obs != nil {
+		net.SetObserver(cfg.Obs)
+		ksys.SetObserver(cfg.Obs)
+		csys.SetObserver(cfg.Obs)
+		s.Engine.SetObserver(cfg.Obs)
 	}
 
 	// Node sink: demultiplex protocol payloads to their subsystem.
