@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench fmt-check
+.PHONY: build vet test race check bench bench-json bench-smoke fmt-check
 
 build:
 	$(GO) build ./...
@@ -20,11 +20,30 @@ test:
 
 # Race-check the concurrent code paths: the bounded-parallelism helper, the
 # experiment harness that fans simulations out over it, the simulation
-# engine it drives, and the recorder the parallel trace capture shares.
+# engine it drives, the recorder the parallel trace capture shares, and the
+# object slabs the pooled hot path recycles through.
 race:
-	$(GO) test -race ./internal/par/... ./internal/experiments/... ./internal/sim/... ./internal/obs/...
+	$(GO) test -race ./internal/par/... ./internal/experiments/... ./internal/sim/... ./internal/obs/... ./internal/pool/... ./internal/noc/...
 
 check: build vet fmt-check test race
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/noc/ .
+
+# bench-json regenerates the Fig. 2/10/11 experiments under the benchmark
+# harness and writes wall-clock + allocs/op to BENCH_3.json.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_3.json
+
+# bench-smoke is the CI allocation gate: the steady-state step benchmark
+# must not allocate more per op than the committed threshold.
+bench-smoke:
+	@$(GO) test -run '^$$' -bench '^BenchmarkSteadyStateStep$$' -benchmem -benchtime 20000x . | tee /tmp/bench-smoke.out
+	@max=$$(cat .github/alloc-threshold); \
+	allocs=$$(awk '/^BenchmarkSteadyStateStep/ {for (i=1; i<=NF; i++) if ($$i == "allocs/op") print $$(i-1)}' /tmp/bench-smoke.out); \
+	if [ -z "$$allocs" ]; then echo "bench-smoke: no allocs/op in output"; exit 1; fi; \
+	if [ "$$allocs" -gt "$$max" ]; then \
+		echo "bench-smoke: $$allocs allocs/op exceeds threshold $$max"; exit 1; \
+	else \
+		echo "bench-smoke: $$allocs allocs/op within threshold $$max"; \
+	fi

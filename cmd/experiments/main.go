@@ -36,11 +36,12 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		traceOut = flag.String("trace", "", "write a Perfetto trace of the Fig. 10 bodytrack OCOR run to this file")
+		noPool   = flag.Bool("nopool", false, "disable object freelists (heap-allocate packets/messages; results are identical)")
 	)
 	flag.Parse()
 
 	if *traceOut != "" {
-		if err := writeFig10Trace(*traceOut, *threads, *seed, *scale); err != nil {
+		if err := writeFig10Trace(*traceOut, *threads, *seed, *scale, *noPool); err != nil {
 			fatal(err)
 		}
 		// A bare -trace invocation only captures the trace; combine with an
@@ -67,7 +68,7 @@ func main() {
 		}
 	}()
 
-	opt := experiments.Options{Threads: *threads, Seed: *seed, Scale: *scale, Quick: *quick, Jobs: *jobs}
+	opt := experiments.Options{Threads: *threads, Seed: *seed, Scale: *scale, Quick: *quick, Jobs: *jobs, NoPool: *noPool}
 	want := map[string]bool{}
 	for _, name := range strings.Split(*runList, ",") {
 		want[strings.TrimSpace(strings.ToLower(name))] = true
@@ -136,26 +137,35 @@ func main() {
 	if all || want["table3"] {
 		experiments.PrintTable3(out, experiments.Table3(suite))
 	}
-	if *csvDir != "" && suite != nil {
-		names, err := export.WriteSuite(*csvDir, suite)
-		if err != nil {
+	// Allocation/GC summary: sampled once after all experiments, written to
+	// stderr so figure output on stdout stays byte-comparable across runs.
+	rt := experiments.ReadRuntimeStats()
+	experiments.PrintRuntime(os.Stderr, rt)
+	if *csvDir != "" {
+		if suite != nil {
+			names, err := export.WriteSuite(*csvDir, suite)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d CSV files to %s\n", len(names), *csvDir)
+		}
+		if err := export.WriteRuntime(*csvDir, rt); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d CSV files to %s\n", len(names), *csvDir)
 	}
 }
 
 // writeFig10Trace runs the Fig. 10 configuration (bodytrack with OCOR
 // enabled) with a structured-event recorder attached and exports the
 // captured events as a Perfetto trace-event JSON file.
-func writeFig10Trace(path string, threads int, seed uint64, scale float64) error {
+func writeFig10Trace(path string, threads int, seed uint64, scale float64, noPool bool) error {
 	p, err := repro.Benchmark("body")
 	if err != nil {
 		return err
 	}
 	p = p.Scale(scale)
 	rec := obs.NewRecorder(0)
-	sys, err := repro.New(repro.Config{Benchmark: p, Threads: threads, OCOR: true, Seed: seed, Obs: rec})
+	sys, err := repro.New(repro.Config{Benchmark: p, Threads: threads, OCOR: true, Seed: seed, Obs: rec, NoPool: noPool})
 	if err != nil {
 		return err
 	}

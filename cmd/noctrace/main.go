@@ -36,6 +36,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "rng seed")
 		csv      = flag.Bool("csv", false, "print machine-readable per-class CSV rows instead of the table")
 		traceOut = flag.String("trace", "", "write a Perfetto trace-event JSON file of the run")
+		noPool   = flag.Bool("nopool", false, "disable the packet freelist (heap-allocate packets; results are identical)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 	cfg := noc.DefaultConfig()
 	cfg.Width, cfg.Height = w, h
 	cfg.Priority = *priority
+	cfg.NoPool = *noPool
 	net, err := noc.NewNetwork(cfg)
 	if err != nil {
 		fatal(err)

@@ -35,6 +35,7 @@ func main() {
 		list     = flag.Bool("list", false, "list the benchmark catalog and exit")
 		traceOut = flag.String("traceout", "", "write a Perfetto trace-event JSON file (OCOR run in compare mode)")
 		histo    = flag.Bool("histo", false, "print streaming latency histograms and arbitration counters")
+		noPool   = flag.Bool("nopool", false, "disable object freelists (heap-allocate packets/messages; results are identical)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func main() {
 		sys, err := repro.New(repro.Config{
 			Benchmark: p, Threads: *threads, OCOR: enabled,
 			PriorityLevels: *levels, Seed: *seed, Trace: *trace, Obs: rec,
+			NoPool: *noPool,
 		})
 		if err != nil {
 			fatal(err)

@@ -40,6 +40,7 @@ func main() {
 		jobs    = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		noPool  = flag.Bool("nopool", false, "disable object freelists (heap-allocate packets/messages; results are identical)")
 	)
 	flag.Parse()
 
@@ -77,13 +78,14 @@ func main() {
 	var lastBase metrics.Results
 	_, err = par.Map(2*len(grid), *jobs, func(i int) (metrics.Results, error) {
 		c := grid[i/2]
-		if i%2 == 0 {
-			return repro.RunBenchmark(p, c.threads, false, c.seed)
+		cfg := repro.Config{
+			Benchmark: p, Threads: c.threads, OCOR: i%2 == 1,
+			Seed: c.seed, NoPool: *noPool,
 		}
-		sys, err := repro.New(repro.Config{
-			Benchmark: p, Threads: c.threads, OCOR: true,
-			PriorityLevels: c.levels, Seed: c.seed,
-		})
+		if cfg.OCOR {
+			cfg.PriorityLevels = c.levels
+		}
+		sys, err := repro.New(cfg)
 		if err != nil {
 			return metrics.Results{}, err
 		}

@@ -35,6 +35,7 @@ func main() {
 		ocor    = flag.Bool("ocor", true, "enable OCOR for in-process capture")
 		top     = flag.Int("top", 10, "number of slowest acquisitions to print")
 		jobs    = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		noPool  = flag.Bool("nopool", false, "disable object freelists (heap-allocate packets/messages; results are identical)")
 	)
 	flag.Parse()
 
@@ -70,7 +71,7 @@ func main() {
 			rec := obs.NewRecorder(0)
 			sys, err := repro.New(repro.Config{
 				Benchmark: p, Threads: *threads, OCOR: *ocor,
-				Seed: *seed + uint64(i), Obs: rec,
+				Seed: *seed + uint64(i), Obs: rec, NoPool: *noPool,
 			})
 			if err != nil {
 				return capture{}, err

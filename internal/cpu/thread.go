@@ -61,10 +61,18 @@ type Thread struct {
 
 	Done  bool
 	Stats ThreadStats
+
+	// stepFn is t.step bound once at construction. A method value like
+	// t.step allocates a fresh closure at every use site, and threads pass
+	// their step continuation on every operation — caching it keeps the
+	// per-op path allocation-free.
+	stepFn func(now uint64)
 }
 
 func newThread(id int, prog Program, sys *System) *Thread {
-	return &Thread{ID: id, prog: prog, sys: sys, region: RegionParallel}
+	t := &Thread{ID: id, prog: prog, sys: sys, region: RegionParallel}
+	t.stepFn = t.step
+	return t
 }
 
 // start begins execution at cycle now.
@@ -91,21 +99,21 @@ func (t *Thread) step(now uint64) {
 		if d == 0 {
 			d = 1
 		}
-		t.sys.delay.Schedule(now+d, t.step)
+		t.sys.delay.Schedule(now+d, t.stepFn)
 	case OpLoad:
 		t.Stats.MemOps++
-		t.sys.Mem.Access(now, t.ID, op.Arg, false, t.step)
+		t.sys.Mem.Access(now, t.ID, op.Arg, false, t.stepFn)
 	case OpStore:
 		t.Stats.MemOps++
-		t.sys.Mem.Access(now, t.ID, op.Arg, true, t.step)
+		t.sys.Mem.Access(now, t.ID, op.Arg, true, t.stepFn)
 	case OpLoadNB:
 		t.Stats.MemOps++
 		t.sys.Mem.Access(now, t.ID, op.Arg, false, nil)
-		t.sys.delay.Schedule(now+1, t.step)
+		t.sys.delay.Schedule(now+1, t.stepFn)
 	case OpStoreNB:
 		t.Stats.MemOps++
 		t.sys.Mem.Access(now, t.ID, op.Arg, true, nil)
-		t.sys.delay.Schedule(now+1, t.step)
+		t.sys.delay.Schedule(now+1, t.stepFn)
 	case OpBarrier:
 		t.sys.barrierArrive(now, int(op.Arg), t)
 	case OpLock:

@@ -35,6 +35,11 @@ type Options struct {
 	// the setting: every simulation is seeded individually and reports
 	// are assembled in catalog order.
 	Jobs int
+	// NoPool disables the platform's object freelists and allocates every
+	// packet/message from the heap instead. Results are byte-identical
+	// either way (the pool regression tests assert it); the switch exists
+	// to isolate the recycler when debugging and to measure its effect.
+	NoPool bool
 }
 
 // withDefaults normalises unset options.
@@ -76,12 +81,13 @@ func (o Options) profiles() []workload.Profile {
 // Runner abstracts the platform entry point so the experiments package
 // does not import the root package (which imports this one). The root
 // package installs its runner at init time. levels selects the number of
-// priority levels (0 = the paper default of 8).
-type Runner func(p workload.Profile, threads int, ocor bool, levels int, seed uint64) (metrics.Results, error)
+// priority levels (0 = the paper default of 8); nopool disables object
+// recycling (Options.NoPool).
+type Runner func(p workload.Profile, threads int, ocor bool, levels int, seed uint64, nopool bool) (metrics.Results, error)
 
 // TraceRunner additionally returns a rendered execution-profile timeline
 // (Fig. 10) covering the first `window` cycles of `traceThreads` threads.
-type TraceRunner func(p workload.Profile, threads int, ocor bool, seed uint64, traceThreads int, window uint64) (metrics.Results, string, error)
+type TraceRunner func(p workload.Profile, threads int, ocor bool, seed uint64, traceThreads int, window uint64, nopool bool) (metrics.Results, string, error)
 
 var (
 	runner Runner
@@ -92,8 +98,8 @@ var (
 // this from an init function.
 func SetRunner(r Runner, t TraceRunner) { runner, tracer = r, t }
 
-func run(p workload.Profile, threads int, ocor bool, seed uint64) (metrics.Results, error) {
-	return runner(p, threads, ocor, 0, seed)
+func run(p workload.Profile, threads int, ocor bool, seed uint64, nopool bool) (metrics.Results, error) {
+	return runner(p, threads, ocor, 0, seed, nopool)
 }
 
 // BenchResult pairs the baseline and OCOR results of one benchmark.
@@ -133,7 +139,7 @@ func RunSuite(o Options, progress io.Writer) ([]BenchResult, error) {
 	res, err := par.Map(2*len(scaled), o.Jobs, func(i int) (metrics.Results, error) {
 		p := scaled[i/2]
 		ocor := i%2 == 1
-		r, err := run(p, o.Threads, ocor, o.Seed)
+		r, err := run(p, o.Threads, ocor, o.Seed, o.NoPool)
 		if err != nil {
 			kind := "baseline"
 			if ocor {

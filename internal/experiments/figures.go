@@ -67,11 +67,11 @@ func Fig10(o Options) (Fig10Result, error) {
 	}
 	p = p.Scale(o.Scale)
 	const traceThreads = 16
-	base, baseTrace, err := tracer(p, o.Threads, false, o.Seed, traceThreads, 0)
+	base, baseTrace, err := tracer(p, o.Threads, false, o.Seed, traceThreads, 0, o.NoPool)
 	if err != nil {
 		return Fig10Result{}, err
 	}
-	ocor, ocorTrace, err := tracer(p, o.Threads, true, o.Seed, traceThreads, 0)
+	ocor, ocorTrace, err := tracer(p, o.Threads, true, o.Seed, traceThreads, 0, o.NoPool)
 	if err != nil {
 		return Fig10Result{}, err
 	}
@@ -284,7 +284,7 @@ func Fig15(o Options, progress io.Writer) ([]Fig15Row, error) {
 	res, err := par.Map(len(profs)*nt*2, o.Jobs, func(i int) (metrics.Results, error) {
 		p := profs[i/(nt*2)].Scale(o.Scale)
 		th := Fig15Threads[(i/2)%nt]
-		return run(p, th, i%2 == 1, o.Seed)
+		return run(p, th, i%2 == 1, o.Seed, o.NoPool)
 	}, func(i int, v metrics.Results) {
 		// The emitter runs in index order, so the paired baseline (i-1)
 		// arrived just before its OCOR result.
@@ -382,9 +382,9 @@ func Fig16(o Options, progress io.Writer) ([]Fig16Row, error) {
 	res, err := par.Map(len(profs)*stride, o.Jobs, func(i int) (metrics.Results, error) {
 		p := profs[i/stride]
 		if i%stride == 0 {
-			return run(p, o.Threads, false, o.Seed)
+			return run(p, o.Threads, false, o.Seed, o.NoPool)
 		}
-		return runner(p, o.Threads, true, Fig16Levels[i%stride-1], o.Seed)
+		return runner(p, o.Threads, true, Fig16Levels[i%stride-1], o.Seed, o.NoPool)
 	}, func(i int, v metrics.Results) {
 		if i%stride == 0 {
 			lastBase = v

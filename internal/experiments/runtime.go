@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// RuntimeStats captures the Go runtime's allocation and garbage-collection
+// counters for the experiment process. cmd/experiments reads them once after
+// the requested experiments finish, so the figures double as a coarse
+// regression check on the simulator's allocation behaviour (the steady-state
+// freelists should keep Mallocs growth and GC cycle counts low).
+type RuntimeStats struct {
+	// Mallocs is the cumulative count of heap objects allocated.
+	Mallocs uint64
+	// TotalAlloc is the cumulative number of bytes allocated on the heap.
+	TotalAlloc uint64
+	// HeapAlloc is the number of bytes of live heap at sample time.
+	HeapAlloc uint64
+	// NumGC is the number of completed garbage-collection cycles.
+	NumGC uint32
+	// PauseTotal is the cumulative stop-the-world pause time.
+	PauseTotal time.Duration
+}
+
+// ReadRuntimeStats samples the runtime counters.
+func ReadRuntimeStats() RuntimeStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return RuntimeStats{
+		Mallocs:    m.Mallocs,
+		TotalAlloc: m.TotalAlloc,
+		HeapAlloc:  m.HeapAlloc,
+		NumGC:      m.NumGC,
+		PauseTotal: time.Duration(m.PauseTotalNs),
+	}
+}
+
+// PrintRuntime renders the allocation/GC summary block.
+func PrintRuntime(w io.Writer, s RuntimeStats) {
+	fmt.Fprintf(w, "Runtime (process totals)\n")
+	fmt.Fprintf(w, "  heap objects allocated   %d\n", s.Mallocs)
+	fmt.Fprintf(w, "  heap bytes allocated     %d\n", s.TotalAlloc)
+	fmt.Fprintf(w, "  live heap bytes          %d\n", s.HeapAlloc)
+	fmt.Fprintf(w, "  GC cycles                %d\n", s.NumGC)
+	fmt.Fprintf(w, "  GC pause total           %s\n", s.PauseTotal)
+}

@@ -144,6 +144,26 @@ func suiteRow(r experiments.BenchResult, cfg string) []string {
 	}
 }
 
+// RuntimeCSV renders the process allocation/GC counters sampled after an
+// experiment run (one data row; keeps runs comparable across commits).
+func RuntimeCSV(s experiments.RuntimeStats) [][]string {
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	return [][]string{
+		{"mallocs", "total_alloc_bytes", "heap_alloc_bytes", "num_gc", "gc_pause_ns"},
+		{u(s.Mallocs), u(s.TotalAlloc), u(s.HeapAlloc),
+			strconv.FormatUint(uint64(s.NumGC), 10),
+			strconv.FormatInt(s.PauseTotal.Nanoseconds(), 10)},
+	}
+}
+
+// WriteRuntime writes the allocation/GC counters to dir/runtime.csv.
+func WriteRuntime(dir string, s experiments.RuntimeStats) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return writeFile(dir, "runtime.csv", RuntimeCSV(s))
+}
+
 // WriteSuite writes every figure/table CSV derivable from a suite run into
 // dir, creating it if needed. Returns the file names written.
 func WriteSuite(dir string, rs []experiments.BenchResult) ([]string, error) {

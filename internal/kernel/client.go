@@ -106,7 +106,7 @@ type acquireCtx struct {
 type Client struct {
 	cfg   *Config
 	node  int
-	send  func(now uint64, dst int, m *Msg, prio core.Priority)
+	send  func(now uint64, dst int, m Msg, prio core.Priority)
 	delay *sim.DelayQueue
 	// cumHeld exposes the home controller's hold accounting for overhead
 	// measurement (simulator-level instrumentation, not protocol state).
@@ -122,6 +122,14 @@ type Client struct {
 	cur      *acquireCtx
 	heldLock int
 	acquired uint64
+	// gen counts acquisitions; spin-tick timers carry the generation they
+	// were armed in so ticks left over from a finished acquisition are
+	// dropped without the timer having to capture its acquireCtx.
+	gen uint64
+	// spinFn is the spin-tick callback bound once at construction; retries
+	// schedule it with ScheduleArgs instead of allocating a closure per
+	// cpu_relax interval.
+	spinFn func(now, gen, _ uint64)
 
 	listener Listener
 	// obs, when non-nil, receives lock lifecycle events; emission is
@@ -136,8 +144,8 @@ type Client struct {
 	TotalSleeps   uint64
 }
 
-func newClient(cfg *Config, node, nodes int, send func(now uint64, dst int, m *Msg, prio core.Priority), cumHeld func(int, uint64) uint64, dq *sim.DelayQueue) *Client {
-	return &Client{
+func newClient(cfg *Config, node, nodes int, send func(now uint64, dst int, m Msg, prio core.Priority), cumHeld func(int, uint64) uint64, dq *sim.DelayQueue) *Client {
+	c := &Client{
 		cfg:      cfg,
 		node:     node,
 		nodes:    nodes,
@@ -148,6 +156,8 @@ func newClient(cfg *Config, node, nodes int, send func(now uint64, dst int, m *M
 		heldLock: -1,
 		listener: nopListener{},
 	}
+	c.spinFn = c.spinTick
+	return c
 }
 
 // SetListener installs the event listener.
@@ -191,6 +201,7 @@ func (c *Client) Lock(now uint64, lock int, cb func(now uint64)) {
 		budget: c.cfg.Policy.MaxSpin,
 		cb:     cb,
 	}
+	c.gen++
 	c.cur = ctx
 	c.setState(now, StateSpinning)
 	if c.obs != nil {
@@ -211,7 +222,7 @@ func (c *Client) sendTry(now uint64) {
 	ctx.outstanding = true
 	c.TotalRetries++
 	prio := c.Regs.LockPriority(c.cfg.Policy)
-	c.send(now, LockHome(ctx.lock, c.nodes), &Msg{
+	c.send(now, LockHome(ctx.lock, c.nodes), Msg{
 		Type: MsgTryLock, To: ToController, Lock: ctx.lock,
 		From: c.node, Thread: c.node, RTR: rtr, Prog: c.prog,
 	}, prio)
@@ -226,27 +237,36 @@ func (c *Client) scheduleSpinTick(now uint64, ctx *acquireCtx) {
 		return
 	}
 	ctx.timerArmed = true
-	c.delay.Schedule(now+uint64(c.cfg.SpinInterval), func(t uint64) {
-		ctx.timerArmed = false
-		if c.cur != ctx || c.state != StateSpinning {
+	c.delay.ScheduleArgs(now+uint64(c.cfg.SpinInterval), c.spinFn, c.gen, 0)
+}
+
+// spinTick is one cpu_relax retry firing. A tick armed in an earlier
+// acquisition (stale generation, or the current one already completed) is
+// dropped, mirroring the ctx-identity guard the capturing closure used.
+func (c *Client) spinTick(t, gen, _ uint64) {
+	if gen != c.gen || c.cur == nil {
+		return
+	}
+	ctx := c.cur
+	ctx.timerArmed = false
+	if c.state != StateSpinning {
+		return
+	}
+	ctx.budget--
+	c.Regs.WriteLockRegs(ctx.budget, c.prog)
+	if c.obs != nil {
+		c.obs.RTRTick(t, c.node, ctx.lock, ctx.budget)
+	}
+	if ctx.budget <= 0 {
+		if ctx.outstanding {
+			// A final request is in flight; its outcome decides
+			// between acquisition and the sleeping phase.
 			return
 		}
-		ctx.budget--
-		c.Regs.WriteLockRegs(ctx.budget, c.prog)
-		if c.obs != nil {
-			c.obs.RTRTick(t, c.node, ctx.lock, ctx.budget)
-		}
-		if ctx.budget <= 0 {
-			if ctx.outstanding {
-				// A final request is in flight; its outcome decides
-				// between acquisition and the sleeping phase.
-				return
-			}
-			c.goSleep(t, ctx)
-			return
-		}
-		c.scheduleSpinTick(t, ctx)
-	})
+		c.goSleep(t, ctx)
+		return
+	}
+	c.scheduleSpinTick(t, ctx)
 }
 
 // Deliver handles a lock-protocol message addressed to this thread.
@@ -369,7 +389,7 @@ func (c *Client) goSleep(now uint64, ctx *acquireCtx) {
 		c.obs.FutexWait(now, c.node, ctx.lock, ctx.sleeps)
 	}
 	c.Regs.WriteLockRegs(0, c.prog)
-	c.send(now, LockHome(ctx.lock, c.nodes), &Msg{
+	c.send(now, LockHome(ctx.lock, c.nodes), Msg{
 		Type: MsgFutexWait, To: ToController, Lock: ctx.lock,
 		From: c.node, Thread: c.node, RTR: 0, Prog: c.prog,
 	}, c.Regs.LockPriority(c.cfg.Policy))
@@ -430,10 +450,10 @@ func (c *Client) Unlock(now uint64) {
 	lock := c.heldLock
 	c.heldLock = -1
 	home := LockHome(lock, c.nodes)
-	c.send(now, home, &Msg{Type: MsgRelease, To: ToController, Lock: lock, From: c.node, Thread: c.node}, core.Normal)
+	c.send(now, home, Msg{Type: MsgRelease, To: ToController, Lock: lock, From: c.node, Thread: c.node}, core.Normal)
 	c.prog++
 	c.Regs.WriteProg(c.prog)
-	c.send(now, home, &Msg{Type: MsgFutexWake, To: ToController, Lock: lock, From: c.node, Thread: c.node, Prog: c.prog},
+	c.send(now, home, Msg{Type: MsgFutexWake, To: ToController, Lock: lock, From: c.node, Thread: c.node, Prog: c.prog},
 		c.Regs.WakeupPriority(c.cfg.Policy))
 	if c.obs != nil {
 		c.obs.Released(now, c.node, lock, now-c.acquired)

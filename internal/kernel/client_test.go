@@ -21,7 +21,7 @@ func newCliHarness(cfg Config) *cliHarness {
 	cfg.Validate()
 	h := &cliHarness{}
 	h.cli = newClient(&cfg, 0, 16,
-		func(now uint64, dst int, m *Msg, prio core.Priority) { h.sent = append(h.sent, m) },
+		func(now uint64, dst int, m Msg, prio core.Priority) { h.sent = append(h.sent, &m) },
 		func(lock int, now uint64) uint64 { return h.held },
 		&h.dq)
 	return h

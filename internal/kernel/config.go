@@ -28,6 +28,11 @@ type Config struct {
 	// Policy is the OCOR configuration, including MaxSpin and the number
 	// of priority levels. Policy.Enabled false gives the paper's baseline.
 	Policy core.Policy
+	// NoPool disables the deterministic message freelist (every send heap-
+	// allocates); results are byte-identical either way.
+	NoPool bool
+	// PoolDebug enables the freelist's use-after-free checker.
+	PoolDebug bool
 }
 
 // DefaultConfig returns the reproduction's default timing: the Linux 4.2

@@ -67,7 +67,7 @@ type ControllerStats struct {
 //     favouring threads still in their cheap spinning phase.
 type Controller struct {
 	node int
-	send func(now uint64, dst int, m *Msg)
+	send func(now uint64, dst int, m Msg)
 	// queueHandoff selects the baseline semantics described above.
 	queueHandoff bool
 
@@ -79,7 +79,7 @@ type Controller struct {
 	obs *obs.Recorder
 }
 
-func newController(node int, queueHandoff bool, send func(now uint64, dst int, m *Msg)) *Controller {
+func newController(node int, queueHandoff bool, send func(now uint64, dst int, m Msg)) *Controller {
 	return &Controller{node: node, queueHandoff: queueHandoff, send: send, locks: make(map[int]*lockVar)}
 }
 
@@ -109,7 +109,7 @@ func (c *Controller) Deliver(now uint64, m *Msg) {
 			if c.obs != nil {
 				c.obs.LockDecision(now, c.node, m.Lock, m.Thread, m.PktID, true)
 			}
-			c.send(now, m.From, &Msg{Type: MsgGrant, To: ToClient, Lock: m.Lock, From: c.node, Thread: m.Thread, RTR: m.RTR, Prog: m.Prog, AcquiredAt: now, ReqPktID: m.PktID})
+			c.send(now, m.From, Msg{Type: MsgGrant, To: ToClient, Lock: m.Lock, From: c.node, Thread: m.Thread, RTR: m.RTR, Prog: m.Prog, AcquiredAt: now, ReqPktID: m.PktID})
 		} else {
 			lv.fails++
 			c.Stats.Fails++
@@ -119,7 +119,7 @@ func (c *Controller) Deliver(now uint64, m *Msg) {
 			// The failing thread keeps the lock variable cached and spins
 			// locally; remember to notify it on release.
 			c.addPoller(lv, m.Thread)
-			c.send(now, m.From, &Msg{Type: MsgFail, To: ToClient, Lock: m.Lock, From: c.node, Thread: m.Thread, RTR: m.RTR, Prog: m.Prog, ReqPktID: m.PktID})
+			c.send(now, m.From, Msg{Type: MsgFail, To: ToClient, Lock: m.Lock, From: c.node, Thread: m.Thread, RTR: m.RTR, Prog: m.Prog, ReqPktID: m.PktID})
 		}
 	case MsgFutexWait:
 		c.Stats.FutexWaits++
@@ -131,7 +131,7 @@ func (c *Controller) Deliver(now uint64, m *Msg) {
 			// the slow scenario of Fig. 5a).
 			lv.immediateWakes++
 			c.Stats.ImmediateWakes++
-			c.send(now, m.From, &Msg{Type: MsgWakeup, To: ToClient, Lock: m.Lock, From: c.node, Thread: m.Thread})
+			c.send(now, m.From, Msg{Type: MsgWakeup, To: ToClient, Lock: m.Lock, From: c.node, Thread: m.Thread})
 			return
 		}
 		lv.waitq = append(lv.waitq, m.Thread)
@@ -157,7 +157,7 @@ func (c *Controller) Deliver(now uint64, m *Msg) {
 		// shaped under OCOR — picks the winner.
 		for _, th := range lv.polling {
 			c.Stats.Notifies++
-			c.send(now, th, &Msg{Type: MsgNotify, To: ToClient, Lock: m.Lock, From: c.node, Thread: th})
+			c.send(now, th, Msg{Type: MsgNotify, To: ToClient, Lock: m.Lock, From: c.node, Thread: th})
 		}
 		lv.polling = lv.polling[:0]
 	case MsgFutexWake:
@@ -186,7 +186,7 @@ func (c *Controller) wakeHead(now uint64, lock int, lv *lockVar, reserve bool) {
 	if reserve {
 		lv.reserved = thread
 	}
-	c.send(now, thread, &Msg{Type: MsgWakeup, To: ToClient, Lock: lock, From: c.node, Thread: thread})
+	c.send(now, thread, Msg{Type: MsgWakeup, To: ToClient, Lock: lock, From: c.node, Thread: thread})
 }
 
 func (c *Controller) addPoller(lv *lockVar, thread int) {

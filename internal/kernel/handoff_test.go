@@ -17,8 +17,8 @@ type ctlHarness struct {
 
 func newCtlHarness(queueHandoff bool) *ctlHarness {
 	h := &ctlHarness{}
-	h.ctl = newController(0, queueHandoff, func(now uint64, dst int, m *Msg) {
-		h.sent = append(h.sent, m)
+	h.ctl = newController(0, queueHandoff, func(now uint64, dst int, m Msg) {
+		h.sent = append(h.sent, &m)
 		h.dsts = append(h.dsts, dst)
 	})
 	return h
@@ -238,7 +238,7 @@ func TestWakeupLastEndToEnd(t *testing.T) {
 	for i := 0; i < ncfg.Nodes(); i++ {
 		node := i
 		net.SetSink(node, func(now uint64, pkt *noc.Packet) {
-			ks.Deliver(now, node, pkt.Payload.(*Msg))
+			ks.DeliverPacket(now, node, pkt)
 		})
 	}
 	e := sim.NewEngine()

@@ -39,7 +39,7 @@ func newHarness(t testing.TB, w, h int, ocor bool) *harness {
 	for i := 0; i < ncfg.Nodes(); i++ {
 		node := i
 		net.SetSink(node, func(now uint64, pkt *noc.Packet) {
-			ks.Deliver(now, node, pkt.Payload.(*Msg))
+			ks.DeliverPacket(now, node, pkt)
 		})
 	}
 	e := sim.NewEngine()

@@ -86,4 +86,9 @@ type Msg struct {
 	// request being answered — the link from an acquisition back to the
 	// winning request packet's per-hop history.
 	ReqPktID uint64
+
+	// ref is the message's slot in the sending system's slab (0 = plain
+	// heap allocation, e.g. tests or -nopool runs). The carrying packet's
+	// PayloadRef and the post-delivery Free both come from it.
+	ref uint32
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/noc"
 	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/sim"
 )
 
@@ -22,20 +23,26 @@ type System struct {
 	Controllers []*Controller
 
 	delay sim.DelayQueue
+	// msgs recycles protocol messages: sendMsg draws a slot, the carrying
+	// packet holds its ref, and Deliver frees it once the handler returns
+	// (every handler consumes its message synchronously).
+	msgs pool.Slab[Msg]
 }
 
 // NewSystem builds the lock machinery on top of net.
 func NewSystem(cfg Config, net *noc.Network) *System {
 	cfg.Validate()
 	s := &System{Cfg: cfg, Net: net}
+	s.msgs.Disabled = cfg.NoPool
+	s.msgs.Debug = cfg.PoolDebug
 	nodes := net.Cfg.Nodes()
 	s.Clients = make([]*Client, nodes)
 	s.Controllers = make([]*Controller, nodes)
 	for i := 0; i < nodes; i++ {
 		node := i
-		ctlSend := func(now uint64, dst int, m *Msg) { s.sendMsg(now, node, dst, m, core.Normal) }
+		ctlSend := func(now uint64, dst int, m Msg) { s.sendMsg(now, node, dst, m, core.Normal) }
 		s.Controllers[i] = newController(node, !s.Cfg.Policy.Enabled, ctlSend)
-		cliSend := func(now uint64, dst int, m *Msg, prio core.Priority) { s.sendMsg(now, node, dst, m, prio) }
+		cliSend := func(now uint64, dst int, m Msg, prio core.Priority) { s.sendMsg(now, node, dst, m, prio) }
 		s.Clients[i] = newClient(&s.Cfg, node, nodes, cliSend, s.CumHeld, &s.delay)
 	}
 	return s
@@ -61,9 +68,20 @@ func classOf(t MsgType) (noc.Class, int) {
 	panic(fmt.Sprintf("kernel: no class for %s", t))
 }
 
-func (s *System) sendMsg(now uint64, src, dst int, m *Msg, prio core.Priority) {
-	class, vnet := classOf(m.Type)
-	pkt := s.Net.NewPacket(src, dst, class, vnet, m)
+// sendMsg copies mv into a slab slot and wraps it in a NoC packet. Taking
+// the message by value keeps the callers' composite literals on the stack:
+// the only heap traffic left on this path is the (recycled) slot itself.
+func (s *System) sendMsg(now uint64, src, dst int, mv Msg, prio core.Priority) {
+	class, vnet := classOf(mv.Type)
+	ref, m := s.msgs.Alloc()
+	mv.ref = ref
+	*m = mv
+	var pkt *noc.Packet
+	if ref != 0 {
+		pkt = s.Net.NewPacketRef(src, dst, class, vnet, noc.PayloadKernel, ref)
+	} else {
+		pkt = s.Net.NewPacket(src, dst, class, vnet, m)
+	}
 	m.PktID = pkt.ID
 	pkt.Prio = prio
 	// Grants and fails inherit the priority of the request they answer, so
@@ -74,7 +92,31 @@ func (s *System) sendMsg(now uint64, src, dst int, m *Msg, prio core.Priority) {
 	s.Net.Send(now, pkt)
 }
 
-// Deliver dispatches a lock-protocol message that arrived at node.
+// MsgAt resolves a PayloadKernel packet reference to its message (the
+// platform's delivery demultiplexer uses it; panics on stale refs).
+func (s *System) MsgAt(ref uint32) *Msg { return s.msgs.At(ref) }
+
+// MsgsLive reports pooled messages not yet recycled; a quiescent system
+// must report zero (leak check).
+func (s *System) MsgsLive() int { return s.msgs.Live() }
+
+// DeliverPacket resolves a packet carrying a lock-protocol message (typed
+// slab ref or legacy boxed payload), delivers it at node, and recycles the
+// packet. Network sinks for kernel-only setups use it directly.
+func (s *System) DeliverPacket(now uint64, node int, pkt *noc.Packet) {
+	var m *Msg
+	if pkt.PayloadKind == noc.PayloadKernel {
+		m = s.msgs.At(pkt.PayloadRef)
+	} else {
+		m = pkt.Payload.(*Msg)
+	}
+	s.Deliver(now, node, m)
+	s.Net.FreePacket(pkt)
+}
+
+// Deliver dispatches a lock-protocol message that arrived at node and
+// recycles it afterwards: every client and controller handler consumes its
+// message synchronously, never retaining it past the call.
 func (s *System) Deliver(now uint64, node int, m *Msg) {
 	switch m.To {
 	case ToController:
@@ -82,6 +124,7 @@ func (s *System) Deliver(now uint64, node int, m *Msg) {
 	case ToClient:
 		s.Clients[node].Deliver(now, m)
 	}
+	s.msgs.Free(m.ref)
 }
 
 // CumHeld returns the cumulative held time of a lock (home-node view);

@@ -46,6 +46,10 @@ type dirEntry struct {
 	busy    bool
 	txn     dirTxn
 	queue   []*Msg
+	// pending is the request sitting in the L2 access pipeline between
+	// startRequest and process (the entry is busy for that window, so at
+	// most one request is ever in flight here).
+	pending *Msg
 }
 
 // DirStats counts directory activity.
@@ -68,28 +72,46 @@ type Directory struct {
 	node  int
 	nodes int
 	mcs   []int
-	send  func(now uint64, dst int, m *Msg)
+	send  func(now uint64, dst int, m Msg)
+	// free recycles a delivered message once the directory is done with
+	// it. The blocking directory owns its messages past Deliver (racing
+	// requests sit in per-entry queues and the L2 pipeline), so freeing
+	// happens here, not in the system dispatcher.
+	free  func(m *Msg)
 	delay *sim.DelayQueue
 
 	entries map[uint64]*dirEntry
+	// entryChunk and entryFree arena-allocate directory entries: entries
+	// come off the freelist (or a bump-pointer chunk) and return to it when
+	// a block leaves the tag store, so tracking churn settles into reuse
+	// instead of per-block heap allocation.
+	entryChunk []dirEntry
+	entryFree  []*dirEntry
 	// l2sets tracks which blocks hold data in each L2 set, for capacity
 	// management.
 	l2sets map[int][]uint64
+	// processFn is the L2-pipeline callback bound once at construction;
+	// startRequest schedules it with ScheduleArgs instead of capturing the
+	// entry and message in a fresh closure per request.
+	processFn func(now, addr, _ uint64)
 
 	Stats DirStats
 }
 
-func newDirectory(cfg *Config, node, nodes int, mcs []int, send func(now uint64, dst int, m *Msg), dq *sim.DelayQueue) *Directory {
-	return &Directory{
+func newDirectory(cfg *Config, node, nodes int, mcs []int, send func(now uint64, dst int, m Msg), free func(m *Msg), dq *sim.DelayQueue) *Directory {
+	d := &Directory{
 		cfg:     cfg,
 		node:    node,
 		nodes:   nodes,
 		mcs:     mcs,
 		send:    send,
+		free:    free,
 		delay:   dq,
 		entries: make(map[uint64]*dirEntry),
 		l2sets:  make(map[int][]uint64),
 	}
+	d.processFn = d.processPending
+	return d
 }
 
 // l2Set maps a block to its L2 set within this bank.
@@ -121,7 +143,13 @@ func (d *Directory) setInL2(now uint64, addr uint64, e *dirEntry, in bool) {
 		}
 		return
 	}
-	d.l2sets[set] = append(d.l2sets[set], addr)
+	s := d.l2sets[set]
+	if s == nil {
+		// Size for the full associativity up front (+1 for the transient
+		// overflow slot) so occupancy tracking never regrows.
+		s = make([]uint64, 0, d.cfg.L2Ways+1)
+	}
+	d.l2sets[set] = append(s, addr)
 	if len(d.l2sets[set]) <= d.cfg.L2Ways {
 		return
 	}
@@ -137,9 +165,10 @@ func (d *Directory) setInL2(now uint64, addr uint64, e *dirEntry, in bool) {
 		d.l2sets[set] = append(d.l2sets[set][:i], d.l2sets[set][i+1:]...)
 		ve.inL2 = false
 		d.Stats.L2Evictions++
-		d.send(now, d.cfg.MCFor(victim, d.mcs), &Msg{Type: MsgDramWrite, To: ToMC, Addr: victim, From: d.node, Version: ve.version})
+		d.send(now, d.cfg.MCFor(victim, d.mcs), Msg{Type: MsgDramWrite, To: ToMC, Addr: victim, From: d.node, Version: ve.version})
 		if ve.sharers.empty() && ve.owner < 0 {
 			delete(d.entries, victim)
+			d.entryFree = append(d.entryFree, ve)
 		}
 		return
 	}
@@ -151,10 +180,26 @@ func (d *Directory) setInL2(now uint64, addr uint64, e *dirEntry, in bool) {
 func (d *Directory) entry(addr uint64) *dirEntry {
 	e, ok := d.entries[addr]
 	if !ok {
-		e = &dirEntry{owner: -1}
+		e = d.allocEntry()
 		d.entries[addr] = e
 	}
 	return e
+}
+
+// allocEntry draws a fresh entry from the freelist, falling back to a
+// bump-pointer chunk (chunks are never reclaimed, so pointers stay stable).
+func (d *Directory) allocEntry() *dirEntry {
+	if n := len(d.entryFree); n > 0 {
+		e := d.entryFree[n-1]
+		d.entryFree = d.entryFree[:n-1]
+		*e = dirEntry{owner: -1, queue: e.queue[:0]}
+		return e
+	}
+	if len(d.entryChunk) == cap(d.entryChunk) {
+		d.entryChunk = make([]dirEntry, 0, 128)
+	}
+	d.entryChunk = append(d.entryChunk, dirEntry{owner: -1})
+	return &d.entryChunk[len(d.entryChunk)-1]
 }
 
 // BusyBlocks reports in-flight directory transactions (for quiescence).
@@ -187,35 +232,49 @@ func (d *Directory) Deliver(now uint64, m *Msg) {
 		}
 		e.txn.gotNotify = true
 		e.txn.notifyDirty = m.Dirty
-		d.tryCompleteTxn(now, m.Addr, e)
+		addr := m.Addr
+		d.free(m)
+		d.tryCompleteTxn(now, addr, e)
 	case MsgUnblock:
 		e := d.entry(m.Addr)
 		if !e.busy {
 			panic(fmt.Sprintf("mem: dir %d unexpected Unblock for %x", d.node, m.Addr))
 		}
 		e.txn.gotUnblock = true
-		d.tryCompleteTxn(now, m.Addr, e)
+		addr := m.Addr
+		d.free(m)
+		d.tryCompleteTxn(now, addr, e)
 	case MsgDramResp:
 		e := d.entry(m.Addr)
 		if !e.busy || !e.txn.waitingDram {
 			panic(fmt.Sprintf("mem: dir %d unexpected DramResp for %x", d.node, m.Addr))
 		}
 		e.version = m.Version
-		d.setInL2(now, m.Addr, e, true)
+		addr := m.Addr
+		d.free(m)
+		d.setInL2(now, addr, e, true)
 		e.txn.waitingDram = false
-		d.grant(now, m.Addr, e)
+		d.grant(now, addr, e)
 	default:
 		panic(fmt.Sprintf("mem: dir %d cannot handle %s", d.node, m.Type))
 	}
 }
 
-// startRequest begins servicing a request after the L2 access latency.
+// startRequest begins servicing a request after the L2 access latency. The
+// message rides on the (busy, hence undeletable) entry rather than in a
+// per-request closure.
 func (d *Directory) startRequest(now uint64, e *dirEntry, m *Msg) {
 	e.busy = true
-	addr := m.Addr
-	d.delay.Schedule(now+uint64(d.cfg.L2Latency), func(t uint64) {
-		d.process(t, addr, e, m)
-	})
+	e.pending = m
+	d.delay.ScheduleArgs(now+uint64(d.cfg.L2Latency), d.processFn, m.Addr, 0)
+}
+
+// processPending is the delayed stage of startRequest.
+func (d *Directory) processPending(t, addr, _ uint64) {
+	e := d.entries[addr]
+	m := e.pending
+	e.pending = nil
+	d.process(t, addr, e, m)
 }
 
 func (d *Directory) process(now uint64, addr uint64, e *dirEntry, m *Msg) {
@@ -227,17 +286,19 @@ func (d *Directory) process(now uint64, addr uint64, e *dirEntry, m *Msg) {
 			d.Stats.GetM++
 		}
 		e.txn = dirTxn{req: m.From, isGetM: m.Type == MsgGetM}
+		d.free(m) // fields consumed; the transaction state carries on
 		// Data must come from somewhere: the owner if there is one,
 		// otherwise the L2 bank (fetching from DRAM on a cold miss).
 		if e.owner < 0 && !e.inL2 {
 			e.txn.waitingDram = true
 			d.Stats.DramFetches++
-			d.send(now, d.cfg.MCFor(addr, d.mcs), &Msg{Type: MsgDramRead, To: ToMC, Addr: addr, From: d.node})
+			d.send(now, d.cfg.MCFor(addr, d.mcs), Msg{Type: MsgDramRead, To: ToMC, Addr: addr, From: d.node})
 			return
 		}
 		d.grant(now, addr, e)
 	case MsgPutS, MsgPutE, MsgPutM, MsgPutO:
 		d.handlePut(now, addr, e, m)
+		d.free(m)
 	default:
 		panic(fmt.Sprintf("mem: dir %d processing %s", d.node, m.Type))
 	}
@@ -249,19 +310,19 @@ func (d *Directory) grant(now uint64, addr uint64, e *dirEntry) {
 	if !t.isGetM {
 		switch e.state {
 		case dirI:
-			d.send(now, t.req, &Msg{Type: MsgDataE, To: ToL1, Addr: addr, From: d.node, Version: e.version})
+			d.send(now, t.req, Msg{Type: MsgDataE, To: ToL1, Addr: addr, From: d.node, Version: e.version})
 		case dirS:
-			d.send(now, t.req, &Msg{Type: MsgDataS, To: ToL1, Addr: addr, From: d.node, Version: e.version})
+			d.send(now, t.req, Msg{Type: MsgDataS, To: ToL1, Addr: addr, From: d.node, Version: e.version})
 		case dirE, dirM, dirO:
 			t.needNotify = true
 			d.Stats.Forwards++
-			d.send(now, e.owner, &Msg{Type: MsgFwdGetS, To: ToL1, Addr: addr, From: d.node, Req: t.req})
+			d.send(now, e.owner, Msg{Type: MsgFwdGetS, To: ToL1, Addr: addr, From: d.node, Req: t.req})
 		}
 		return
 	}
 	switch e.state {
 	case dirI:
-		d.send(now, t.req, &Msg{Type: MsgDataM, To: ToL1, Addr: addr, From: d.node, Version: e.version, Acks: 0})
+		d.send(now, t.req, Msg{Type: MsgDataM, To: ToL1, Addr: addr, From: d.node, Version: e.version, Acks: 0})
 	case dirS:
 		acks := 0
 		e.sharers.forEach(func(n int) {
@@ -269,16 +330,16 @@ func (d *Directory) grant(now uint64, addr uint64, e *dirEntry) {
 				acks++
 			}
 		})
-		d.send(now, t.req, &Msg{Type: MsgDataM, To: ToL1, Addr: addr, From: d.node, Version: e.version, Acks: acks})
+		d.send(now, t.req, Msg{Type: MsgDataM, To: ToL1, Addr: addr, From: d.node, Version: e.version, Acks: acks})
 		e.sharers.forEach(func(n int) {
 			if n != t.req {
 				d.Stats.Invalidations++
-				d.send(now, n, &Msg{Type: MsgInv, To: ToL1, Addr: addr, From: d.node, Req: t.req})
+				d.send(now, n, Msg{Type: MsgInv, To: ToL1, Addr: addr, From: d.node, Req: t.req})
 			}
 		})
 	case dirE, dirM:
 		d.Stats.Forwards++
-		d.send(now, e.owner, &Msg{Type: MsgFwdGetM, To: ToL1, Addr: addr, From: d.node, Req: t.req, Acks: 0})
+		d.send(now, e.owner, Msg{Type: MsgFwdGetM, To: ToL1, Addr: addr, From: d.node, Req: t.req, Acks: 0})
 	case dirO:
 		acks := 0
 		e.sharers.forEach(func(n int) {
@@ -287,11 +348,11 @@ func (d *Directory) grant(now uint64, addr uint64, e *dirEntry) {
 			}
 		})
 		d.Stats.Forwards++
-		d.send(now, e.owner, &Msg{Type: MsgFwdGetM, To: ToL1, Addr: addr, From: d.node, Req: t.req, Acks: acks})
+		d.send(now, e.owner, Msg{Type: MsgFwdGetM, To: ToL1, Addr: addr, From: d.node, Req: t.req, Acks: acks})
 		e.sharers.forEach(func(n int) {
 			if n != t.req && n != e.owner {
 				d.Stats.Invalidations++
-				d.send(now, n, &Msg{Type: MsgInv, To: ToL1, Addr: addr, From: d.node, Req: t.req})
+				d.send(now, n, Msg{Type: MsgInv, To: ToL1, Addr: addr, From: d.node, Req: t.req})
 			}
 		})
 	}
@@ -389,7 +450,7 @@ func (d *Directory) handlePut(now uint64, addr uint64, e *dirEntry, m *Msg) {
 	if stale {
 		d.Stats.StalePuts++
 	}
-	d.send(now, m.From, &Msg{Type: MsgPutAck, To: ToL1, Addr: addr, From: d.node, Stale: stale})
+	d.send(now, m.From, Msg{Type: MsgPutAck, To: ToL1, Addr: addr, From: d.node, Stale: stale})
 	e.busy = false
 	d.drainQueue(now, addr, e)
 }

@@ -23,10 +23,10 @@ func newDirHarness(t *testing.T) *dirHarness {
 	}
 	h := &dirHarness{}
 	ccfg := cfg
-	h.dir = newDirectory(&ccfg, 0, 16, []int{1}, func(now uint64, dst int, m *Msg) {
-		h.sent = append(h.sent, m)
+	h.dir = newDirectory(&ccfg, 0, 16, []int{1}, func(now uint64, dst int, m Msg) {
+		h.sent = append(h.sent, &m)
 		h.dsts = append(h.dsts, dst)
-	}, &h.dq)
+	}, func(*Msg) {}, &h.dq)
 	return h
 }
 
@@ -252,9 +252,9 @@ func TestL2CapacityEviction(t *testing.T) {
 	}
 	var dq sim.DelayQueue
 	var sent []*Msg
-	d := newDirectory(&cfg, 0, 1, []int{0}, func(now uint64, dst int, m *Msg) {
-		sent = append(sent, m)
-	}, &dq)
+	d := newDirectory(&cfg, 0, 1, []int{0}, func(now uint64, dst int, m Msg) {
+		sent = append(sent, &m)
+	}, func(*Msg) {}, &dq)
 
 	fill := func(addr uint64, version uint64) {
 		e := d.entry(addr)
@@ -292,7 +292,7 @@ func TestL2EvictionSkipsSharedBlocks(t *testing.T) {
 		t.Fatal(err)
 	}
 	var dq sim.DelayQueue
-	d := newDirectory(&cfg, 0, 1, []int{0}, func(now uint64, dst int, m *Msg) {}, &dq)
+	d := newDirectory(&cfg, 0, 1, []int{0}, func(now uint64, dst int, m Msg) {}, func(*Msg) {}, &dq)
 	// A shared block holds L2 data and sharers: not evictable.
 	e := d.entry(0x0)
 	e.state = dirS

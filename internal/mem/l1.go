@@ -97,19 +97,22 @@ type L1 struct {
 	cfg   *Config
 	node  int
 	nodes int
-	send  func(now uint64, dst int, m *Msg)
+	send  func(now uint64, dst int, m Msg)
 	delay *sim.DelayQueue
 
 	sets  [][]line
 	mshrs map[uint64]*mshr
-	wb    map[uint64]*wbEntry
+	// mshrFree recycles retired MSHRs (waiter/deferred slices keep their
+	// capacity), so the steady state allocates none.
+	mshrFree []*mshr
+	wb       map[uint64]*wbEntry
 	// stalled holds ops waiting for a free MSHR or victim way.
 	stalled []op
 
 	Stats L1Stats
 }
 
-func newL1(cfg *Config, node, nodes int, send func(now uint64, dst int, m *Msg), dq *sim.DelayQueue) *L1 {
+func newL1(cfg *Config, node, nodes int, send func(now uint64, dst int, m Msg), dq *sim.DelayQueue) *L1 {
 	l := &L1{
 		cfg:   cfg,
 		node:  node,
@@ -124,6 +127,29 @@ func newL1(cfg *Config, node, nodes int, send func(now uint64, dst int, m *Msg),
 		l.sets[i] = make([]line, cfg.L1Ways)
 	}
 	return l
+}
+
+// allocMSHR draws a reset MSHR from the freelist (or the heap when empty).
+func (l *L1) allocMSHR() *mshr {
+	if n := len(l.mshrFree); n > 0 {
+		m := l.mshrFree[n-1]
+		l.mshrFree = l.mshrFree[:n-1]
+		return m
+	}
+	return &mshr{}
+}
+
+// freeMSHR resets m (dropping retained callbacks, keeping slice capacity)
+// and returns it to the freelist.
+func (l *L1) freeMSHR(m *mshr) {
+	for i := range m.waiters {
+		m.waiters[i] = nil
+	}
+	for i := range m.deferred {
+		m.deferred[i] = op{}
+	}
+	*m = mshr{waiters: m.waiters[:0], deferred: m.deferred[:0]}
+	l.mshrFree = append(l.mshrFree, m)
 }
 
 func (l *L1) setIndex(addr uint64) int {
@@ -228,12 +254,9 @@ func (l *L1) hit(now uint64, ln *line, o op) {
 		l.Stats.ReadHits++
 	}
 	ln.lastUse = now
-	cb := o.cb
-	l.delay.Schedule(now+uint64(l.cfg.L1Latency), func(t uint64) {
-		if cb != nil {
-			cb(t)
-		}
-	})
+	if o.cb != nil {
+		l.delay.Schedule(now+uint64(l.cfg.L1Latency), o.cb)
+	}
 }
 
 func (l *L1) missUpgrade(now uint64, ln *line, o op) {
@@ -243,12 +266,13 @@ func (l *L1) missUpgrade(now uint64, ln *line, o op) {
 		return
 	}
 	l.Stats.Misses++
-	m := &mshr{addr: o.addr, wantWrite: true, hasLine: true, acksNeed: -1}
+	m := l.allocMSHR()
+	m.addr, m.wantWrite, m.hasLine, m.acksNeed = o.addr, true, true, -1
 	if o.cb != nil {
 		m.waiters = append(m.waiters, o.cb)
 	}
 	l.mshrs[o.addr] = m
-	l.send(now, l.home(o.addr), &Msg{Type: MsgGetM, To: ToDir, Addr: o.addr, From: l.node})
+	l.send(now, l.home(o.addr), Msg{Type: MsgGetM, To: ToDir, Addr: o.addr, From: l.node})
 }
 
 func (l *L1) miss(now uint64, o op) {
@@ -271,7 +295,8 @@ func (l *L1) miss(now uint64, o op) {
 		l.evict(now, ln)
 	}
 	*ln = line{addr: o.addr, reserved: true}
-	m := &mshr{addr: o.addr, wantWrite: o.write, way: way, set: si, acksNeed: -1}
+	m := l.allocMSHR()
+	m.addr, m.wantWrite, m.way, m.set, m.acksNeed = o.addr, o.write, way, si, -1
 	if o.cb != nil {
 		m.waiters = append(m.waiters, o.cb)
 	}
@@ -280,7 +305,7 @@ func (l *L1) miss(now uint64, o op) {
 	if o.write {
 		t = MsgGetM
 	}
-	l.send(now, l.home(o.addr), &Msg{Type: t, To: ToDir, Addr: o.addr, From: l.node})
+	l.send(now, l.home(o.addr), Msg{Type: t, To: ToDir, Addr: o.addr, From: l.node})
 }
 
 // victim selects a way in set si: an invalid, unreserved way if available,
@@ -328,7 +353,7 @@ func (l *L1) evict(now uint64, ln *line) {
 		panic(fmt.Sprintf("mem: evicting line in state %s", ln.state))
 	}
 	l.wb[addr] = &wbEntry{state: ln.state, version: ln.version}
-	l.send(now, l.home(addr), &Msg{Type: t, To: ToDir, Addr: addr, From: l.node, Version: ln.version, Dirty: ln.state == Modified || ln.state == Owned})
+	l.send(now, l.home(addr), Msg{Type: t, To: ToDir, Addr: addr, From: l.node, Version: ln.version, Dirty: ln.state == Modified || ln.state == Owned})
 }
 
 func (l *L1) home(addr uint64) int { return l.cfg.HomeNode(addr, l.nodes) }
@@ -429,16 +454,16 @@ func (l *L1) tryComplete(now uint64, ms *mshr) {
 	}
 	delete(l.mshrs, ms.addr)
 	// Tell the directory the transaction is complete.
-	l.send(now, l.home(ms.addr), &Msg{Type: MsgUnblock, To: ToDir, Addr: ms.addr, From: l.node})
+	l.send(now, l.home(ms.addr), Msg{Type: MsgUnblock, To: ToDir, Addr: ms.addr, From: l.node})
 	// Wake waiters and replay deferred operations.
 	for _, cb := range ms.waiters {
-		fn := cb
-		l.delay.Schedule(now+1, func(t uint64) { fn(t) })
+		l.delay.Schedule(now+1, cb)
 	}
 	for _, o := range ms.deferred {
 		def := o
 		l.delay.Schedule(now+1, func(t uint64) { l.access(t, def) })
 	}
+	l.freeMSHR(ms)
 	l.replayStalled(now)
 }
 
@@ -470,7 +495,7 @@ func (l *L1) onInv(now uint64, m *Msg) {
 	// An upgrade in flight may lose its S copy here; tryComplete detects
 	// the missing line and reinstalls from the arriving data.
 	// Always ack: the requester is counting.
-	l.send(now, m.Req, &Msg{Type: MsgInvAck, To: ToL1, Addr: m.Addr, From: l.node})
+	l.send(now, m.Req, Msg{Type: MsgInvAck, To: ToL1, Addr: m.Addr, From: l.node})
 }
 
 func (l *L1) onFwdGetS(now uint64, m *Msg) {
@@ -488,14 +513,14 @@ func (l *L1) onFwdGetS(now uint64, m *Msg) {
 		default:
 			panic(fmt.Sprintf("mem: L1 %d FwdGetS in state %s", l.node, ln.state))
 		}
-		l.send(now, m.Req, &Msg{Type: MsgDataS, To: ToL1, Addr: m.Addr, From: l.node, Version: ln.version})
-		l.send(now, l.home(m.Addr), &Msg{Type: MsgFwdNotify, To: ToDir, Addr: m.Addr, From: l.node, Req: m.Req, Dirty: dirty})
+		l.send(now, m.Req, Msg{Type: MsgDataS, To: ToL1, Addr: m.Addr, From: l.node, Version: ln.version})
+		l.send(now, l.home(m.Addr), Msg{Type: MsgFwdNotify, To: ToDir, Addr: m.Addr, From: l.node, Req: m.Req, Dirty: dirty})
 		return
 	}
 	if e, ok := l.wb[m.Addr]; ok {
 		dirty := e.state == Modified || e.state == Owned
-		l.send(now, m.Req, &Msg{Type: MsgDataS, To: ToL1, Addr: m.Addr, From: l.node, Version: e.version})
-		l.send(now, l.home(m.Addr), &Msg{Type: MsgFwdNotify, To: ToDir, Addr: m.Addr, From: l.node, Req: m.Req, Dirty: dirty})
+		l.send(now, m.Req, Msg{Type: MsgDataS, To: ToL1, Addr: m.Addr, From: l.node, Version: e.version})
+		l.send(now, l.home(m.Addr), Msg{Type: MsgFwdNotify, To: ToDir, Addr: m.Addr, From: l.node, Req: m.Req, Dirty: dirty})
 		return
 	}
 	panic(fmt.Sprintf("mem: L1 %d FwdGetS for %x with no data", l.node, m.Addr))
@@ -509,12 +534,12 @@ func (l *L1) onFwdGetM(now uint64, m *Msg) {
 		default:
 			panic(fmt.Sprintf("mem: L1 %d FwdGetM in state %s", l.node, ln.state))
 		}
-		l.send(now, m.Req, &Msg{Type: MsgDataM, To: ToL1, Addr: m.Addr, From: l.node, Version: ln.version, Acks: m.Acks})
+		l.send(now, m.Req, Msg{Type: MsgDataM, To: ToL1, Addr: m.Addr, From: l.node, Version: ln.version, Acks: m.Acks})
 		ln.valid = false
 		return
 	}
 	if e, ok := l.wb[m.Addr]; ok {
-		l.send(now, m.Req, &Msg{Type: MsgDataM, To: ToL1, Addr: m.Addr, From: l.node, Version: e.version, Acks: m.Acks})
+		l.send(now, m.Req, Msg{Type: MsgDataM, To: ToL1, Addr: m.Addr, From: l.node, Version: e.version, Acks: m.Acks})
 		return
 	}
 	panic(fmt.Sprintf("mem: L1 %d FwdGetM for %x with no data", l.node, m.Addr))

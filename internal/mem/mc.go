@@ -29,17 +29,21 @@ type bank struct {
 type MC struct {
 	cfg   *Config
 	node  int
-	send  func(now uint64, dst int, m *Msg)
+	send  func(now uint64, dst int, m Msg)
 	delay *sim.DelayQueue
 
 	banks   []bank
 	backing map[uint64]uint64
+	// respFn is the read-completion callback bound once at construction;
+	// reads schedule it with ScheduleArgs (addr, dst) so DRAM service needs
+	// no per-access closure.
+	respFn func(now, addr, dst uint64)
 
 	Stats MCStats
 }
 
-func newMC(cfg *Config, node int, send func(now uint64, dst int, m *Msg), dq *sim.DelayQueue) *MC {
-	return &MC{
+func newMC(cfg *Config, node int, send func(now uint64, dst int, m Msg), dq *sim.DelayQueue) *MC {
+	mc := &MC{
 		cfg:     cfg,
 		node:    node,
 		send:    send,
@@ -47,6 +51,14 @@ func newMC(cfg *Config, node int, send func(now uint64, dst int, m *Msg), dq *si
 		banks:   make([]bank, cfg.DRAMBanks),
 		backing: make(map[uint64]uint64),
 	}
+	mc.respFn = mc.dramResp
+	return mc
+}
+
+// dramResp completes a DRAM read: data (with the backing store's version
+// token) goes back to the requesting directory.
+func (mc *MC) dramResp(t uint64, addr, dst uint64) {
+	mc.send(t, int(dst), Msg{Type: MsgDramResp, To: ToDir, Addr: addr, From: mc.node, Version: mc.backing[addr]})
 }
 
 // service computes the completion time of an access to addr, updating the
@@ -78,10 +90,7 @@ func (mc *MC) Deliver(now uint64, m *Msg) {
 	case MsgDramRead:
 		mc.Stats.Reads++
 		done := mc.service(now, m.Addr)
-		addr, dst := m.Addr, m.From
-		mc.delay.Schedule(done, func(t uint64) {
-			mc.send(t, dst, &Msg{Type: MsgDramResp, To: ToDir, Addr: addr, From: mc.node, Version: mc.backing[addr]})
-		})
+		mc.delay.ScheduleArgs(done, mc.respFn, m.Addr, uint64(m.From))
 	case MsgDramWrite:
 		mc.Stats.Writes++
 		mc.service(now, m.Addr)

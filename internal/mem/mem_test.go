@@ -34,7 +34,7 @@ func newHarnessWithMem(t testing.TB, w, h int, mcfg Config) *harness {
 	for i := 0; i < ncfg.Nodes(); i++ {
 		node := i
 		net.SetSink(node, func(now uint64, pkt *noc.Packet) {
-			m.Deliver(now, node, pkt.Payload.(*Msg))
+			m.DeliverPacket(now, node, pkt)
 		})
 	}
 	e := sim.NewEngine()
@@ -497,7 +497,7 @@ func TestMCRowBuffer(t *testing.T) {
 		t.Fatal(err)
 	}
 	var dq sim.DelayQueue
-	mc := newMC(&cfg, 0, func(now uint64, dst int, m *Msg) {}, &dq)
+	mc := newMC(&cfg, 0, func(now uint64, dst int, m Msg) {}, &dq)
 
 	// Two reads of the same bank and row (consecutive blocks interleave
 	// across banks, so stride by the bank count): first misses, second
@@ -556,7 +556,7 @@ func TestMCWriteUpdatesBacking(t *testing.T) {
 		t.Fatal(err)
 	}
 	var dq sim.DelayQueue
-	mc := newMC(&cfg, 0, func(now uint64, dst int, m *Msg) {}, &dq)
+	mc := newMC(&cfg, 0, func(now uint64, dst int, m Msg) {}, &dq)
 	mc.Deliver(0, &Msg{Type: MsgDramWrite, To: ToMC, Addr: 0x80, Version: 7})
 	if mc.backing[0x80] != 7 {
 		t.Fatal("write did not reach backing store")

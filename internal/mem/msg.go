@@ -85,6 +85,11 @@ type Msg struct {
 	Dirty bool
 	// Stale marks a PutAck for a Put that raced with an ownership change.
 	Stale bool
+
+	// ref is the message's slot in the memory system's slab (0 = plain
+	// heap allocation, e.g. tests or -nopool runs). The carrying packet's
+	// PayloadRef and the post-consumption free both come from it.
+	ref uint32
 }
 
 // isData reports whether the message carries a cache block (8-flit packet).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/noc"
+	"repro/internal/pool"
 	"repro/internal/sim"
 )
 
@@ -21,6 +22,12 @@ type System struct {
 	MCs  map[int]*MC
 
 	delay sim.DelayQueue
+	// msgs recycles protocol messages: sendMsg draws a slot, the carrying
+	// packet holds its ref, and the slot is freed once the message is
+	// consumed (after the synchronous L1/MC handlers; the blocking
+	// directory retains delivered messages and frees them itself at its
+	// consumption points).
+	msgs pool.Slab[Msg]
 }
 
 // NewSystem builds the hierarchy on top of net.
@@ -38,39 +45,80 @@ func NewSystem(cfg Config, net *noc.Network) (*System, error) {
 		}
 	}
 	s := &System{Cfg: cfg, Net: net, MCs: make(map[int]*MC)}
+	s.msgs.Disabled = cfg.NoPool
+	s.msgs.Debug = cfg.PoolDebug
 	s.L1s = make([]*L1, nodes)
 	s.Dirs = make([]*Directory, nodes)
 	for i := 0; i < nodes; i++ {
 		node := i
-		send := func(now uint64, dst int, m *Msg) { s.sendMsg(now, node, dst, m) }
+		send := func(now uint64, dst int, m Msg) { s.sendMsg(now, node, dst, m) }
 		s.L1s[i] = newL1(&s.Cfg, node, nodes, send, &s.delay)
-		s.Dirs[i] = newDirectory(&s.Cfg, node, nodes, s.Cfg.MCNodes, send, &s.delay)
+		s.Dirs[i] = newDirectory(&s.Cfg, node, nodes, s.Cfg.MCNodes, send, s.freeMsg, &s.delay)
 	}
 	for _, n := range cfg.MCNodes {
 		node := n
-		send := func(now uint64, dst int, m *Msg) { s.sendMsg(now, node, dst, m) }
+		send := func(now uint64, dst int, m Msg) { s.sendMsg(now, node, dst, m) }
 		s.MCs[n] = newMC(&s.Cfg, node, send, &s.delay)
 	}
 	return s, nil
 }
 
-// sendMsg wraps a protocol message in a NoC packet. Data-bearing messages
-// travel as 8-flit data packets, the rest as single-flit control packets;
-// coherence traffic always has normal (lowest) OCOR priority.
-func (s *System) sendMsg(now uint64, src, dst int, m *Msg) {
+// sendMsg copies a protocol message into a slab slot and wraps it in a
+// NoC packet. Data-bearing messages travel as 8-flit data packets, the
+// rest as single-flit control packets; coherence traffic always has
+// normal (lowest) OCOR priority. Taking the message by value keeps the
+// callers' composite literals on the stack.
+func (s *System) sendMsg(now uint64, src, dst int, mv Msg) {
 	class := noc.ClassCtrl
-	if m.isData() {
+	if mv.isData() {
 		class = noc.ClassData
 	}
-	pkt := s.Net.NewPacket(src, dst, class, m.vnet(), m)
+	ref, m := s.msgs.Alloc()
+	mv.ref = ref
+	*m = mv
+	var pkt *noc.Packet
+	if ref != 0 {
+		pkt = s.Net.NewPacketRef(src, dst, class, m.vnet(), noc.PayloadMem, ref)
+	} else {
+		pkt = s.Net.NewPacket(src, dst, class, m.vnet(), m)
+	}
 	s.Net.Send(now, pkt)
 }
 
-// Deliver dispatches a protocol message that arrived at node.
+// freeMsg recycles a consumed message (no-op for unpooled ones).
+func (s *System) freeMsg(m *Msg) { s.msgs.Free(m.ref) }
+
+// MsgAt resolves a PayloadMem packet reference to its message (the
+// platform's delivery demultiplexer uses it; panics on stale refs).
+func (s *System) MsgAt(ref uint32) *Msg { return s.msgs.At(ref) }
+
+// MsgsLive reports pooled messages not yet recycled; a quiescent system
+// must report zero (leak check).
+func (s *System) MsgsLive() int { return s.msgs.Live() }
+
+// DeliverPacket resolves a packet carrying a coherence message (typed
+// slab ref or legacy boxed payload), delivers it at node, and recycles
+// the packet. Network sinks for memory-only setups use it directly.
+func (s *System) DeliverPacket(now uint64, node int, pkt *noc.Packet) {
+	var m *Msg
+	if pkt.PayloadKind == noc.PayloadMem {
+		m = s.msgs.At(pkt.PayloadRef)
+	} else {
+		m = pkt.Payload.(*Msg)
+	}
+	s.Deliver(now, node, m)
+	s.Net.FreePacket(pkt)
+}
+
+// Deliver dispatches a protocol message that arrived at node. L1s and MCs
+// consume their messages synchronously, so those are recycled on return;
+// the blocking directory retains messages (transaction queues, L2-latency
+// pipeline) and owns freeing them at its consumption points.
 func (s *System) Deliver(now uint64, node int, m *Msg) {
 	switch m.To {
 	case ToL1:
 		s.L1s[node].Deliver(now, m)
+		s.msgs.Free(m.ref)
 	case ToDir:
 		s.Dirs[node].Deliver(now, m)
 	case ToMC:
@@ -79,6 +127,7 @@ func (s *System) Deliver(now uint64, node int, m *Msg) {
 			panic(fmt.Sprintf("mem: node %d has no MC", node))
 		}
 		mc.Deliver(now, m)
+		s.msgs.Free(m.ref)
 	}
 }
 

@@ -95,6 +95,16 @@ type Config struct {
 	Priority bool
 	// CollectPerHop enables more expensive per-hop statistics.
 	CollectPerHop bool
+	// NoPool disables the deterministic packet freelist: every NewPacket
+	// heap-allocates and FreePacket is a no-op. Results are required (and
+	// regression-tested) to be byte-identical either way; the flag exists
+	// to isolate pooling bugs and to measure its effect.
+	NoPool bool
+	// PoolDebug enables the freelist's use-after-free checker: freed
+	// packets are zeroed and poisoned so stale pointers fail fast instead
+	// of silently reading recycled contents. Double frees always panic,
+	// with or without this flag.
+	PoolDebug bool
 }
 
 // DefaultConfig returns the paper's 8x8 configuration.

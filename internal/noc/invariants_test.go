@@ -32,7 +32,8 @@ func checkInvariants(t *testing.T, n *Network, now uint64) {
 		var pf, pr, pa [NumDirs]int
 		var mr, ma [NumDirs]uint64
 		for d := Dir(0); d < NumDirs; d++ {
-			for v, vc := range r.in[d] {
+			for v := 0; v < r.cfg.VCs; v++ {
+				vc := r.vc(d, v)
 				fc += vc.n
 				pf[d] += vc.n
 				switch vc.state {

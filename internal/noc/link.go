@@ -41,6 +41,11 @@ type link struct {
 	creditRecv *Router
 	creditDir  Dir
 
+	// niIdx is the node whose NI consumes this link's receiver-less event
+	// kind; sends mark that node in the network's niActive bitmap so the
+	// NI phase visits only interfaces that hold events.
+	niIdx int
+
 	flitQueued   bool
 	creditQueued bool
 }
@@ -55,6 +60,7 @@ func (l *link) sendFlit(f flit, vc int, at uint64) {
 		}
 	} else {
 		l.net.niEvents++
+		l.net.niActive[l.niIdx>>6] |= 1 << uint(l.niIdx&63)
 	}
 }
 
@@ -68,12 +74,17 @@ func (l *link) sendCredit(vc int, freeVC bool, at uint64) {
 		}
 	} else {
 		l.net.niEvents++
+		l.net.niActive[l.niIdx>>6] |= 1 << uint(l.niIdx&63)
 	}
 }
 
 // dueFlits removes and returns the prefix of flit events due at or before
-// now. The returned slice aliases internal storage and is only valid until
-// the next call.
+// now. The returned slice aliases storage owned by the caller/link pair
+// and is only valid until the next call: every caller must store the
+// result back into the scratch it passed, because when the whole queue is
+// due (the common case — senders stamp now+latency and busy links drain
+// every cycle) the link hands its backing array to the caller and adopts
+// the scratch as its new empty queue instead of copying.
 func (l *link) dueFlits(now uint64, scratch []flitEvent) []flitEvent {
 	n := 0
 	for n < len(l.flits) && l.flits[n].at <= now {
@@ -82,16 +93,22 @@ func (l *link) dueFlits(now uint64, scratch []flitEvent) []flitEvent {
 	if n == 0 {
 		return scratch[:0]
 	}
-	scratch = append(scratch[:0], l.flits[:n]...)
-	l.flits = l.flits[:copy(l.flits, l.flits[n:])]
 	*l.act -= n
 	if l.flitRecv == nil {
 		l.net.niEvents -= n
 	}
+	if n == len(l.flits) {
+		due := l.flits
+		l.flits = scratch[:0]
+		return due
+	}
+	scratch = append(scratch[:0], l.flits[:n]...)
+	l.flits = l.flits[:copy(l.flits, l.flits[n:])]
 	return scratch
 }
 
-// dueCredits removes and returns credit events due at or before now.
+// dueCredits removes and returns credit events due at or before now, with
+// the same swap-don't-copy contract as dueFlits.
 func (l *link) dueCredits(now uint64, scratch []creditEvent) []creditEvent {
 	n := 0
 	for n < len(l.credits) && l.credits[n].at <= now {
@@ -100,12 +117,17 @@ func (l *link) dueCredits(now uint64, scratch []creditEvent) []creditEvent {
 	if n == 0 {
 		return scratch[:0]
 	}
-	scratch = append(scratch[:0], l.credits[:n]...)
-	l.credits = l.credits[:copy(l.credits, l.credits[n:])]
 	*l.act -= n
 	if l.creditRecv == nil {
 		l.net.niEvents -= n
 	}
+	if n == len(l.credits) {
+		due := l.credits
+		l.credits = scratch[:0]
+		return due
+	}
+	scratch = append(scratch[:0], l.credits[:n]...)
+	l.credits = l.credits[:copy(l.credits, l.credits[n:])]
 	return scratch
 }
 

@@ -2,8 +2,10 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/sim"
 )
 
@@ -51,6 +53,14 @@ type Network struct {
 	niEvents    int
 	routerFlits int
 	queuedPkts  int
+	// routerActive marks routers holding buffered flits (bit i = router i);
+	// the allocation phase iterates exactly those instead of touching all
+	// Routers every cycle. Routers maintain their own bit as flitCount
+	// crosses zero. niActive and niInject do the same for the NI phases:
+	// bit i means NI i holds undelivered link events / queued packets.
+	routerActive []uint64
+	niActive     []uint64
+	niInject     []uint64
 	// waker, when set, is notified on Send so an event-driven engine learns
 	// the network has work without polling it.
 	waker sim.Waker
@@ -58,6 +68,12 @@ type Network struct {
 	scratchF  []flitEvent
 	scratchC  []creditEvent
 	scratchLB []loopbackEvent
+
+	// pktSlab recycles Packets: NewPacket draws from it and FreePacket
+	// (called by the consumer once the packet is fully processed) returns
+	// them. The LIFO freelist is deterministic, so pooled and unpooled
+	// runs are byte-identical.
+	pktSlab pool.Slab[Packet]
 }
 
 type loopbackEvent struct {
@@ -71,13 +87,19 @@ func NewNetwork(cfg Config) (*Network, error) {
 		return nil, err
 	}
 	n := &Network{Cfg: cfg, localDelay: 2}
+	n.pktSlab.Disabled = cfg.NoPool
+	n.pktSlab.Debug = cfg.PoolDebug
 	nodes := cfg.Nodes()
 	n.Routers = make([]*Router, nodes)
 	n.NIs = make([]*NI, nodes)
 	act := &n.activity
+	words := (nodes + 63) / 64
+	n.routerActive = make([]uint64, words)
+	n.niActive = make([]uint64, words)
+	n.niInject = make([]uint64, words)
 	for i := 0; i < nodes; i++ {
-		n.Routers[i] = newRouter(&n.Cfg, i, act, &n.routerFlits)
-		n.NIs[i] = newNI(&n.Cfg, i, act, &n.queuedPkts)
+		n.Routers[i] = newRouter(&n.Cfg, i, act, &n.routerFlits, n.routerActive)
+		n.NIs[i] = newNI(&n.Cfg, i, act, &n.queuedPkts, n.niInject)
 	}
 	// Wire neighbour links. For each adjacent pair create two directed
 	// links. opposite(d) is the receiving side's port.
@@ -102,9 +124,10 @@ func NewNetwork(cfg Config) (*Network, error) {
 			nbr.outLink[North] = north
 			r.inLink[South] = north
 		}
-		// NI <-> router local port.
-		inj := &link{act: act}
-		ej := &link{act: act}
+		// NI <-> router local port. The NI consumes inj's credits and
+		// ej's flits, so both carry its node index for niActive marking.
+		inj := &link{act: act, niIdx: i}
+		ej := &link{act: act, niIdx: i}
 		n.NIs[i].toRouter = inj
 		r.inLink[Local] = inj
 		r.outLink[Local] = ej
@@ -162,23 +185,71 @@ func (n *Network) SetObserver(r *obs.Recorder) {
 	}
 }
 
-// NewPacket allocates a packet with a fresh id. Size is derived from the
-// class: data packets use Cfg.DataPacketFlits, everything else one flit.
-func (n *Network) NewPacket(src, dst int, class Class, vnet int, payload any) *Packet {
+// newPacket draws a packet from the slab (or the heap under -nopool) and
+// fully resets it — every field is overwritten, so a recycled packet is
+// indistinguishable from a fresh one and determinism cannot depend on the
+// pool. Size is derived from the class: data packets use
+// Cfg.DataPacketFlits, everything else one flit.
+func (n *Network) newPacket(src, dst int, class Class, vnet int) *Packet {
 	n.pktID++
 	size := 1
 	if class == ClassData {
 		size = n.Cfg.DataPacketFlits
 	}
-	return &Packet{
+	ref, pkt := n.pktSlab.Alloc()
+	*pkt = Packet{
 		ID:      n.pktID,
 		Src:     src,
 		Dst:     dst,
 		Size:    size,
 		VNet:    vnet,
 		Class:   class,
-		Payload: payload,
+		poolRef: ref,
 	}
+	return pkt
+}
+
+// NewPacket allocates a packet with a fresh id carrying an untyped
+// payload. Protocol hot paths use NewPacketRef instead.
+func (n *Network) NewPacket(src, dst int, class Class, vnet int, payload any) *Packet {
+	pkt := n.newPacket(src, dst, class, vnet)
+	pkt.Payload = payload
+	return pkt
+}
+
+// NewPacketRef allocates a packet with a fresh id carrying a typed payload
+// reference — the sending subsystem's slab ref — instead of a boxed
+// Payload value.
+func (n *Network) NewPacketRef(src, dst int, class Class, vnet int, kind PayloadKind, ref uint32) *Packet {
+	pkt := n.newPacket(src, dst, class, vnet)
+	pkt.PayloadKind = kind
+	pkt.PayloadRef = ref
+	return pkt
+}
+
+// FreePacket recycles a delivered packet. The consumer (the platform's
+// delivery sink, or a test's) calls it once the packet and its payload are
+// fully processed; packets the network allocated unpooled (-nopool) are
+// left to the GC. Freeing the same packet twice panics.
+func (n *Network) FreePacket(pkt *Packet) {
+	ref := pkt.poolRef
+	if ref == 0 {
+		return
+	}
+	n.pktSlab.Free(ref)
+	if n.Cfg.PoolDebug {
+		// The slab zeroed the packet; re-poison so a stale pointer that
+		// reaches Send fails the endpoint check, and keep the ref so a
+		// second FreePacket still trips the slab's double-free panic.
+		pkt.Src, pkt.Dst = -1, -1
+		pkt.poolRef = ref
+	}
+}
+
+// PoolStats reports the packet slab's counters: total allocations, how
+// many were served from the freelist, frees, and packets still live.
+func (n *Network) PoolStats() (allocs, reuses, frees uint64, live int) {
+	return n.pktSlab.Allocs, n.pktSlab.Reuses, n.pktSlab.Frees, n.pktSlab.Live()
 }
 
 // Send enqueues pkt for injection at its source NI. Messages addressed to
@@ -243,14 +314,25 @@ func (n *Network) Tick(now uint64) {
 		n.pendCredits = keep
 	}
 	// Phase 2: NIs eject and absorb credits, in node order (delivery
-	// callbacks are order-sensitive).
+	// callbacks are order-sensitive; bit iteration is ascending, so the
+	// order is the same as the full scan's). A bit stays set while its
+	// links hold events — including future-dated ones — and is cleared
+	// only here, once both queues drain; sends during this phase go to
+	// router-consumed links, so no bit is set mid-iteration.
 	if n.niEvents > 0 {
-		for _, ni := range n.NIs {
-			if len(ni.fromRouter.flits) > 0 {
-				ni.eject(now)
-			}
-			if len(ni.toRouter.credits) > 0 {
-				ni.commitCredits(now)
+		for w, word := range n.niActive {
+			for ; word != 0; word &= word - 1 {
+				i := w<<6 | bits.TrailingZeros64(word)
+				ni := n.NIs[i]
+				if len(ni.fromRouter.flits) > 0 {
+					ni.eject(now)
+				}
+				if len(ni.toRouter.credits) > 0 {
+					ni.commitCredits(now)
+				}
+				if len(ni.fromRouter.flits) == 0 && len(ni.toRouter.credits) == 0 {
+					n.niActive[w] &^= 1 << uint(i&63)
+				}
 			}
 		}
 	}
@@ -273,17 +355,27 @@ func (n *Network) Tick(now uint64) {
 			}
 		}
 	}
-	// Phase 4: router allocation and traversal.
+	// Phase 4: router allocation and traversal. Bit iteration visits the
+	// flit-holding routers in ascending id order — the same order as a
+	// full scan (tick order is invisible anyway: routers only interact
+	// through link events committed in later cycles). A ticking router can
+	// only clear its own bit, never set another's, so iterating word
+	// snapshots is safe.
 	if n.routerFlits > 0 {
-		for _, r := range n.Routers {
-			r.tick(now)
+		for w, word := range n.routerActive {
+			for ; word != 0; word &= word - 1 {
+				n.Routers[w<<6|bits.TrailingZeros64(word)].tick(now)
+			}
 		}
 	}
-	// Phase 5: NI injection.
+	// Phase 5: NI injection. NIs maintain their own niInject bit as
+	// QueuedPkts crosses zero, so bit set ⟺ QueuedPkts > 0 and the
+	// iteration visits exactly the NIs the full scan would, in the same
+	// ascending order. inject never enqueues on another NI.
 	if n.queuedPkts > 0 {
-		for _, ni := range n.NIs {
-			if ni.QueuedPkts > 0 {
-				ni.inject(now)
+		for w, word := range n.niInject {
+			for ; word != 0; word &= word - 1 {
+				n.NIs[w<<6|bits.TrailingZeros64(word)].inject(now)
 			}
 		}
 	}

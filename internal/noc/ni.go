@@ -8,7 +8,9 @@ import (
 )
 
 // activeStream is a packet that has been allocated an injection VC and is
-// being streamed flit by flit onto the local link.
+// being streamed flit by flit onto the local link. Streams are stored by
+// value in the NI (pkt == nil means the slot is idle): opening one happens
+// for every injected packet, far too often to heap-allocate.
 type activeStream struct {
 	pkt  *Packet
 	next int // next flit sequence number
@@ -37,7 +39,7 @@ type NI struct {
 	outAlloc   []bool
 
 	queues [NumVNets][]*Packet
-	active [NumVNets]*activeStream
+	active [NumVNets]activeStream
 	// sink is the node's protocol-level delivery callback; onDeliver is the
 	// network's statistics hook.
 	sink      func(now uint64, pkt *Packet)
@@ -47,9 +49,12 @@ type NI struct {
 
 	// act points at the network-wide activity counter; each waiting or
 	// streaming packet contributes one unit. qp mirrors QueuedPkts into the
-	// network's queued-packet total, which gates the injection phase.
-	act *int
-	qp  *int
+	// network's queued-packet total, which gates the injection phase, and
+	// injSet is the shared niInject bitmap: this NI keeps its bit equal to
+	// QueuedPkts > 0 so the injection phase skips idle interfaces.
+	act    *int
+	qp     *int
+	injSet []uint64
 
 	// Stats
 	Injected   [NumClasses]uint64
@@ -61,8 +66,8 @@ type NI struct {
 	scratchC []creditEvent
 }
 
-func newNI(cfg *Config, node int, act, qp *int) *NI {
-	ni := &NI{cfg: cfg, node: node, act: act, qp: qp}
+func newNI(cfg *Config, node int, act, qp *int, injSet []uint64) *NI {
+	ni := &NI{cfg: cfg, node: node, act: act, qp: qp, injSet: injSet}
 	ni.outCredits = make([]int, cfg.VCs)
 	ni.outAlloc = make([]bool, cfg.VCs)
 	for v := range ni.outCredits {
@@ -79,6 +84,9 @@ func (ni *NI) SetSink(fn func(now uint64, pkt *Packet)) { ni.sink = fn }
 func (ni *NI) enqueue(now uint64, pkt *Packet) {
 	pkt.EnqueuedAt = now
 	ni.queues[pkt.VNet] = append(ni.queues[pkt.VNet], pkt)
+	if ni.QueuedPkts == 0 {
+		ni.injSet[ni.node>>6] |= 1 << uint(ni.node&63)
+	}
 	ni.QueuedPkts++
 	*ni.act++
 	*ni.qp++
@@ -127,7 +135,7 @@ func (ni *NI) inject(now uint64) {
 	// Open a stream per vnet whenever a VC is free. Under OCOR pick the
 	// highest-priority waiting packet of the vnet, not merely the oldest.
 	for vn := 0; vn < NumVNets; vn++ {
-		if ni.active[vn] != nil || len(ni.queues[vn]) == 0 {
+		if ni.active[vn].pkt != nil || len(ni.queues[vn]) == 0 {
 			continue
 		}
 		lo, hi := ni.cfg.VCRange(vn)
@@ -152,14 +160,14 @@ func (ni *NI) inject(now uint64) {
 		pkt := ni.queues[vn][idx]
 		ni.queues[vn] = append(ni.queues[vn][:idx], ni.queues[vn][idx+1:]...)
 		ni.outAlloc[vcFree] = true
-		ni.active[vn] = &activeStream{pkt: pkt, vc: vcFree}
+		ni.active[vn] = activeStream{pkt: pkt, vc: vcFree}
 	}
 
 	// Pick which active stream sends a flit this cycle.
 	best := -1
 	for vn := 0; vn < NumVNets; vn++ {
-		st := ni.active[vn]
-		if st == nil || ni.outCredits[st.vc] <= 0 {
+		st := &ni.active[vn]
+		if st.pkt == nil || ni.outCredits[st.vc] <= 0 {
 			continue
 		}
 		if best == -1 {
@@ -173,7 +181,7 @@ func (ni *NI) inject(now uint64) {
 	if best == -1 {
 		return
 	}
-	st := ni.active[best]
+	st := &ni.active[best]
 	if st.next == 0 {
 		st.pkt.InjectedAt = now
 		ni.Injected[st.pkt.Class]++
@@ -187,10 +195,13 @@ func (ni *NI) inject(now uint64) {
 	ni.FlitsSent++
 	st.next++
 	if st.next == st.pkt.Size {
-		ni.active[best] = nil
+		ni.active[best] = activeStream{}
 		ni.QueuedPkts--
 		*ni.act--
 		*ni.qp--
+		if ni.QueuedPkts == 0 {
+			ni.injSet[ni.node>>6] &^= 1 << uint(ni.node&63)
+		}
 	}
 }
 

@@ -36,6 +36,23 @@ func (c Class) String() string {
 // NumClasses is the number of traffic classes.
 const NumClasses = 4
 
+// PayloadKind discriminates the typed payload reference carried by a
+// packet. The network never interprets payloads; it fixes the numbering
+// here so the endpoint protocols and the platform's delivery demultiplexer
+// agree without depending on each other.
+type PayloadKind uint8
+
+// Registered payload kinds.
+const (
+	// PayloadNone: no typed reference; any payload is in the legacy
+	// Payload field (tests, synthetic traffic, -nopool runs).
+	PayloadNone PayloadKind = iota
+	// PayloadKernel: PayloadRef indexes the lock kernel's message slab.
+	PayloadKernel
+	// PayloadMem: PayloadRef indexes the memory system's message slab.
+	PayloadMem
+)
+
 // Packet is the unit of end-to-end transfer. The additional header fields
 // of the paper (priority check bit, one-hot priority bits, progress bits)
 // are carried in Prio and travel with the head flit.
@@ -50,10 +67,17 @@ type Packet struct {
 	VNet int
 	// Class is the traffic class.
 	Class Class
+	// PayloadKind and PayloadRef identify the protocol message carried by
+	// the packet as a typed index into the sending subsystem's message
+	// slab. The hot paths use them instead of Payload: a slab ref neither
+	// boxes the message nor writes a pointer the GC must trace.
+	PayloadKind PayloadKind
+	PayloadRef  uint32
 	// Prio is the OCOR priority word (zero value = normal packet).
 	Prio core.Priority
-	// Payload is the protocol message carried by the packet; the network
-	// never inspects it.
+	// Payload is the untyped protocol message carried by the packet; the
+	// network never inspects it. Retained for tests and synthetic traffic;
+	// steady-state traffic uses PayloadKind/PayloadRef.
 	Payload any
 
 	// Timestamps maintained by the network (cycles).
@@ -62,6 +86,10 @@ type Packet struct {
 	DeliveredAt uint64 // tail flit ejected at destination
 	// Hops is the number of routers traversed.
 	Hops int
+
+	// poolRef is the packet's own ref in the network's packet slab
+	// (0 = heap-allocated, not recycled).
+	poolRef uint32
 }
 
 // String renders a short packet description for traces.

@@ -27,6 +27,10 @@ type vcBuf struct {
 	state  vcState
 	outDir Dir
 	outVC  int
+	// headEnq mirrors head().enqueuedAt: the allocators test staging
+	// eligibility on every VC every cycle, and reading it here spares them
+	// the flits-ring indirection on their hottest line.
+	headEnq uint64
 }
 
 func (v *vcBuf) head() *flit { return &v.flits[v.hd] }
@@ -37,6 +41,9 @@ func (v *vcBuf) push(f flit) {
 		i -= len(v.flits)
 	}
 	v.flits[i] = f
+	if v.n == 0 {
+		v.headEnq = f.enqueuedAt
+	}
 	v.n++
 }
 
@@ -48,6 +55,9 @@ func (v *vcBuf) pop() flit {
 		v.hd = 0
 	}
 	v.n--
+	if v.n > 0 {
+		v.headEnq = v.flits[v.hd].enqueuedAt
+	}
 	return f
 }
 
@@ -77,9 +87,20 @@ type Router struct {
 	cfg  *Config
 	id   int
 	x, y int
+	// vcs and prio cache cfg.VCs and cfg.Priority: the allocators read them
+	// per VC per cycle, and a direct field load avoids re-chasing the shared
+	// config pointer on the hottest loops (vc() in particular).
+	vcs  int
+	prio bool
 
-	in  [NumDirs][]*vcBuf
-	out [NumDirs]*outPort
+	// in holds every input VC in one contiguous value slice (port-major:
+	// port d's VCs are in[d*VCs:(d+1)*VCs], accessed via vc(d, v)), with
+	// all flit rings carved from a single backing array. The allocators
+	// walk these structures every cycle, so keeping them dense — rather
+	// than behind per-VC pointers — is what the hot loops' cache behaviour
+	// rests on.
+	in  []vcBuf
+	out [NumDirs]outPort
 
 	// inLink[d] carries flits arriving from direction d (credits we emit
 	// travel upstream on the same link); outLink[d] carries flits we send
@@ -114,6 +135,10 @@ type Router struct {
 	// router-flit total, which gates the router phase of Network.Tick.
 	act *int
 	rf  *int
+	// activeSet is the network's flit-holding-router bitmap; the router
+	// keeps its bit (id) in sync as flitCount crosses zero so the router
+	// phase of Network.Tick iterates only live routers.
+	activeSet []uint64
 
 	Stats RouterStats
 
@@ -140,22 +165,29 @@ type saCand struct {
 	vc  int
 }
 
-func newRouter(cfg *Config, id int, act, rf *int) *Router {
-	r := &Router{cfg: cfg, id: id, act: act, rf: rf}
+func newRouter(cfg *Config, id int, act, rf *int, activeSet []uint64) *Router {
+	r := &Router{cfg: cfg, id: id, act: act, rf: rf, activeSet: activeSet, vcs: cfg.VCs, prio: cfg.Priority}
 	r.x, r.y = cfg.XY(id)
+	r.in = make([]vcBuf, int(NumDirs)*cfg.VCs)
+	rings := make([]flit, len(r.in)*cfg.VCDepth)
+	for i := range r.in {
+		r.in[i].flits = rings[i*cfg.VCDepth : (i+1)*cfg.VCDepth : (i+1)*cfg.VCDepth]
+	}
+	credits := make([]int, int(NumDirs)*cfg.VCs)
+	allocs := make([]bool, int(NumDirs)*cfg.VCs)
 	for d := Dir(0); d < NumDirs; d++ {
-		r.in[d] = make([]*vcBuf, cfg.VCs)
-		for v := 0; v < cfg.VCs; v++ {
-			r.in[d][v] = &vcBuf{flits: make([]flit, cfg.VCDepth)}
-		}
-		op := &outPort{credits: make([]int, cfg.VCs), alloc: make([]bool, cfg.VCs)}
+		op := &r.out[d]
+		op.credits = credits[int(d)*cfg.VCs : (int(d)+1)*cfg.VCs : (int(d)+1)*cfg.VCs]
+		op.alloc = allocs[int(d)*cfg.VCs : (int(d)+1)*cfg.VCs : (int(d)+1)*cfg.VCs]
 		for v := range op.credits {
 			op.credits[v] = cfg.VCDepth
 		}
-		r.out[d] = op
 	}
 	return r
 }
+
+// vc returns the input VC of port d at index v.
+func (r *Router) vc(d Dir, v int) *vcBuf { return &r.in[int(d)*r.vcs+v] }
 
 // route computes the dimension-order output direction for dst.
 func (r *Router) route(dst int) Dir {
@@ -191,7 +223,7 @@ func (r *Router) route(dst int) Dir {
 // commit absorbs flit arrivals and credit returns due this cycle.
 func (r *Router) commit(now uint64, fs []flitEvent, dir Dir) {
 	for _, ev := range fs {
-		vc := r.in[dir][ev.vc]
+		vc := r.vc(dir, ev.vc)
 		if vc.n >= r.cfg.VCDepth {
 			panic(fmt.Sprintf("noc: router %d dir %s vc %d buffer overflow", r.id, dir, ev.vc))
 		}
@@ -208,6 +240,9 @@ func (r *Router) commit(now uint64, fs []flitEvent, dir Dir) {
 			r.routedMask[dir] |= 1 << uint(ev.vc)
 		}
 		vc.push(f)
+		if r.flitCount == 0 {
+			r.activeSet[r.id>>6] |= 1 << uint(r.id&63)
+		}
 		r.flitCount++
 		r.portFlits[dir]++
 		*r.act++
@@ -216,7 +251,7 @@ func (r *Router) commit(now uint64, fs []flitEvent, dir Dir) {
 }
 
 func (r *Router) commitCredits(cs []creditEvent, dir Dir) {
-	op := r.out[dir]
+	op := &r.out[dir]
 	for _, ev := range cs {
 		op.credits[ev.vc]++
 		if op.credits[ev.vc] > r.cfg.VCDepth {
@@ -250,17 +285,19 @@ func (r *Router) allocateVCs(now uint64) {
 	// identical to the order the per-output scan produced, so the
 	// round-robin and priority arbiters see the exact same lists.
 	for d := range r.vaPerOut {
-		r.vaPerOut[d] = r.vaPerOut[d][:0]
+		if len(r.vaPerOut[d]) != 0 {
+			r.vaPerOut[d] = r.vaPerOut[d][:0]
+		}
 	}
 	for inDir := Dir(0); inDir < NumDirs; inDir++ {
 		// Bit iteration visits exactly the vcRouted VCs in ascending index
 		// order — the same order a full scan would.
 		for m := r.routedMask[inDir]; m != 0; m &= m - 1 {
 			v := bits.TrailingZeros64(m)
-			vc := r.in[inDir][v]
+			vc := r.vc(inDir, v)
 			// Conditions in the original order: staged one cycle, no
 			// u-turns in XY routing.
-			if vc.n != 0 && now > vc.head().enqueuedAt && vc.outDir != inDir {
+			if vc.n != 0 && now > vc.headEnq && vc.outDir != inDir {
 				r.vaPerOut[vc.outDir] = append(r.vaPerOut[vc.outDir], vaReq{dir: inDir, vc: v})
 			}
 		}
@@ -270,8 +307,8 @@ func (r *Router) allocateVCs(now uint64) {
 		if len(reqs) == 0 {
 			continue
 		}
-		op := r.out[outDir]
-		if r.cfg.Priority {
+		op := &r.out[outDir]
+		if r.prio {
 			r.grantVAPriority(now, op, reqs)
 		} else {
 			r.grantVARoundRobin(now, op, reqs)
@@ -286,7 +323,7 @@ func (r *Router) grantVAPriority(now uint64, op *outPort, reqs []vaReq) {
 	// vcBuf -> flit -> packet pointers on every selection round.
 	prios := r.vaPrios[:0]
 	for _, req := range reqs {
-		prios = append(prios, r.in[req.dir][req.vc].head().pkt.Prio)
+		prios = append(prios, r.vc(req.dir, req.vc).head().pkt.Prio)
 	}
 	r.vaPrios = prios
 	// Repeatedly pick the highest-priority unserved request (ties broken by
@@ -347,7 +384,7 @@ func (r *Router) grantVARoundRobin(now uint64, op *outPort, reqs []vaReq) {
 // tryAssignVC gives the requesting input VC the first free output VC within
 // its packet's virtual network. It returns false when none is free.
 func (r *Router) tryAssignVC(now uint64, op *outPort, req vaReq) bool {
-	vc := r.in[req.dir][req.vc]
+	vc := r.vc(req.dir, req.vc)
 	lo, hi := r.cfg.VCRange(vc.head().pkt.VNet)
 	for v := lo; v < hi; v++ {
 		if !op.alloc[v] {
@@ -392,7 +429,7 @@ func (r *Router) allocateSwitch(now uint64) {
 		}
 		best := -1
 		var bestPrio core.Priority
-		n := r.cfg.VCs
+		n := r.vcs
 		p := r.lpaPtr[inDir]
 		if p >= n {
 			p %= n
@@ -405,12 +442,12 @@ func (r *Router) allocateSwitch(now uint64) {
 		for _, m := range [2]uint64{mask &^ lo, mask & lo} {
 			for ; m != 0; m &= m - 1 {
 				v := bits.TrailingZeros64(m)
-				vc := r.in[inDir][v]
-				if vc.n != 0 && now > vc.head().enqueuedAt && // stage-one latency
+				vc := r.vc(inDir, v)
+				if vc.n != 0 && now > vc.headEnq && // stage-one latency
 					r.out[vc.outDir].credits[vc.outVC] > 0 { // downstream space
 					if best == -1 {
 						best, bestPrio = v, vc.head().pkt.Prio
-						if !r.cfg.Priority {
+						if !r.prio {
 							break scan // round-robin: first ready VC from the pointer wins
 						}
 					} else if pr := vc.head().pkt.Prio; core.Compare(pr, bestPrio) > 0 {
@@ -431,7 +468,7 @@ func (r *Router) allocateSwitch(now uint64) {
 		// Single LPA winner: it is the sole (and winning) bidder at its
 		// output, and the rotating pointer lands back on 0 as (0+1)%1 does.
 		c := cands[0]
-		vc := r.in[c.dir][c.vc]
+		vc := r.vc(c.dir, c.vc)
 		r.out[vc.outDir].saPtr = 0
 		r.traverse(now, c.dir, c.vc)
 		return
@@ -441,7 +478,7 @@ func (r *Router) allocateSwitch(now uint64) {
 	// skipped entirely).
 	var bidCount [NumDirs]int
 	for _, c := range cands {
-		bidCount[r.in[c.dir][c.vc].outDir]++
+		bidCount[r.vc(c.dir, c.vc).outDir]++
 	}
 
 	// Stage 2: per-output global arbitration among the LPA winners.
@@ -449,7 +486,7 @@ func (r *Router) allocateSwitch(now uint64) {
 		if bidCount[outDir] == 0 {
 			continue
 		}
-		op := r.out[outDir]
+		op := &r.out[outDir]
 		winner := -1
 		var winPrio core.Priority
 		bidders := 0
@@ -466,14 +503,14 @@ func (r *Router) allocateSwitch(now uint64) {
 				// output was that one, so it is not a bidder here.
 				continue
 			}
-			vc := r.in[c.dir][c.vc]
+			vc := r.vc(c.dir, c.vc)
 			if vc.outDir != outDir {
 				continue
 			}
 			bidders++
 			if winner == -1 {
 				winner, winPrio = idx, vc.head().pkt.Prio
-				if !r.cfg.Priority {
+				if !r.prio {
 					break
 				}
 			} else if p := vc.head().pkt.Prio; core.Compare(p, winPrio) > 0 {
@@ -508,14 +545,14 @@ func (r *Router) allocateSwitch(now uint64) {
 // arbitration, where priorities are never consulted). The scan is
 // read-only and runs only with a recorder attached and >1 bidder.
 func (r *Router) recordArbitration(now uint64, cands []saCand, winner int, outDir Dir) {
-	wpkt := r.in[cands[winner].dir][cands[winner].vc].head().pkt
+	wpkt := r.vc(cands[winner].dir, cands[winner].vc).head().pkt
 	var bestLose core.Priority
 	bidders, losers := 0, 0
 	for i, c := range cands {
 		if c.dir == -1 {
 			continue
 		}
-		vc := r.in[c.dir][c.vc]
+		vc := r.vc(c.dir, c.vc)
 		if vc.outDir != outDir {
 			continue
 		}
@@ -547,13 +584,16 @@ func (r *Router) recordArbitration(now uint64, cands []saCand, winner int, outDi
 // traverse is stage two: move the head flit of the granted input VC onto
 // the output link and return a credit upstream.
 func (r *Router) traverse(now uint64, inDir Dir, vcIdx int) {
-	vc := r.in[inDir][vcIdx]
+	vc := r.vc(inDir, vcIdx)
 	f := vc.pop()
 	r.flitCount--
+	if r.flitCount == 0 {
+		r.activeSet[r.id>>6] &^= 1 << uint(r.id&63)
+	}
 	r.portFlits[inDir]--
 	*r.act--
 	*r.rf--
-	op := r.out[vc.outDir]
+	op := &r.out[vc.outDir]
 	op.credits[vc.outVC]--
 	at := now + uint64(r.cfg.LinkLatency)
 	r.outLink[vc.outDir].sendFlit(f, vc.outVC, at)

@@ -1,17 +1,23 @@
 package sim
 
-import "container/heap"
-
 // delayItem is a deferred action in a component's pipeline (e.g. cache
-// access latency, DRAM service time, spin intervals).
+// access latency, DRAM service time, spin intervals). Exactly one of fn
+// and fn2 is set; fn2 carries its arguments in the item so hot callers can
+// schedule a long-lived bound method instead of allocating a fresh closure
+// per event.
 type delayItem struct {
-	at  uint64
-	seq uint64 // tie-break: FIFO among equal timestamps
-	fn  func(now uint64)
+	at   uint64
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	fn   func(now uint64)
+	fn2  func(now, a, b uint64)
+	a, b uint64
 }
 
 // DelayQueue is a deterministic min-heap of deferred actions. Actions
-// scheduled for the same cycle run in scheduling order.
+// scheduled for the same cycle run in scheduling order. The heap is
+// maintained by hand on a value slice: container/heap's `any` interface
+// would box every item onto the GC heap, and Schedule sits on the
+// platform's hottest path.
 type DelayQueue struct {
 	items  []delayItem
 	seq    uint64
@@ -24,36 +30,64 @@ type DelayQueue struct {
 // work scheduled from outside the component's own Tick.
 func (q *DelayQueue) SetNotify(fn func(at uint64)) { q.notify = fn }
 
-// Len implements heap.Interface and reports pending actions.
+// Len reports pending actions.
 func (q *DelayQueue) Len() int { return len(q.items) }
 
-// Less implements heap.Interface.
-func (q *DelayQueue) Less(i, j int) bool {
+func (q *DelayQueue) less(i, j int) bool {
 	if q.items[i].at != q.items[j].at {
 		return q.items[i].at < q.items[j].at
 	}
 	return q.items[i].seq < q.items[j].seq
 }
 
-// Swap implements heap.Interface.
-func (q *DelayQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *DelayQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
 
-// Push implements heap.Interface; use Schedule instead.
-func (q *DelayQueue) Push(x any) { q.items = append(q.items, x.(delayItem)) }
-
-// Pop implements heap.Interface; use RunDue instead.
-func (q *DelayQueue) Pop() any {
-	old := q.items
-	n := len(old)
-	it := old[n-1]
-	q.items = old[:n-1]
-	return it
+func (q *DelayQueue) down(i int) {
+	n := len(q.items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && q.less(r, l) {
+			min = r
+		}
+		if !q.less(min, i) {
+			return
+		}
+		q.items[i], q.items[min] = q.items[min], q.items[i]
+		i = min
+	}
 }
 
 // Schedule runs fn at cycle `at`.
 func (q *DelayQueue) Schedule(at uint64, fn func(now uint64)) {
 	q.seq++
-	heap.Push(q, delayItem{at: at, seq: q.seq, fn: fn})
+	q.items = append(q.items, delayItem{at: at, seq: q.seq, fn: fn})
+	q.up(len(q.items) - 1)
+	if q.notify != nil {
+		q.notify(at)
+	}
+}
+
+// ScheduleArgs runs fn(at, a, b) at cycle `at`. It orders identically to
+// Schedule (one shared seq counter) but stores the two arguments in the
+// queue item, so callers on per-event paths can pass a callback bound once
+// at construction instead of capturing state in a new closure every time.
+func (q *DelayQueue) ScheduleArgs(at uint64, fn func(now, a, b uint64), a, b uint64) {
+	q.seq++
+	q.items = append(q.items, delayItem{at: at, seq: q.seq, fn2: fn, a: a, b: b})
+	q.up(len(q.items) - 1)
 	if q.notify != nil {
 		q.notify(at)
 	}
@@ -65,8 +99,19 @@ func (q *DelayQueue) Schedule(at uint64, fn func(now uint64)) {
 // RunDue is invoked late (e.g. after a fast-forward jump).
 func (q *DelayQueue) RunDue(now uint64) {
 	for len(q.items) > 0 && q.items[0].at <= now {
-		it := heap.Pop(q).(delayItem)
-		it.fn(it.at)
+		it := q.items[0]
+		n := len(q.items) - 1
+		q.items[0] = q.items[n]
+		q.items[n] = delayItem{} // drop the fn reference
+		q.items = q.items[:n]
+		if n > 0 {
+			q.down(0)
+		}
+		if it.fn2 != nil {
+			it.fn2(it.at, it.a, it.b)
+		} else {
+			it.fn(it.at)
+		}
 	}
 }
 

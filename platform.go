@@ -71,6 +71,16 @@ type Config struct {
 	// either way (a regression test asserts it); this is an escape hatch
 	// for cross-checking scheduler changes.
 	PollEngine bool
+	// NoPool disables the deterministic object freelists (NoC packets and
+	// kernel/coherence messages): every allocation goes to the heap and
+	// recycling is a no-op. Results are byte-identical either way (a
+	// regression test asserts it); this is an escape hatch for isolating
+	// pooling bugs and for measuring the pools' effect.
+	NoPool bool
+	// PoolDebug enables the freelists' use-after-free checker: freed
+	// objects are poisoned and stale references panic instead of silently
+	// reading recycled contents. Double frees always panic.
+	PoolDebug bool
 
 	// NoC, Mem and Kernel override subsystem defaults when non-nil.
 	NoC    *noc.Config
@@ -132,6 +142,8 @@ func New(cfg Config) (*System, error) {
 		ncfg.Width, ncfg.Height = MeshFor(cfg.Threads)
 	}
 	ncfg.Priority = cfg.OCOR
+	ncfg.NoPool = cfg.NoPool
+	ncfg.PoolDebug = cfg.PoolDebug
 	net, err := noc.NewNetwork(ncfg)
 	if err != nil {
 		return nil, err
@@ -151,6 +163,8 @@ func New(cfg Config) (*System, error) {
 	} else {
 		mcfg = mem.DefaultConfig()
 	}
+	mcfg.NoPool = cfg.NoPool
+	mcfg.PoolDebug = cfg.PoolDebug
 	msys, err := mem.NewSystem(mcfg, net)
 	if err != nil {
 		return nil, err
@@ -163,6 +177,8 @@ func New(cfg Config) (*System, error) {
 	} else {
 		kcfg = kernel.DefaultConfig()
 	}
+	kcfg.NoPool = cfg.NoPool
+	kcfg.PoolDebug = cfg.PoolDebug
 	kcfg.Policy.Enabled = cfg.OCOR
 	if kcfg.Policy.MaxSpin == 0 {
 		kcfg.Policy.MaxSpin = core.MaxSpinCount
@@ -211,14 +227,23 @@ func New(cfg Config) (*System, error) {
 	for i := 0; i < nodes; i++ {
 		node := i
 		net.SetSink(node, func(now uint64, pkt *noc.Packet) {
-			switch m := pkt.Payload.(type) {
-			case *mem.Msg:
-				msys.Deliver(now, node, m)
-			case *kernel.Msg:
-				ksys.Deliver(now, node, m)
+			switch pkt.PayloadKind {
+			case noc.PayloadMem:
+				msys.Deliver(now, node, msys.MsgAt(pkt.PayloadRef))
+			case noc.PayloadKernel:
+				ksys.Deliver(now, node, ksys.MsgAt(pkt.PayloadRef))
 			default:
-				panic(fmt.Sprintf("repro: node %d unknown payload %T", node, pkt.Payload))
+				// Legacy boxed payloads (-nopool runs, custom traffic).
+				switch m := pkt.Payload.(type) {
+				case *mem.Msg:
+					msys.Deliver(now, node, m)
+				case *kernel.Msg:
+					ksys.Deliver(now, node, m)
+				default:
+					panic(fmt.Sprintf("repro: node %d unknown payload %T", node, pkt.Payload))
+				}
 			}
+			net.FreePacket(pkt)
 		})
 	}
 
