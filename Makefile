@@ -31,12 +31,14 @@ bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/noc/ .
 
 # bench-json regenerates the Fig. 2/10/11 experiments under the benchmark
-# harness and writes wall-clock + allocs/op to BENCH_3.json.
+# harness and writes wall-clock + allocs/op plus an intra-run tick scaling
+# block to BENCH_4.json.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_3.json
+	$(GO) run ./cmd/benchjson -o BENCH_4.json
 
 # bench-smoke is the CI allocation gate: the steady-state step benchmark
-# must not allocate more per op than the committed threshold.
+# and the sequential (workers=1) NoC tick hot loop must not allocate more
+# per op than their committed thresholds.
 bench-smoke:
 	@$(GO) test -run '^$$' -bench '^BenchmarkSteadyStateStep$$' -benchmem -benchtime 20000x . | tee /tmp/bench-smoke.out
 	@max=$$(cat .github/alloc-threshold); \
@@ -46,4 +48,13 @@ bench-smoke:
 		echo "bench-smoke: $$allocs allocs/op exceeds threshold $$max"; exit 1; \
 	else \
 		echo "bench-smoke: $$allocs allocs/op within threshold $$max"; \
+	fi
+	@$(GO) test -run '^$$' -bench '^BenchmarkNetworkTick/mesh=8x8/workers=1$$' -benchmem -benchtime 20000x ./internal/noc/ | tee /tmp/bench-smoke-tick.out
+	@max=$$(cat .github/tick-alloc-threshold); \
+	allocs=$$(awk '/^BenchmarkNetworkTick/ {for (i=1; i<=NF; i++) if ($$i == "allocs/op") print $$(i-1)}' /tmp/bench-smoke-tick.out); \
+	if [ -z "$$allocs" ]; then echo "bench-smoke: no allocs/op in tick output"; exit 1; fi; \
+	if [ "$$allocs" -gt "$$max" ]; then \
+		echo "bench-smoke: tick $$allocs allocs/op exceeds threshold $$max"; exit 1; \
+	else \
+		echo "bench-smoke: tick $$allocs allocs/op within threshold $$max"; \
 	fi

@@ -5,10 +5,16 @@
 // figure is regenerated from scratch, so a record reflects the full cost of
 // that experiment rather than a memoised suite.
 //
+// Besides the per-figure records, the report carries an intra-run scaling
+// block: the same Fig. 11 regeneration timed once per -scaleworkers value,
+// so the record shows how the sharded tick executor behaves on this host
+// (together with the host's CPU count, without which a scaling curve is
+// meaningless).
+//
 // Usage:
 //
-//	benchjson                       # writes BENCH_3.json
-//	benchjson -o perf.json -scale 0.5
+//	benchjson                       # writes BENCH_4.json
+//	benchjson -o perf.json -scale 0.5 -workers 4
 package main
 
 import (
@@ -17,7 +23,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
+	"time"
 
 	"repro" // installs the platform runner into the experiments package
 
@@ -33,31 +42,44 @@ type record struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// scalingPoint is one cell of the intra-run scaling block: the wall-clock
+// cost of one full Fig. 11 regeneration at a given tick worker count.
+type scalingPoint struct {
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	SpeedupVs1  float64 `json:"speedup_vs_1"`
+}
+
 // report is the top-level JSON document.
 type report struct {
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	Threads   int      `json:"threads"`
-	Scale     float64  `json:"scale"`
-	Quick     bool     `json:"quick"`
-	Records   []record `json:"benchmarks"`
+	GoVersion string         `json:"go_version"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	CPUs      int            `json:"cpus"`
+	Threads   int            `json:"threads"`
+	Scale     float64        `json:"scale"`
+	Quick     bool           `json:"quick"`
+	Workers   int            `json:"workers"`
+	Records   []record       `json:"benchmarks"`
+	Scaling   []scalingPoint `json:"tick_scaling,omitempty"`
 }
 
 func main() {
 	var (
-		out     = flag.String("o", "BENCH_3.json", "output JSON file")
-		threads = flag.Int("threads", 64, "thread/core count")
-		scale   = flag.Float64("scale", 0.25, "iteration scale factor")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		quick   = flag.Bool("quick", true, "use the representative benchmark subset")
+		out          = flag.String("o", "BENCH_4.json", "output JSON file")
+		threads      = flag.Int("threads", 64, "thread/core count")
+		scale        = flag.Float64("scale", 0.25, "iteration scale factor")
+		seed         = flag.Uint64("seed", 1, "simulation seed")
+		quick        = flag.Bool("quick", true, "use the representative benchmark subset")
+		workers      = flag.Int("workers", 1, "intra-simulation tick worker count for the per-figure benchmarks")
+		scaleWorkers = flag.String("scaleworkers", "1,2,4", "comma-separated worker counts for the tick_scaling block (empty disables it)")
 	)
 	flag.Parse()
 
 	// The benchmarks must run against the real platform, not a test fake.
 	_ = repro.Catalog()
 
-	opt := experiments.Options{Threads: *threads, Seed: *seed, Scale: *scale, Quick: *quick}
+	opt := experiments.Options{Threads: *threads, Seed: *seed, Scale: *scale, Quick: *quick, Workers: *workers}
 	cases := []struct {
 		name string
 		fn   func() error
@@ -88,9 +110,11 @@ func main() {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
 		Threads:   *threads,
 		Scale:     *scale,
 		Quick:     *quick,
+		Workers:   *workers,
 	}
 	for _, c := range cases {
 		var runErr error
@@ -118,6 +142,12 @@ func main() {
 		rep.Records = append(rep.Records, rec)
 	}
 
+	if pts, err := measureScaling(opt, *scaleWorkers); err != nil {
+		fatal(err)
+	} else {
+		rep.Scaling = pts
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -127,6 +157,43 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *out)
+}
+
+// measureScaling times one full Fig. 11 regeneration per requested tick
+// worker count. A single timed run per point keeps the block cheap; the
+// figure-level records above carry the statistically settled numbers, this
+// block exists to show the shape of the intra-run scaling curve on the
+// host that produced the record.
+func measureScaling(opt experiments.Options, spec string) ([]scalingPoint, error) {
+	var pts []scalingPoint
+	var base float64
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		w, err := strconv.Atoi(field)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -scaleworkers entry %q", field)
+		}
+		o := opt
+		o.Workers = w
+		start := time.Now()
+		rs, err := experiments.RunSuite(o, nil)
+		if err != nil {
+			return nil, fmt.Errorf("scaling workers=%d: %w", w, err)
+		}
+		experiments.Fig11(rs)
+		pt := scalingPoint{Workers: w, WallSeconds: time.Since(start).Seconds()}
+		if base == 0 {
+			base = pt.WallSeconds
+		}
+		pt.SpeedupVs1 = base / pt.WallSeconds
+		fmt.Fprintf(os.Stderr, "benchjson: scaling workers=%d %8.2fs  (%.2fx vs first point)\n",
+			pt.Workers, pt.WallSeconds, pt.SpeedupVs1)
+		pts = append(pts, pt)
+	}
+	return pts, nil
 }
 
 func fatal(err error) {

@@ -37,6 +37,7 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		traceOut = flag.String("trace", "", "write a Perfetto trace of the Fig. 10 bodytrack OCOR run to this file")
 		noPool   = flag.Bool("nopool", false, "disable object freelists (heap-allocate packets/messages; results are identical)")
+		workers  = flag.Int("workers", 1, "intra-simulation worker count per run; composes with -j (0 jobs = GOMAXPROCS/workers)")
 	)
 	flag.Parse()
 
@@ -68,7 +69,7 @@ func main() {
 		}
 	}()
 
-	opt := experiments.Options{Threads: *threads, Seed: *seed, Scale: *scale, Quick: *quick, Jobs: *jobs, NoPool: *noPool}
+	opt := experiments.Options{Threads: *threads, Seed: *seed, Scale: *scale, Quick: *quick, Jobs: *jobs, NoPool: *noPool, Workers: *workers}
 	want := map[string]bool{}
 	for _, name := range strings.Split(*runList, ",") {
 		want[strings.TrimSpace(strings.ToLower(name))] = true

@@ -36,6 +36,7 @@ func main() {
 		traceOut = flag.String("traceout", "", "write a Perfetto trace-event JSON file (OCOR run in compare mode)")
 		histo    = flag.Bool("histo", false, "print streaming latency histograms and arbitration counters")
 		noPool   = flag.Bool("nopool", false, "disable object freelists (heap-allocate packets/messages; results are identical)")
+		workers  = flag.Int("workers", 1, "intra-simulation worker count for the NoC tick (results are identical for every value)")
 	)
 	flag.Parse()
 
@@ -57,7 +58,7 @@ func main() {
 		sys, err := repro.New(repro.Config{
 			Benchmark: p, Threads: *threads, OCOR: enabled,
 			PriorityLevels: *levels, Seed: *seed, Trace: *trace, Obs: rec,
-			NoPool: *noPool,
+			NoPool: *noPool, Workers: *workers,
 		})
 		if err != nil {
 			fatal(err)

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -41,6 +42,7 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		noPool  = flag.Bool("nopool", false, "disable object freelists (heap-allocate packets/messages; results are identical)")
+		workers = flag.Int("workers", 1, "intra-simulation worker count per run; composes with -j (0 jobs = GOMAXPROCS/workers)")
 	)
 	flag.Parse()
 
@@ -75,8 +77,17 @@ func main() {
 	// odd = OCOR. The ordered emitter writes both CSV rows once the OCOR
 	// half completes, so row order matches the serial grid walk exactly
 	// regardless of -j.
+	// -workers and -j compose through a shared core budget: with -j left
+	// at its default, the outer job count shrinks so jobs x workers never
+	// oversubscribes the machine.
+	effJobs := *jobs
+	if effJobs == 0 && *workers > 1 {
+		if effJobs = runtime.GOMAXPROCS(0) / *workers; effJobs < 1 {
+			effJobs = 1
+		}
+	}
 	var lastBase metrics.Results
-	_, err = par.Map(2*len(grid), *jobs, func(i int) (metrics.Results, error) {
+	_, err = par.Map(2*len(grid), effJobs, func(i int) (metrics.Results, error) {
 		c := grid[i/2]
 		cfg := repro.Config{
 			Benchmark: p, Threads: c.threads, OCOR: i%2 == 1,

@@ -11,6 +11,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 
 	"repro/internal/metrics"
@@ -40,6 +41,14 @@ type Options struct {
 	// either way (the pool regression tests assert it); the switch exists
 	// to isolate the recycler when debugging and to measure its effect.
 	NoPool bool
+	// Workers is the intra-simulation parallelism width handed to every
+	// run (values > 1 shard each NoC tick over a worker pool of that
+	// size). Results are byte-identical for every value; only wall-clock
+	// time changes. Workers and Jobs compose through a shared core
+	// budget: when Jobs is 0 and Workers > 1, the effective job count is
+	// GOMAXPROCS / Workers (min 1) so the two levels together never
+	// oversubscribe the machine.
+	Workers int
 }
 
 // withDefaults normalises unset options.
@@ -82,12 +91,13 @@ func (o Options) profiles() []workload.Profile {
 // does not import the root package (which imports this one). The root
 // package installs its runner at init time. levels selects the number of
 // priority levels (0 = the paper default of 8); nopool disables object
-// recycling (Options.NoPool).
-type Runner func(p workload.Profile, threads int, ocor bool, levels int, seed uint64, nopool bool) (metrics.Results, error)
+// recycling (Options.NoPool); workers is the intra-simulation
+// parallelism width (Options.Workers).
+type Runner func(p workload.Profile, threads int, ocor bool, levels int, seed uint64, nopool bool, workers int) (metrics.Results, error)
 
 // TraceRunner additionally returns a rendered execution-profile timeline
 // (Fig. 10) covering the first `window` cycles of `traceThreads` threads.
-type TraceRunner func(p workload.Profile, threads int, ocor bool, seed uint64, traceThreads int, window uint64, nopool bool) (metrics.Results, string, error)
+type TraceRunner func(p workload.Profile, threads int, ocor bool, seed uint64, traceThreads int, window uint64, nopool bool, workers int) (metrics.Results, string, error)
 
 var (
 	runner Runner
@@ -98,8 +108,23 @@ var (
 // this from an init function.
 func SetRunner(r Runner, t TraceRunner) { runner, tracer = r, t }
 
-func run(p workload.Profile, threads int, ocor bool, seed uint64, nopool bool) (metrics.Results, error) {
-	return runner(p, threads, ocor, 0, seed, nopool)
+func (o Options) run(p workload.Profile, threads int, ocor bool, seed uint64) (metrics.Results, error) {
+	return runner(p, threads, ocor, 0, seed, o.NoPool, o.Workers)
+}
+
+// effectiveJobs resolves the outer concurrency bound passed to par.Map.
+// An explicit Jobs wins; otherwise the default of "one job per core"
+// shrinks to GOMAXPROCS/Workers when intra-run workers are active, so
+// jobs × workers stays within the machine's core budget.
+func (o Options) effectiveJobs() int {
+	if o.Jobs != 0 || o.Workers <= 1 {
+		return o.Jobs
+	}
+	jobs := runtime.GOMAXPROCS(0) / o.Workers
+	if jobs < 1 {
+		jobs = 1
+	}
+	return jobs
 }
 
 // BenchResult pairs the baseline and OCOR results of one benchmark.
@@ -136,10 +161,10 @@ func RunSuite(o Options, progress io.Writer) ([]BenchResult, error) {
 	// benchmark once its OCOR half (the higher index) completes, so the
 	// output bytes match the serial loop regardless of Jobs.
 	var lastBase metrics.Results
-	res, err := par.Map(2*len(scaled), o.Jobs, func(i int) (metrics.Results, error) {
+	res, err := par.Map(2*len(scaled), o.effectiveJobs(), func(i int) (metrics.Results, error) {
 		p := scaled[i/2]
 		ocor := i%2 == 1
-		r, err := run(p, o.Threads, ocor, o.Seed, o.NoPool)
+		r, err := o.run(p, o.Threads, ocor, o.Seed)
 		if err != nil {
 			kind := "baseline"
 			if ocor {

@@ -67,11 +67,11 @@ func Fig10(o Options) (Fig10Result, error) {
 	}
 	p = p.Scale(o.Scale)
 	const traceThreads = 16
-	base, baseTrace, err := tracer(p, o.Threads, false, o.Seed, traceThreads, 0, o.NoPool)
+	base, baseTrace, err := tracer(p, o.Threads, false, o.Seed, traceThreads, 0, o.NoPool, o.Workers)
 	if err != nil {
 		return Fig10Result{}, err
 	}
-	ocor, ocorTrace, err := tracer(p, o.Threads, true, o.Seed, traceThreads, 0, o.NoPool)
+	ocor, ocorTrace, err := tracer(p, o.Threads, true, o.Seed, traceThreads, 0, o.NoPool, o.Workers)
 	if err != nil {
 		return Fig10Result{}, err
 	}
@@ -281,10 +281,10 @@ func Fig15(o Options, progress io.Writer) ([]Fig15Row, error) {
 	// Index layout: ((profile*nt)+thread)*2 + ocorBit — every (benchmark,
 	// thread count, config) triple is an independent simulation.
 	var lastBase metrics.Results
-	res, err := par.Map(len(profs)*nt*2, o.Jobs, func(i int) (metrics.Results, error) {
+	res, err := par.Map(len(profs)*nt*2, o.effectiveJobs(), func(i int) (metrics.Results, error) {
 		p := profs[i/(nt*2)].Scale(o.Scale)
 		th := Fig15Threads[(i/2)%nt]
-		return run(p, th, i%2 == 1, o.Seed, o.NoPool)
+		return o.run(p, th, i%2 == 1, o.Seed)
 	}, func(i int, v metrics.Results) {
 		// The emitter runs in index order, so the paired baseline (i-1)
 		// arrived just before its OCOR result.
@@ -379,12 +379,12 @@ func Fig16(o Options, progress io.Writer) ([]Fig16Row, error) {
 	// by one OCOR run per priority-level count.
 	stride := 1 + len(Fig16Levels)
 	var lastBase metrics.Results
-	res, err := par.Map(len(profs)*stride, o.Jobs, func(i int) (metrics.Results, error) {
+	res, err := par.Map(len(profs)*stride, o.effectiveJobs(), func(i int) (metrics.Results, error) {
 		p := profs[i/stride]
 		if i%stride == 0 {
-			return run(p, o.Threads, false, o.Seed, o.NoPool)
+			return o.run(p, o.Threads, false, o.Seed)
 		}
-		return runner(p, o.Threads, true, Fig16Levels[i%stride-1], o.Seed, o.NoPool)
+		return runner(p, o.Threads, true, Fig16Levels[i%stride-1], o.Seed, o.NoPool, o.Workers)
 	}, func(i int, v metrics.Results) {
 		if i%stride == 0 {
 			lastBase = v

@@ -1,8 +1,10 @@
 package noc
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -52,6 +54,67 @@ func BenchmarkUniformTraffic(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkNetworkTick measures the per-cycle cost of the hot tick loop on
+// a saturated mesh at several intra-tick worker counts. The network is
+// pre-loaded with self-refreshing all-to-random traffic so every measured
+// cycle carries real allocation/traversal work; workers=1 is the pure
+// sequential path (the bench-smoke allocation gate runs that variant to
+// pin the sequential hot loop at zero allocations per tick), higher
+// counts exercise the sharded executor (ParThreshold -1 keeps it engaged
+// regardless of instantaneous load, so dispatch overhead is fully
+// visible).
+func BenchmarkNetworkTick(b *testing.B) {
+	for _, mesh := range []int{8, 16} {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("mesh=%dx%d/workers=%d", mesh, mesh, workers), func(b *testing.B) {
+				cfg := testConfig(mesh, mesh, true)
+				cfg.ParThreshold = -1
+				n := MustNetwork(cfg)
+				rng := sim.NewRNG(42)
+				resend := func(now uint64, pkt *Packet) {
+					// Keep the load constant: every delivery immediately
+					// re-injects a packet from a rotating source.
+					src := pkt.Dst
+					dst := rng.Intn(cfg.Nodes())
+					if dst == src {
+						dst = (src + 1) % cfg.Nodes()
+					}
+					n.Send(now, n.NewPacket(src, dst, ClassData, rng.Intn(NumVNets), nil))
+					n.FreePacket(pkt)
+				}
+				for j := 0; j < cfg.Nodes(); j++ {
+					n.SetSink(j, resend)
+				}
+				if workers > 1 {
+					pool := par.NewPool(workers)
+					defer pool.Close()
+					n.SetTickPool(pool)
+				}
+				// Load the mesh and tick to a busy steady state before
+				// the timer starts.
+				for s := 0; s < cfg.Nodes(); s++ {
+					for k := 0; k < 4; k++ {
+						d := rng.Intn(cfg.Nodes())
+						if d != s {
+							n.Send(0, n.NewPacket(s, d, ClassData, rng.Intn(NumVNets), nil))
+						}
+					}
+				}
+				var now uint64
+				for ; now < 500; now++ {
+					n.Tick(now)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					n.Tick(now)
+					now++
+				}
+			})
+		}
 	}
 }
 

@@ -105,6 +105,15 @@ type Config struct {
 	// of silently reading recycled contents. Double frees always panic,
 	// with or without this flag.
 	PoolDebug bool
+	// ParThreshold tunes when a network with a tick pool attached runs a
+	// cycle phase in parallel rather than sequentially. 0 uses built-in
+	// defaults sized so small or idle meshes never pay the fork-join
+	// barrier; a positive value replaces every per-phase default with that
+	// value; a negative value forces the parallel path whenever a pool is
+	// attached (tests use this to exercise the sharded executor on tiny
+	// meshes). Both paths produce byte-identical state, so the threshold
+	// only affects speed, never results.
+	ParThreshold int
 }
 
 // DefaultConfig returns the paper's 8x8 configuration.

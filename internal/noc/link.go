@@ -78,57 +78,100 @@ func (l *link) sendCredit(vc int, freeVC bool, at uint64) {
 	}
 }
 
-// dueFlits removes and returns the prefix of flit events due at or before
-// now. The returned slice aliases storage owned by the caller/link pair
-// and is only valid until the next call: every caller must store the
-// result back into the scratch it passed, because when the whole queue is
-// due (the common case — senders stamp now+latency and busy links drain
-// every cycle) the link hands its backing array to the caller and adopts
-// the scratch as its new empty queue instead of copying.
-func (l *link) dueFlits(now uint64, scratch []flitEvent) []flitEvent {
+// takeDueFlits removes and returns the prefix of flit events due at or
+// before now, plus how many there were. The returned slice aliases storage
+// owned by the caller/link pair and is only valid until the next call:
+// every caller must store the result back into the scratch it passed,
+// because when the whole queue is due (the common case — senders stamp
+// now+latency and busy links drain every cycle) the link hands its backing
+// array to the caller and adopts the scratch as its new empty queue
+// instead of copying.
+//
+// takeDueFlits performs no shared-counter accounting, which is what lets
+// parallel shard workers call it concurrently on distinct links: the
+// caller owes the network an activity decrement (and an niEvents decrement
+// for NI-consumed links) of `taken`. dueFlits wraps it for the sequential
+// paths.
+func (l *link) takeDueFlits(now uint64, scratch []flitEvent) (due []flitEvent, taken int) {
 	n := 0
 	for n < len(l.flits) && l.flits[n].at <= now {
 		n++
 	}
 	if n == 0 {
-		return scratch[:0]
+		return scratch[:0], 0
 	}
+	if n == len(l.flits) {
+		due = l.flits
+		l.flits = scratch[:0]
+		return due, n
+	}
+	scratch = append(scratch[:0], l.flits[:n]...)
+	l.flits = l.flits[:copy(l.flits, l.flits[n:])]
+	return scratch, n
+}
+
+// sendFlitPar is sendFlit for a parallel compute phase. The queue append
+// itself is race-free — each link has exactly one flit sender (its
+// upstream router, or its NI during the injection phase) — but the
+// activity counter and the pending-list/NI-bitmap registration are shared,
+// so they are deferred into the worker's shard and replayed by the commit
+// phase in shard order.
+func (l *link) sendFlitPar(f flit, vc int, at uint64, sh *tickShard) {
+	l.flits = append(l.flits, flitEvent{f: f, vc: vc, at: at})
+	sh.actDelta++
+	sh.sentF = append(sh.sentF, l)
+}
+
+// sendCreditPar is sendCredit with the same deferred-side-effect contract
+// as sendFlitPar (each link has exactly one credit sender: its downstream
+// router or NI).
+func (l *link) sendCreditPar(vc int, freeVC bool, at uint64, sh *tickShard) {
+	l.credits = append(l.credits, creditEvent{vc: vc, freeVC: freeVC, at: at})
+	sh.actDelta++
+	sh.sentC = append(sh.sentC, l)
+}
+
+// dueFlits is takeDueFlits plus the shared activity/NI-event accounting;
+// it is the form the sequential drain and the NI phases use.
+func (l *link) dueFlits(now uint64, scratch []flitEvent) []flitEvent {
+	due, n := l.takeDueFlits(now, scratch)
 	*l.act -= n
 	if l.flitRecv == nil {
 		l.net.niEvents -= n
 	}
-	if n == len(l.flits) {
-		due := l.flits
-		l.flits = scratch[:0]
-		return due
-	}
-	scratch = append(scratch[:0], l.flits[:n]...)
-	l.flits = l.flits[:copy(l.flits, l.flits[n:])]
-	return scratch
+	return due
 }
 
-// dueCredits removes and returns credit events due at or before now, with
-// the same swap-don't-copy contract as dueFlits.
-func (l *link) dueCredits(now uint64, scratch []creditEvent) []creditEvent {
+// takeDueCredits removes and returns credit events due at or before now,
+// with the same swap-don't-copy and no-shared-accounting contract as
+// takeDueFlits.
+func (l *link) takeDueCredits(now uint64, scratch []creditEvent) (due []creditEvent, taken int) {
 	n := 0
 	for n < len(l.credits) && l.credits[n].at <= now {
 		n++
 	}
 	if n == 0 {
-		return scratch[:0]
+		return scratch[:0], 0
 	}
+	if n == len(l.credits) {
+		due = l.credits
+		l.credits = scratch[:0]
+		return due, n
+	}
+	scratch = append(scratch[:0], l.credits[:n]...)
+	l.credits = l.credits[:copy(l.credits, l.credits[n:])]
+	return scratch, n
+}
+
+// dueCredits is takeDueCredits plus the shared accounting, for the
+// sequential paths.
+func (l *link) dueCredits(now uint64, scratch []creditEvent) []creditEvent {
+	due, n := l.takeDueCredits(now, scratch)
 	*l.act -= n
 	if l.creditRecv == nil {
 		l.net.niEvents -= n
 	}
-	if n == len(l.credits) {
-		due := l.credits
-		l.credits = scratch[:0]
-		return due
-	}
-	scratch = append(scratch[:0], l.credits[:n]...)
-	l.credits = l.credits[:copy(l.credits, l.credits[n:])]
-	return scratch
+	return due
 }
 
 // pending reports the number of undelivered events.

@@ -69,6 +69,18 @@ type Network struct {
 	scratchC  []creditEvent
 	scratchLB []loopbackEvent
 
+	// exec, when non-nil, is the sharded parallel tick executor (attached
+	// via SetTickPool). observed mirrors "an obs recorder is attached":
+	// the parallel router/NI phases are disabled then, because routers and
+	// NIs emit into one shared recorder. parMin* are the per-phase work
+	// thresholds below which a cycle runs sequentially even with a pool
+	// attached (see Config.ParThreshold).
+	exec        *tickExec
+	observed    bool
+	parMinLinks int
+	parMinFlits int
+	parMinPkts  int
+
 	// pktSlab recycles Packets: NewPacket draws from it and FreePacket
 	// (called by the consumer once the packet is fully processed) returns
 	// them. The LIFO freelist is deterministic, so pooled and unpooled
@@ -177,6 +189,7 @@ func (n *Network) SetSink(node int, fn func(now uint64, pkt *Packet)) {
 // recorded. All emission sites are read-only, so simulation results are
 // identical with or without a recorder.
 func (n *Network) SetObserver(r *obs.Recorder) {
+	n.observed = r != nil
 	for _, rt := range n.Routers {
 		rt.obs = r
 	}
@@ -282,36 +295,43 @@ func (n *Network) Tick(now uint64) {
 	// Phase 1: commit link events due this cycle into router buffers and
 	// router credit state. Only links holding events are on the pending
 	// lists; commits to distinct (router, port) pairs are independent, so
-	// list order (send order) yields the same state as the full port scan.
-	if len(n.pendFlits) > 0 {
-		keep := n.pendFlits[:0]
-		for _, l := range n.pendFlits {
-			if l.flits[0].at <= now {
-				n.scratchF = l.dueFlits(now, n.scratchF)
-				l.flitRecv.commit(now, n.scratchF, l.flitDir)
+	// list order (send order) yields the same state as the full port scan
+	// — which is also what lets the sharded executor drain the lists
+	// concurrently (grouped by receiving router) when enough links are
+	// pending to amortize its barrier.
+	if pend := len(n.pendFlits) + len(n.pendCredits); n.exec != nil && pend > 0 && pend >= n.parMinLinks {
+		n.drainLinksPar(now)
+	} else {
+		if len(n.pendFlits) > 0 {
+			keep := n.pendFlits[:0]
+			for _, l := range n.pendFlits {
+				if l.flits[0].at <= now {
+					n.scratchF = l.dueFlits(now, n.scratchF)
+					l.flitRecv.commit(now, n.scratchF, l.flitDir, nil)
+				}
+				if len(l.flits) > 0 {
+					keep = append(keep, l)
+				} else {
+					l.flitQueued = false
+				}
 			}
-			if len(l.flits) > 0 {
-				keep = append(keep, l)
-			} else {
-				l.flitQueued = false
-			}
+			n.pendFlits = keep
 		}
-		n.pendFlits = keep
-	}
-	if len(n.pendCredits) > 0 {
-		keep := n.pendCredits[:0]
-		for _, l := range n.pendCredits {
-			if l.credits[0].at <= now {
-				n.scratchC = l.dueCredits(now, n.scratchC)
-				l.creditRecv.commitCredits(n.scratchC, l.creditDir)
+		if len(n.pendCredits) > 0 {
+			keep := n.pendCredits[:0]
+			for _, l := range n.pendCredits {
+				if l.credits[0].at <= now {
+					n.scratchC = l.dueCredits(now, n.scratchC)
+					l.creditRecv.commitCredits(n.scratchC, l.creditDir)
+				}
+				if len(l.credits) > 0 {
+					keep = append(keep, l)
+				} else {
+					l.creditQueued = false
+				}
 			}
-			if len(l.credits) > 0 {
-				keep = append(keep, l)
-			} else {
-				l.creditQueued = false
-			}
+			n.pendCredits = keep
 		}
-		n.pendCredits = keep
 	}
 	// Phase 2: NIs eject and absorb credits, in node order (delivery
 	// callbacks are order-sensitive; bit iteration is ascending, so the
@@ -355,6 +375,17 @@ func (n *Network) Tick(now uint64) {
 			}
 		}
 	}
+	// Phases 4+5: router allocation/traversal and NI injection. The two
+	// phases are mutually independent (allocation never reads injection
+	// state and vice versa), so the sharded executor runs them under one
+	// barrier — but only without an observer (routers and NIs emit into a
+	// shared recorder) and with enough work to amortize the dispatch.
+	if n.exec != nil && !n.observed &&
+		(n.routerFlits > 0 || n.queuedPkts > 0) &&
+		(n.routerFlits >= n.parMinFlits || n.queuedPkts >= n.parMinPkts) {
+		n.tickNodesPar(now)
+		return
+	}
 	// Phase 4: router allocation and traversal. Bit iteration visits the
 	// flit-holding routers in ascending id order — the same order as a
 	// full scan (tick order is invisible anyway: routers only interact
@@ -364,7 +395,7 @@ func (n *Network) Tick(now uint64) {
 	if n.routerFlits > 0 {
 		for w, word := range n.routerActive {
 			for ; word != 0; word &= word - 1 {
-				n.Routers[w<<6|bits.TrailingZeros64(word)].tick(now)
+				n.Routers[w<<6|bits.TrailingZeros64(word)].tick(now, nil)
 			}
 		}
 	}
@@ -375,7 +406,7 @@ func (n *Network) Tick(now uint64) {
 	if n.queuedPkts > 0 {
 		for w, word := range n.niInject {
 			for ; word != 0; word &= word - 1 {
-				n.NIs[w<<6|bits.TrailingZeros64(word)].inject(now)
+				n.NIs[w<<6|bits.TrailingZeros64(word)].inject(now, nil)
 			}
 		}
 	}

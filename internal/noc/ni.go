@@ -130,8 +130,12 @@ func (ni *NI) commitCredits(now uint64) {
 }
 
 // inject opens streams for waiting packets and sends at most one flit onto
-// the local link (link bandwidth is one flit per cycle).
-func (ni *NI) inject(now uint64) {
+// the local link (link bandwidth is one flit per cycle). With sh non-nil
+// the stream bookkeeping stays NI-local but the shared counters, niInject
+// bitmap bit and link send registration are deferred into the shard for
+// the ordered commit phase (injection never enqueues on another NI, so the
+// per-NI state needs no deferral).
+func (ni *NI) inject(now uint64, sh *tickShard) {
 	// Open a stream per vnet whenever a VC is free. Under OCOR pick the
 	// highest-priority waiting packet of the vnet, not merely the oldest.
 	for vn := 0; vn < NumVNets; vn++ {
@@ -190,17 +194,29 @@ func (ni *NI) inject(now uint64) {
 		}
 	}
 	f := flit{pkt: st.pkt, seq: st.next}
-	ni.toRouter.sendFlit(f, st.vc, now+uint64(ni.cfg.LinkLatency))
+	if sh == nil {
+		ni.toRouter.sendFlit(f, st.vc, now+uint64(ni.cfg.LinkLatency))
+	} else {
+		ni.toRouter.sendFlitPar(f, st.vc, now+uint64(ni.cfg.LinkLatency), sh)
+	}
 	ni.outCredits[st.vc]--
 	ni.FlitsSent++
 	st.next++
 	if st.next == st.pkt.Size {
 		ni.active[best] = activeStream{}
 		ni.QueuedPkts--
-		*ni.act--
-		*ni.qp--
-		if ni.QueuedPkts == 0 {
-			ni.injSet[ni.node>>6] &^= 1 << uint(ni.node&63)
+		if sh == nil {
+			*ni.act--
+			*ni.qp--
+			if ni.QueuedPkts == 0 {
+				ni.injSet[ni.node>>6] &^= 1 << uint(ni.node&63)
+			}
+		} else {
+			sh.actDelta--
+			sh.qpDelta--
+			if ni.QueuedPkts == 0 {
+				sh.idleNI = append(sh.idleNI, int32(ni.node))
+			}
 		}
 	}
 }

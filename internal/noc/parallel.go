@@ -1,0 +1,311 @@
+package noc
+
+// Sharded two-phase tick executor.
+//
+// Within one cycle, routers interact with each other only through link
+// events that are committed in *later* cycles, so every per-cycle phase of
+// Network.Tick that touches routers or injection is data-parallel across
+// nodes. The executor partitions the node range into contiguous spatial
+// shards (router i and NI i always share a shard) and runs the two heavy
+// phases on a persistent par.Pool:
+//
+//   - the link drain (phase 1): each shard drains the pending links whose
+//     receiving router it owns;
+//   - router allocation + NI injection (phases 4+5): each shard ticks its
+//     active routers and injecting NIs. The two phases are mutually
+//     independent — allocation never reads injection state and vice versa
+//     — so they share one fork-join barrier.
+//
+// Workers compute against cycle-start state and apply all *node-local*
+// effects immediately (VC buffers, credit counts, link queues — each link
+// has exactly one flit sender and one credit sender, so its queue appends
+// are private to the owning worker). Every *shared* side effect is instead
+// recorded in the worker's tickShard and replayed by the dispatching
+// goroutine in ascending shard order once the barrier completes: the
+// activity/routerFlits/queuedPkts counters, the routerActive/niActive/
+// niInject bitmaps (their 64-node words span shard boundaries), and the
+// pendFlits/pendCredits registration lists. Pending-list order is already
+// immaterial to state evolution (each link appears at most once and
+// commits to distinct (router, port) pairs), and counter deltas and bitmap
+// bits commute, so the resulting state is byte-identical to the
+// sequential engine's — the determinism matrix in the root package holds
+// the executor to exactly that.
+//
+// The parallel phases never run with an observer attached (routers and
+// NIs emit into one shared recorder); Network.Tick gates on n.observed.
+
+import (
+	"math/bits"
+
+	"repro/internal/par"
+)
+
+// tickShard is one worker's slice of the node range plus its deferred
+// shared-state effects for the current phase. All slices are retained and
+// reused across cycles ([:0] reset), so steady-state parallel ticking
+// allocates nothing.
+type tickShard struct {
+	id     int32
+	lo, hi int // node id range [lo, hi)
+
+	// Deferred counter deltas: network activity, router-buffered flits,
+	// NI-queued packets.
+	actDelta int
+	rfDelta  int
+	qpDelta  int
+
+	// Phase 1: links that still hold events and must stay on the pending
+	// lists, and per-shard drain scratch (same swap contract as the
+	// network-wide scratch buffers).
+	keepF    []*link
+	keepC    []*link
+	scratchF []flitEvent
+	scratchC []creditEvent
+
+	// Routers whose flitCount crossed 0->1 (phase 1) / 1->0 (phase 4):
+	// their routerActive bit must be set / cleared at commit.
+	nowActive []int32
+	cleared   []int32
+
+	// Links sent on this phase (one entry per sendFlitPar/sendCreditPar):
+	// their pending-list or NI-bitmap registration happens at commit.
+	sentF []*link
+	sentC []*link
+
+	// NIs whose QueuedPkts crossed 1->0 in phase 5: their niInject bit
+	// must be cleared at commit.
+	idleNI []int32
+
+	// Pad shards apart so neighbouring workers' delta writes do not share
+	// a cache line.
+	_ [64]byte
+}
+
+// tickExec drives the shards over a par.Pool. The dispatch closures are
+// created once at SetTickPool and parameterized through the now/doR/doNI
+// fields, so a parallel cycle allocates no closures.
+type tickExec struct {
+	pool   *par.Pool
+	net    *Network
+	shards []tickShard
+	// shardOf maps a node id to its owning shard.
+	shardOf []int32
+
+	// Per-dispatch parameters, written by the dispatching goroutine before
+	// Pool.Run and read-only during it.
+	now       uint64
+	doR, doNI bool
+
+	drainFn func(worker int)
+	nodesFn func(worker int)
+}
+
+// SetTickPool attaches (or with nil detaches) a worker pool for
+// intra-cycle parallelism. A pool of one worker is equivalent to nil: the
+// network stays on the plain sequential path. The same network can switch
+// pools between runs; shards are rebuilt per attachment.
+//
+// Network implements sim.TickPoolUser through this method, so an engine
+// handed a pool via Engine.SetTickPool forwards it here automatically.
+func (n *Network) SetTickPool(p *par.Pool) {
+	if p == nil || p.Workers() <= 1 {
+		n.exec = nil
+		return
+	}
+	nodes := n.Cfg.Nodes()
+	shards := p.Workers()
+	if shards > nodes {
+		shards = nodes
+	}
+	e := &tickExec{pool: p, net: n}
+	e.shards = make([]tickShard, shards)
+	e.shardOf = make([]int32, nodes)
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.id = int32(i)
+		sh.lo = i * nodes / shards
+		sh.hi = (i + 1) * nodes / shards
+		for node := sh.lo; node < sh.hi; node++ {
+			e.shardOf[node] = int32(i)
+		}
+	}
+	e.drainFn = e.drainLinks
+	e.nodesFn = e.tickNodes
+	switch {
+	case n.Cfg.ParThreshold < 0:
+		n.parMinLinks, n.parMinFlits, n.parMinPkts = 0, 0, 0
+	case n.Cfg.ParThreshold > 0:
+		v := n.Cfg.ParThreshold
+		n.parMinLinks, n.parMinFlits, n.parMinPkts = v, v, v
+	default:
+		// Sized so the fork-join barrier (order of a microsecond, see
+		// par.BenchmarkPoolRun) is paid only when a cycle carries enough
+		// work to amortize it; below these counts the sequential path is
+		// faster and — both paths being state-identical — always safe.
+		n.parMinLinks, n.parMinFlits, n.parMinPkts = 24, 48, 24
+	}
+	n.exec = e
+}
+
+// drainLinksPar is the parallel form of Tick phase 1: shard workers drain
+// the pending links owned by their routers, then the dispatcher rebuilds
+// the pending lists and folds the deferred effects in shard order.
+func (n *Network) drainLinksPar(now uint64) {
+	e := n.exec
+	e.now = now
+	e.pool.Run(e.drainFn)
+	n.pendFlits = n.pendFlits[:0]
+	n.pendCredits = n.pendCredits[:0]
+	for i := range e.shards {
+		sh := &e.shards[i]
+		n.activity += sh.actDelta
+		n.routerFlits += sh.rfDelta
+		sh.actDelta, sh.rfDelta = 0, 0
+		for _, id := range sh.nowActive {
+			n.routerActive[id>>6] |= 1 << uint(id&63)
+		}
+		sh.nowActive = sh.nowActive[:0]
+		n.pendFlits = append(n.pendFlits, sh.keepF...)
+		n.pendCredits = append(n.pendCredits, sh.keepC...)
+		sh.keepF = sh.keepF[:0]
+		sh.keepC = sh.keepC[:0]
+	}
+}
+
+// drainLinks is the phase-1 shard worker: commit due flit and credit
+// events on every pending link whose receiving router lies in this shard.
+// flitQueued/creditQueued are per-link and each link has exactly one
+// owning shard, so clearing them here is race-free.
+func (e *tickExec) drainLinks(worker int) {
+	if worker >= len(e.shards) {
+		return
+	}
+	sh := &e.shards[worker]
+	n := e.net
+	now := e.now
+	for _, l := range n.pendFlits {
+		if e.shardOf[l.flitRecv.id] != sh.id {
+			continue
+		}
+		if l.flits[0].at <= now {
+			var taken int
+			sh.scratchF, taken = l.takeDueFlits(now, sh.scratchF)
+			sh.actDelta -= taken
+			l.flitRecv.commit(now, sh.scratchF, l.flitDir, sh)
+		}
+		if len(l.flits) > 0 {
+			sh.keepF = append(sh.keepF, l)
+		} else {
+			l.flitQueued = false
+		}
+	}
+	for _, l := range n.pendCredits {
+		if e.shardOf[l.creditRecv.id] != sh.id {
+			continue
+		}
+		if l.credits[0].at <= now {
+			var taken int
+			sh.scratchC, taken = l.takeDueCredits(now, sh.scratchC)
+			sh.actDelta -= taken
+			l.creditRecv.commitCredits(sh.scratchC, l.creditDir)
+		}
+		if len(l.credits) > 0 {
+			sh.keepC = append(sh.keepC, l)
+		} else {
+			l.creditQueued = false
+		}
+	}
+}
+
+// tickNodesPar is the parallel form of Tick phases 4+5: shard workers run
+// router allocation/traversal and NI injection over their node ranges,
+// then the dispatcher folds counters, bitmap transitions and link
+// registrations in shard order.
+func (n *Network) tickNodesPar(now uint64) {
+	e := n.exec
+	e.now = now
+	e.doR = n.routerFlits > 0
+	e.doNI = n.queuedPkts > 0
+	e.pool.Run(e.nodesFn)
+	for i := range e.shards {
+		sh := &e.shards[i]
+		n.activity += sh.actDelta
+		n.routerFlits += sh.rfDelta
+		n.queuedPkts += sh.qpDelta
+		sh.actDelta, sh.rfDelta, sh.qpDelta = 0, 0, 0
+		for _, id := range sh.cleared {
+			n.routerActive[id>>6] &^= 1 << uint(id&63)
+		}
+		sh.cleared = sh.cleared[:0]
+		for _, id := range sh.idleNI {
+			n.niInject[id>>6] &^= 1 << uint(id&63)
+		}
+		sh.idleNI = sh.idleNI[:0]
+		for _, l := range sh.sentF {
+			if l.flitRecv != nil {
+				if !l.flitQueued {
+					l.flitQueued = true
+					n.pendFlits = append(n.pendFlits, l)
+				}
+			} else {
+				n.niEvents++
+				n.niActive[l.niIdx>>6] |= 1 << uint(l.niIdx&63)
+			}
+		}
+		sh.sentF = sh.sentF[:0]
+		for _, l := range sh.sentC {
+			if l.creditRecv != nil {
+				if !l.creditQueued {
+					l.creditQueued = true
+					n.pendCredits = append(n.pendCredits, l)
+				}
+			} else {
+				n.niEvents++
+				n.niActive[l.niIdx>>6] |= 1 << uint(l.niIdx&63)
+			}
+		}
+		sh.sentC = sh.sentC[:0]
+	}
+}
+
+// tickNodes is the phases-4+5 shard worker: tick the active routers and
+// injecting NIs of this shard's node range, in ascending id order (bitmap
+// iteration masked to [lo, hi)). Nothing writes the shared bitmaps during
+// the parallel phase — all transitions are deferred — so reading word
+// snapshots is safe.
+func (e *tickExec) tickNodes(worker int) {
+	if worker >= len(e.shards) {
+		return
+	}
+	sh := &e.shards[worker]
+	n := e.net
+	now := e.now
+	if e.doR {
+		for w := sh.lo >> 6; w<<6 < sh.hi; w++ {
+			word := maskToRange(n.routerActive[w], w<<6, sh.lo, sh.hi)
+			for ; word != 0; word &= word - 1 {
+				n.Routers[w<<6|bits.TrailingZeros64(word)].tick(now, sh)
+			}
+		}
+	}
+	if e.doNI {
+		for w := sh.lo >> 6; w<<6 < sh.hi; w++ {
+			word := maskToRange(n.niInject[w], w<<6, sh.lo, sh.hi)
+			for ; word != 0; word &= word - 1 {
+				n.NIs[w<<6|bits.TrailingZeros64(word)].inject(now, sh)
+			}
+		}
+	}
+}
+
+// maskToRange restricts a bitmap word whose bit 0 represents node `base`
+// to the ids in [lo, hi).
+func maskToRange(word uint64, base, lo, hi int) uint64 {
+	if lo > base {
+		word &^= 1<<uint(lo-base) - 1
+	}
+	if hi < base+64 {
+		word &= 1<<uint(hi-base) - 1
+	}
+	return word
+}

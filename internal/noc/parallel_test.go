@@ -1,0 +1,220 @@
+package noc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+// runSignature drives a multi-generation ping-pong workload on a 4x4 mesh
+// and returns a textual signature of everything observable: the exact
+// delivery sequence (order, cycle, hops, latency per packet), the final
+// network statistics, and per-router/per-NI counters. Two runs are
+// behaviourally identical iff their signatures are byte-equal.
+//
+// workers > 1 attaches a pool of that size through the engine (exercising
+// the sim.TickPoolUser forwarding); parThreshold is Config.ParThreshold;
+// rec optionally attaches an observer (which must force the router/NI
+// phases sequential without changing results).
+func runSignature(t *testing.T, prio bool, workers, parThreshold int, rec *obs.Recorder) string {
+	t.Helper()
+	cfg := testConfig(4, 4, prio)
+	cfg.ParThreshold = parThreshold
+	n := MustNetwork(cfg)
+	if rec != nil {
+		n.SetObserver(rec)
+	}
+
+	var sb strings.Builder
+	// Each delivery bounces a response back to the sender for a fixed
+	// number of generations, so the network stays loaded across many
+	// cycles and the parallel phases engage repeatedly at varying load.
+	const generations = 3
+	for i := 0; i < cfg.Nodes(); i++ {
+		node := i
+		n.SetSink(node, func(now uint64, pkt *Packet) {
+			fmt.Fprintf(&sb, "d n=%d id=%d src=%d hops=%d lat=%d at=%d\n",
+				node, pkt.ID, pkt.Src, pkt.Hops, pkt.NetLatency(), now)
+			gen := pkt.Payload.(int)
+			if gen < generations {
+				resp := n.NewPacket(node, pkt.Src, ClassData, VNetResponse, gen+1)
+				n.Send(now, resp)
+			}
+			n.FreePacket(pkt)
+		})
+	}
+
+	e := sim.NewEngine()
+	e.Register(n)
+	if workers > 1 {
+		pool := par.NewPool(workers)
+		defer pool.Close()
+		e.SetTickPool(pool)
+		defer e.SetTickPool(nil)
+	}
+
+	// Seed-driven all-to-some traffic: every node opens several flows.
+	rng := sim.NewRNG(23)
+	for s := 0; s < cfg.Nodes(); s++ {
+		for k := 0; k < 12; k++ {
+			d := rng.Intn(cfg.Nodes())
+			if d == s {
+				continue
+			}
+			vn := rng.Intn(NumVNets)
+			class := ClassData
+			if vn == VNetRequest {
+				class = ClassCtrl
+			}
+			pkt := n.NewPacket(s, d, class, vn, 0)
+			if prio && k%4 == 0 {
+				pkt.Class = ClassLock
+				pkt.Prio = core.Priority{Check: true, Class: uint8(k % 8), Prog: uint16(s % 4)}
+			}
+			n.Send(0, pkt)
+		}
+	}
+
+	e.MaxCycles = 500000
+	end := e.RunUntil(func() bool { return !n.Busy() })
+	if n.Busy() {
+		t.Fatalf("network not drained (prio=%v workers=%d thr=%d)", prio, workers, parThreshold)
+	}
+	if n.Busy() != n.scanBusy() {
+		t.Fatalf("Busy()/scanBusy() disagree at end (workers=%d)", workers)
+	}
+
+	fmt.Fprintf(&sb, "end=%d injected=%v delivered=%v flits=%d local=%d\n",
+		end, n.Stats.InjectedPkts, n.Stats.DeliveredPkts, n.Stats.InjectedFlits, n.Stats.LocalDeliveries)
+	for c := 0; c < int(NumClasses); c++ {
+		fmt.Fprintf(&sb, "lat c=%d net=%v total=%v\n", c, n.Stats.NetLatency[c], n.Stats.TotalLatency[c])
+	}
+	for i, r := range n.Routers {
+		fmt.Fprintf(&sb, "r%d %+v\n", i, r.Stats)
+	}
+	for i, ni := range n.NIs {
+		fmt.Fprintf(&sb, "ni%d inj=%v del=%v flits=%d\n", i, ni.Injected, ni.Delivered, ni.FlitsSent)
+	}
+	allocs, reuses, frees, live := n.PoolStats()
+	fmt.Fprintf(&sb, "pool a=%d r=%d f=%d live=%d\n", allocs, reuses, frees, live)
+	return sb.String()
+}
+
+// TestParallelTickMatchesSequential is the executor's core guarantee: for
+// every worker count, threshold setting and arbitration policy, the
+// sharded two-phase tick executor produces a byte-identical simulation to
+// the plain sequential path. ParThreshold -1 forces the parallel phases
+// on for every non-empty cycle (the 4x4 test mesh would otherwise stay
+// under the default work thresholds); 0 keeps the defaults so threshold
+// crossover (mixing sequential and parallel cycles within one run) is
+// exercised too.
+func TestParallelTickMatchesSequential(t *testing.T) {
+	for _, prio := range []bool{false, true} {
+		ref := runSignature(t, prio, 1, 0, nil)
+		for _, workers := range []int{2, 3, 4, 8} {
+			for _, thr := range []int{-1, 0, 4} {
+				got := runSignature(t, prio, workers, thr, nil)
+				if got != ref {
+					t.Fatalf("prio=%v workers=%d thr=%d diverged from sequential:\nref %d bytes, got %d bytes",
+						prio, workers, thr, len(ref), len(got))
+				}
+			}
+		}
+	}
+}
+
+// TestParallelTickWithObserver checks the observer interaction: a recorder
+// forces the router/NI phases onto the sequential path (they emit into one
+// shared stream), while the link-drain phase stays parallel (it emits
+// nothing). Results and the recorded event stream must both match a fully
+// sequential observed run.
+func TestParallelTickWithObserver(t *testing.T) {
+	recSeq := obs.NewRecorder(1 << 20)
+	ref := runSignature(t, true, 1, 0, recSeq)
+	recPar := obs.NewRecorder(1 << 20)
+	got := runSignature(t, true, 4, -1, recPar)
+	if got != ref {
+		t.Fatal("observed parallel run diverged from observed sequential run")
+	}
+	seqEv, parEv := recSeq.Events(), recPar.Events()
+	if len(seqEv) != len(parEv) {
+		t.Fatalf("event counts differ: sequential %d, parallel %d", len(seqEv), len(parEv))
+	}
+	for i := range seqEv {
+		if seqEv[i] != parEv[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, seqEv[i], parEv[i])
+		}
+	}
+}
+
+// TestSetTickPoolSharding checks the shard partition: contiguous,
+// exhaustive, and never wider than the pool.
+func TestSetTickPoolSharding(t *testing.T) {
+	for _, tc := range []struct{ w, h, workers int }{
+		{2, 2, 2}, {4, 4, 3}, {4, 4, 4}, {8, 8, 5}, {3, 3, 16},
+	} {
+		n := MustNetwork(testConfig(tc.w, tc.h, false))
+		pool := par.NewPool(tc.workers)
+		n.SetTickPool(pool)
+		e := n.exec
+		if e == nil {
+			t.Fatalf("%dx%d workers=%d: no executor attached", tc.w, tc.h, tc.workers)
+		}
+		nodes := tc.w * tc.h
+		if len(e.shards) > tc.workers || len(e.shards) > nodes {
+			t.Fatalf("%d shards for %d workers, %d nodes", len(e.shards), tc.workers, nodes)
+		}
+		next := 0
+		for i := range e.shards {
+			sh := &e.shards[i]
+			if sh.lo != next || sh.hi < sh.lo {
+				t.Fatalf("shard %d range [%d,%d), expected lo %d", i, sh.lo, sh.hi, next)
+			}
+			for node := sh.lo; node < sh.hi; node++ {
+				if e.shardOf[node] != int32(i) {
+					t.Fatalf("shardOf[%d] = %d, want %d", node, e.shardOf[node], i)
+				}
+			}
+			next = sh.hi
+		}
+		if next != nodes {
+			t.Fatalf("shards cover [0,%d), want [0,%d)", next, nodes)
+		}
+		n.SetTickPool(nil)
+		if n.exec != nil {
+			t.Fatal("detach left executor attached")
+		}
+		n.SetTickPool(par.NewPool(1))
+		if n.exec != nil {
+			t.Fatal("single-worker pool must not attach an executor")
+		}
+		pool.Close()
+	}
+}
+
+func TestMaskToRange(t *testing.T) {
+	all := ^uint64(0)
+	for _, tc := range []struct {
+		word     uint64
+		base     int
+		lo, hi   int
+		expected uint64
+	}{
+		{all, 0, 0, 64, all},
+		{all, 0, 3, 64, all &^ 0x7},
+		{all, 0, 0, 5, 0x1f},
+		{all, 64, 70, 80, 0xffc0},
+		{all, 64, 0, 64, 0}, // range entirely below this word
+		{0, 0, 0, 64, 0},
+	} {
+		if got := maskToRange(tc.word, tc.base, tc.lo, tc.hi); got != tc.expected {
+			t.Fatalf("maskToRange(%#x, %d, %d, %d) = %#x, want %#x",
+				tc.word, tc.base, tc.lo, tc.hi, got, tc.expected)
+		}
+	}
+}

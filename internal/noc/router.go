@@ -220,8 +220,13 @@ func (r *Router) route(dst int) Dir {
 	}
 }
 
-// commit absorbs flit arrivals and credit returns due this cycle.
-func (r *Router) commit(now uint64, fs []flitEvent, dir Dir) {
+// commit absorbs flit arrivals and credit returns due this cycle. sh, when
+// non-nil, marks a parallel drain phase: the network-wide activity/flit
+// counters and the shared active-router bitmap (whose 64-router words span
+// shard boundaries) must not be written concurrently, so their updates are
+// accumulated in the shard and applied by the commit phase in shard order.
+// Everything else commit touches is owned by this router alone.
+func (r *Router) commit(now uint64, fs []flitEvent, dir Dir, sh *tickShard) {
 	for _, ev := range fs {
 		vc := r.vc(dir, ev.vc)
 		if vc.n >= r.cfg.VCDepth {
@@ -240,13 +245,21 @@ func (r *Router) commit(now uint64, fs []flitEvent, dir Dir) {
 			r.routedMask[dir] |= 1 << uint(ev.vc)
 		}
 		vc.push(f)
-		if r.flitCount == 0 {
-			r.activeSet[r.id>>6] |= 1 << uint(r.id&63)
+		if sh == nil {
+			if r.flitCount == 0 {
+				r.activeSet[r.id>>6] |= 1 << uint(r.id&63)
+			}
+			*r.act++
+			*r.rf++
+		} else {
+			if r.flitCount == 0 {
+				sh.nowActive = append(sh.nowActive, int32(r.id))
+			}
+			sh.actDelta++
+			sh.rfDelta++
 		}
 		r.flitCount++
 		r.portFlits[dir]++
-		*r.act++
-		*r.rf++
 	}
 }
 
@@ -264,13 +277,18 @@ func (r *Router) commitCredits(cs []creditEvent, dir Dir) {
 }
 
 // tick runs stage one (VA + SA over flits that have sat one cycle) and
-// stage two (switch traversal) of the pipeline.
-func (r *Router) tick(now uint64) {
+// stage two (switch traversal) of the pipeline. sh, when non-nil, marks a
+// parallel compute phase: every decision reads cycle-start state that no
+// other router writes this cycle (routers interact only through link
+// events committed in later cycles), and traversal defers its
+// shared-state side effects into the shard. Observers must be detached in
+// parallel mode — the allocators emit into a shared recorder.
+func (r *Router) tick(now uint64, sh *tickShard) {
 	if r.flitCount == 0 {
 		return
 	}
 	r.allocateVCs(now)
-	r.allocateSwitch(now)
+	r.allocateSwitch(now, sh)
 }
 
 // allocateVCs performs virtual-channel allocation for input VCs in the
@@ -416,7 +434,7 @@ func (r *Router) tryAssignVC(now uint64, op *outPort, req vaReq) bool {
 // Arbiter per input port selects one candidate VC, then a per-output-port
 // global arbiter picks the winner. Winners traverse the switch immediately
 // (stage two).
-func (r *Router) allocateSwitch(now uint64) {
+func (r *Router) allocateSwitch(now uint64, sh *tickShard) {
 	if r.activeCount == 0 {
 		return
 	}
@@ -470,7 +488,7 @@ func (r *Router) allocateSwitch(now uint64) {
 		c := cands[0]
 		vc := r.vc(c.dir, c.vc)
 		r.out[vc.outDir].saPtr = 0
-		r.traverse(now, c.dir, c.vc)
+		r.traverse(now, c.dir, c.vc, sh)
 		return
 	}
 	// bidCount tallies bidders per output, so each output's scan stops as
@@ -535,7 +553,7 @@ func (r *Router) allocateSwitch(now uint64) {
 		}
 		c := cands[winner]
 		cands[winner].dir = -1 // one crossbar grant per input port
-		r.traverse(now, c.dir, c.vc)
+		r.traverse(now, c.dir, c.vc, sh)
 	}
 }
 
@@ -582,22 +600,37 @@ func (r *Router) recordArbitration(now uint64, cands []saCand, winner int, outDi
 }
 
 // traverse is stage two: move the head flit of the granted input VC onto
-// the output link and return a credit upstream.
-func (r *Router) traverse(now uint64, inDir Dir, vcIdx int) {
+// the output link and return a credit upstream. With sh non-nil the moves
+// still happen immediately (the link queues are single-sender, so the
+// appends are private to this worker), but every shared-state side effect
+// — activity counters, the active-router bitmap, pending-list and NI
+// bitmap registration — is deferred into the shard for the ordered commit
+// phase.
+func (r *Router) traverse(now uint64, inDir Dir, vcIdx int, sh *tickShard) {
 	vc := r.vc(inDir, vcIdx)
 	f := vc.pop()
 	r.flitCount--
-	if r.flitCount == 0 {
-		r.activeSet[r.id>>6] &^= 1 << uint(r.id&63)
-	}
 	r.portFlits[inDir]--
-	*r.act--
-	*r.rf--
 	op := &r.out[vc.outDir]
 	op.credits[vc.outVC]--
 	at := now + uint64(r.cfg.LinkLatency)
-	r.outLink[vc.outDir].sendFlit(f, vc.outVC, at)
-	r.inLink[inDir].sendCredit(vcIdx, f.isTail(), at)
+	if sh == nil {
+		if r.flitCount == 0 {
+			r.activeSet[r.id>>6] &^= 1 << uint(r.id&63)
+		}
+		*r.act--
+		*r.rf--
+		r.outLink[vc.outDir].sendFlit(f, vc.outVC, at)
+		r.inLink[inDir].sendCredit(vcIdx, f.isTail(), at)
+	} else {
+		if r.flitCount == 0 {
+			sh.cleared = append(sh.cleared, int32(r.id))
+		}
+		sh.actDelta--
+		sh.rfDelta--
+		r.outLink[vc.outDir].sendFlitPar(f, vc.outVC, at, sh)
+		r.inLink[inDir].sendCreditPar(vcIdx, f.isTail(), at, sh)
+	}
 	r.Stats.SAGrants++
 	r.Stats.FlitsTraversed++
 	if f.isHead() {

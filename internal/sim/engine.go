@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 // Never is the sentinel returned by NextWake when a component has no
@@ -29,6 +30,19 @@ type Component interface {
 // Wake never delays a component: it only moves the wake time earlier.
 type Waker interface {
 	Wake(at uint64)
+}
+
+// TickPoolUser is implemented by components that can exploit a worker
+// pool for parallelism *within* one Tick call (e.g. the NoC's sharded
+// tick executor). The engine itself stays strictly sequential — one
+// component ticks at a time, in registration order — the pool only lets a
+// single component fan its own cycle work out and join before returning.
+// The engine calls SetTickPool when a pool is attached via
+// Engine.SetTickPool (and on Register while one is attached); SetTickPool
+// with nil detaches, and implementations must then fall back to their
+// sequential path.
+type TickPoolUser interface {
+	SetTickPool(p *par.Pool)
 }
 
 // WakeSetter is implemented by components that push wake notifications to
@@ -86,6 +100,11 @@ type Engine struct {
 
 	// obs, when non-nil, receives engine wake-jump and step events.
 	obs *obs.Recorder
+
+	// tickPool, when non-nil, is handed to every TickPoolUser component
+	// for intra-tick parallelism. The engine does not own it: the caller
+	// that attached it closes it after detaching (SetTickPool(nil)).
+	tickPool *par.Pool
 }
 
 // NewEngine returns an empty engine with fast-forward enabled.
@@ -118,7 +137,25 @@ func (e *Engine) Register(c Component) {
 		e.legacy = append(e.legacy, true)
 		e.anyLegacy = true
 	}
+	if e.tickPool != nil {
+		if u, ok := c.(TickPoolUser); ok {
+			u.SetTickPool(e.tickPool)
+		}
+	}
 	e.heapPush(idx, c.NextWake(e.now))
+}
+
+// SetTickPool attaches a worker pool for intra-tick parallelism (nil
+// detaches), forwarding it to every registered — and every subsequently
+// registered — TickPoolUser component. The engine never closes the pool;
+// the attaching caller detaches and closes it when the run ends.
+func (e *Engine) SetTickPool(p *par.Pool) {
+	e.tickPool = p
+	for _, c := range e.components {
+		if u, ok := c.(TickPoolUser); ok {
+			u.SetTickPool(p)
+		}
+	}
 }
 
 // Wake moves component c's wake time earlier, to at (clamped so that a

@@ -28,6 +28,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/noc"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -81,6 +82,13 @@ type Config struct {
 	// objects are poisoned and stale references panic instead of silently
 	// reading recycled contents. Double frees always panic.
 	PoolDebug bool
+	// Workers is the intra-simulation parallelism width: values > 1 run
+	// the NoC's tick phases on a persistent worker pool of that size
+	// (sharded compute, ordered commit). Results are byte-identical for
+	// every worker count — the executor only changes wall-clock time.
+	// 0 and 1 both mean fully sequential. Composes with outer run-level
+	// parallelism (experiments.Options.Jobs) via a shared core budget.
+	Workers int
 
 	// NoC, Mem and Kernel override subsystem defaults when non-nil.
 	NoC    *noc.Config
@@ -265,8 +273,19 @@ func New(cfg Config) (*System, error) {
 }
 
 // Run executes the workload to completion and returns the consolidated
-// results.
+// results. With Cfg.Workers > 1 it owns a worker pool for the duration of
+// the run: attached before the first cycle, detached and closed before
+// returning so no goroutines outlive the run (outer experiment harnesses
+// start many Systems concurrently).
 func (s *System) Run() (metrics.Results, error) {
+	if s.Cfg.Workers > 1 {
+		pool := par.NewPool(s.Cfg.Workers)
+		s.Engine.SetTickPool(pool)
+		defer func() {
+			s.Engine.SetTickPool(nil)
+			pool.Close()
+		}()
+	}
 	s.CPU.Start(s.Engine.Now())
 	s.Engine.RunUntil(s.CPU.AllDone)
 	if !s.CPU.AllDone() {

@@ -13,8 +13,8 @@ func init() {
 }
 
 // experimentRun is the experiments.Runner backed by the full platform.
-func experimentRun(p workload.Profile, threads int, ocor bool, levels int, seed uint64, nopool bool) (metrics.Results, error) {
-	cfg := Config{Benchmark: p, Threads: threads, OCOR: ocor, Seed: seed, NoPool: nopool}
+func experimentRun(p workload.Profile, threads int, ocor bool, levels int, seed uint64, nopool bool, workers int) (metrics.Results, error) {
+	cfg := Config{Benchmark: p, Threads: threads, OCOR: ocor, Seed: seed, NoPool: nopool, Workers: workers}
 	if levels > 0 {
 		cfg.PriorityLevels = levels
 	}
@@ -29,8 +29,8 @@ func experimentRun(p workload.Profile, threads int, ocor bool, levels int, seed 
 // recording enabled and renders the first window cycles of the first
 // traceThreads threads (window 0 selects 1/8 of the run, mirroring the
 // paper's 3000-cycle excerpt).
-func experimentTrace(p workload.Profile, threads int, ocor bool, seed uint64, traceThreads int, window uint64, nopool bool) (metrics.Results, string, error) {
-	sys, err := New(Config{Benchmark: p, Threads: threads, OCOR: ocor, Seed: seed, Trace: true, NoPool: nopool})
+func experimentTrace(p workload.Profile, threads int, ocor bool, seed uint64, traceThreads int, window uint64, nopool bool, workers int) (metrics.Results, string, error) {
+	sys, err := New(Config{Benchmark: p, Threads: threads, OCOR: ocor, Seed: seed, Trace: true, NoPool: nopool, Workers: workers})
 	if err != nil {
 		return metrics.Results{}, "", err
 	}
