@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench bench-json bench-smoke fmt-check
+.PHONY: build vet test race check bench bench-json bench-smoke fmt-check fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -20,12 +20,24 @@ test:
 
 # Race-check the concurrent code paths: the bounded-parallelism helper, the
 # experiment harness that fans simulations out over it, the simulation
-# engine it drives, the recorder the parallel trace capture shares, and the
-# object slabs the pooled hot path recycles through.
+# engine it drives, the recorder the parallel trace capture shares, the
+# object slabs the pooled hot path recycles through, and the fault/recovery
+# layer (the injector is consulted from sharded tick phases). The second
+# line runs the platform-level fault matrix and watchdog tests — faults
+# on/off × OCOR on/off with the sharded executor forced — under -race.
 race:
-	$(GO) test -race ./internal/par/... ./internal/experiments/... ./internal/sim/... ./internal/obs/... ./internal/pool/... ./internal/noc/...
+	$(GO) test -race ./internal/par/... ./internal/experiments/... ./internal/sim/... ./internal/obs/... ./internal/pool/... ./internal/noc/... ./internal/kernel/... ./internal/fault/...
+	$(GO) test -race -run 'TestFault|TestWatchdog|TestRecovery|TestRunWithTimeout' .
 
 check: build vet fmt-check test race
+
+# fuzz-smoke gives each native fuzz target a short budget: enough to catch
+# a codec or parser regression in CI without a real fuzzing campaign
+# (-fuzz accepts one target per invocation, hence one line per target).
+fuzz-smoke:
+	$(GO) test ./internal/obs/ -run '^$$' -fuzz '^FuzzPriorityCodec$$' -fuzztime 10s
+	$(GO) test ./internal/obs/ -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s
+	$(GO) test ./internal/obs/ -run '^$$' -fuzz '^FuzzReadTrace$$' -fuzztime 10s
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/noc/ .

@@ -79,6 +79,9 @@ func main() {
 	// The benchmarks must run against the real platform, not a test fake.
 	_ = repro.Catalog()
 
+	if err := (&repro.Config{Threads: *threads, Workers: *workers}).Validate(); err != nil {
+		fatal(err)
+	}
 	opt := experiments.Options{Threads: *threads, Seed: *seed, Scale: *scale, Quick: *quick, Workers: *workers}
 	cases := []struct {
 		name string

@@ -69,6 +69,9 @@ func main() {
 		}
 	}()
 
+	if err := (&repro.Config{Threads: *threads, Workers: *workers}).Validate(); err != nil {
+		fatal(err)
+	}
 	opt := experiments.Options{Threads: *threads, Seed: *seed, Scale: *scale, Quick: *quick, Jobs: *jobs, NoPool: *noPool, Workers: *workers}
 	want := map[string]bool{}
 	for _, name := range strings.Split(*runList, ",") {

@@ -48,6 +48,11 @@ func main() {
 	cfg.Width, cfg.Height = w, h
 	cfg.Priority = *priority
 	cfg.NoPool = *noPool
+	// Validate explicitly (NewNetwork would too) so a bad -mesh is
+	// reported as the typed config error before anything is built.
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
 	net, err := noc.NewNetwork(cfg)
 	if err != nil {
 		fatal(err)

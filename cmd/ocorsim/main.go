@@ -54,12 +54,21 @@ func main() {
 	}
 	p = p.Scale(*scale)
 
+	// Validate the flag-derived configuration up front so an impossible
+	// topology is reported once, before any simulation output.
+	runCfg := repro.Config{
+		Benchmark: p, Threads: *threads, PriorityLevels: *levels,
+		Seed: *seed, Trace: *trace, NoPool: *noPool, Workers: *workers,
+	}
+	if err := runCfg.Validate(); err != nil {
+		fatal(err)
+	}
+
 	runOne := func(enabled bool, rec *obs.Recorder) metrics.Results {
-		sys, err := repro.New(repro.Config{
-			Benchmark: p, Threads: *threads, OCOR: enabled,
-			PriorityLevels: *levels, Seed: *seed, Trace: *trace, Obs: rec,
-			NoPool: *noPool, Workers: *workers,
-		})
+		cfg := runCfg
+		cfg.OCOR = enabled
+		cfg.Obs = rec
+		sys, err := repro.New(cfg)
 		if err != nil {
 			fatal(err)
 		}

@@ -11,9 +11,11 @@ package main
 
 import (
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
@@ -23,6 +25,10 @@ import (
 	"repro/internal/par"
 	"repro/internal/profiling"
 )
+
+// errInterrupted marks grid cells skipped after a SIGINT; the completed
+// prefix of rows is still flushed and the process exits 130.
+var errInterrupted = errors.New("interrupted")
 
 // cell is one grid point of the sweep.
 type cell struct {
@@ -65,6 +71,27 @@ func main() {
 			}
 		}
 	}
+	// Validate every grid cell before the first CSV byte goes out, so a
+	// bad flag is one clean stderr line instead of a die mid-stream.
+	for _, c := range grid {
+		cfg := repro.Config{Threads: c.threads, PriorityLevels: c.levels, Workers: *workers}
+		if err := cfg.Validate(); err != nil {
+			fatal(err)
+		}
+	}
+
+	// SIGINT truncates: no new simulations are claimed, the completed
+	// prefix of rows is flushed, a trailing comment line marks the output
+	// as partial, and the exit code is 130.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "sweep: interrupted; flushing completed rows")
+		close(stop)
+		signal.Stop(sigc)
+	}()
 
 	w := csv.NewWriter(os.Stdout)
 	_ = w.Write([]string{
@@ -88,6 +115,11 @@ func main() {
 	}
 	var lastBase metrics.Results
 	_, err = par.Map(2*len(grid), effJobs, func(i int) (metrics.Results, error) {
+		select {
+		case <-stop:
+			return metrics.Results{}, errInterrupted
+		default:
+		}
 		c := grid[i/2]
 		cfg := repro.Config{
 			Benchmark: p, Threads: c.threads, OCOR: i%2 == 1,
@@ -112,6 +144,10 @@ func main() {
 			metrics.COHImprovement(lastBase, r), metrics.ROIImprovement(lastBase, r))
 	})
 	w.Flush()
+	if errors.Is(err, errInterrupted) {
+		fmt.Println("# truncated: interrupted before the grid completed")
+		os.Exit(130)
+	}
 	if err != nil {
 		fatal(err)
 	}

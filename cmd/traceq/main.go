@@ -61,6 +61,9 @@ func main() {
 			fatal(err)
 		}
 		p = p.Scale(*scale)
+		if err := (&repro.Config{Threads: *threads, OCOR: *ocor}).Validate(); err != nil {
+			fatal(err)
+		}
 		type capture struct {
 			acqs    []obs.Acquisition
 			dropped uint64

@@ -1,0 +1,209 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/kernel"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// faultyConfig is detProfile under a seeded locking-class fault plan with
+// recovery enabled — the standard degraded-but-survivable configuration
+// of these tests.
+func faultyConfig(ocor bool) Config {
+	return Config{
+		Benchmark: detProfile(), Threads: 16, OCOR: ocor, Seed: 7,
+		Faults:   &fault.Plan{Seed: 41, DropRate: 0.02, DelayRate: 0.05, DelayCycles: 24},
+		Recovery: &kernel.RecoveryConfig{Enabled: true},
+	}
+}
+
+// sleepyKernel forces threads into the futex-sleep path quickly so
+// wake-loss faults have something to swallow.
+func sleepyKernel(ocor bool) *kernel.Config {
+	kcfg := kernel.DefaultConfig()
+	kcfg.Policy.MaxSpin = 2
+	_ = ocor // Policy.Enabled is overwritten by the platform from Config.OCOR
+	return &kcfg
+}
+
+// wakeLossConfig seeds the acceptance scenario at platform scale: every
+// FUTEX_WAKE is swallowed (a single lost wake is often absorbed by the
+// next unlock's wake at this contention depth, so total loss is what
+// makes the deadlock deterministic in both lock modes), with spin
+// budgets small enough that cohorts actually sleep.
+func wakeLossConfig(ocor, recovery bool) Config {
+	return Config{
+		Benchmark: detProfile(), Threads: 16, OCOR: ocor, Seed: 7,
+		Kernel:   sleepyKernel(ocor),
+		Faults:   &fault.Plan{Seed: 41, WakeLossRate: 1},
+		Recovery: &kernel.RecoveryConfig{Enabled: recovery},
+	}
+}
+
+func runJSON(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFaultMachineryInertWhenIdle is the platform half of the
+// byte-identity guarantee: attaching the fault/watchdog machinery in a
+// configuration where it never fires — an injector whose only event
+// targets a lock the workload never touches, and a watchdog whose checks
+// all pass — must leave the results byte-for-byte identical to a plain
+// run. (Recovery is exercised separately: arming its timers schedules
+// engine events, so only the disabled default is identity-preserving.)
+func TestFaultMachineryInertWhenIdle(t *testing.T) {
+	for _, ocor := range []bool{false, true} {
+		base := Config{Benchmark: detProfile(), Threads: 16, OCOR: ocor, Seed: 7}
+		ref := runJSON(t, base)
+
+		inert := base
+		inert.Faults = &fault.Plan{Events: []fault.Event{
+			{Kind: fault.KindWakeLoss, Lock: 63, Nth: 0}, // lock 63 is never used
+		}}
+		if got := runJSON(t, inert); !bytes.Equal(ref, got) {
+			t.Fatalf("ocor=%v: idle injector perturbed results:\nref: %s\ngot: %s", ocor, ref, got)
+		}
+
+		watched := base
+		watched.Watchdog = &sim.WatchdogConfig{}
+		if got := runJSON(t, watched); !bytes.Equal(ref, got) {
+			t.Fatalf("ocor=%v: passing watchdog perturbed results:\nref: %s\ngot: %s", ocor, ref, got)
+		}
+	}
+}
+
+// TestFaultMatrix runs the degraded configuration across {OCOR off, OCOR
+// on} × {sequential, workers=2} and requires every cell to be
+// reproducible: identical JSON on repetition, and byte-identical between
+// the sequential and sharded executors. Fault injection must be as
+// deterministic as the fault-free simulator.
+func TestFaultMatrix(t *testing.T) {
+	ncfg := noc.DefaultConfig()
+	ncfg.ParThreshold = -1 // force the sharded path despite the small mesh
+	for _, ocor := range []bool{false, true} {
+		var ref []byte
+		for _, workers := range []int{1, 1, 2} {
+			cfg := faultyConfig(ocor)
+			cfg.Workers = workers
+			cfg.NoC = &ncfg
+			got := runJSON(t, cfg)
+			if ref == nil {
+				ref = got
+				continue
+			}
+			if !bytes.Equal(ref, got) {
+				t.Fatalf("ocor=%v workers=%d: faulted run not reproducible:\nref: %s\ngot: %s",
+					ocor, workers, ref, got)
+			}
+		}
+	}
+}
+
+// TestWatchdogCatchesWakeLossDeadlock is the acceptance scenario end to
+// end: a seeded FUTEX_WAKE loss with recovery off deadlocks the
+// platform, and the watchdog must detect it within a bounded cycle
+// budget and return a typed error carrying a diagnostic dump — long
+// before the MaxCycles guard would have fired.
+func TestWatchdogCatchesWakeLossDeadlock(t *testing.T) {
+	for _, ocor := range []bool{false, true} {
+		cfg := wakeLossConfig(ocor, false)
+		cfg.Watchdog = &sim.WatchdogConfig{
+			Interval:    2_000,
+			StallBudget: 200_000,
+			BlockBudget: 400_000,
+		}
+		cfg.MaxCycles = 50_000_000
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = sys.Run()
+		var werr *sim.WatchdogError
+		if !errors.As(err, &werr) {
+			t.Fatalf("ocor=%v: Run returned %v, want *sim.WatchdogError", ocor, err)
+		}
+		// Detection must be bounded: the healthy workload finishes in well
+		// under a million cycles, so budget + slack bounds the trip point.
+		if werr.Cycle > 5_000_000 {
+			t.Fatalf("ocor=%v: watchdog tripped only at cycle %d", ocor, werr.Cycle)
+		}
+		if werr.Dump == "" {
+			t.Fatalf("ocor=%v: watchdog error carries no diagnostic dump", ocor)
+		}
+		if !strings.Contains(werr.Dump, "threads in lock path") ||
+			!strings.Contains(werr.Dump, "recovery:") {
+			t.Fatalf("ocor=%v: dump missing expected sections:\n%s", ocor, werr.Dump)
+		}
+		if sys.Faults.Stats.DroppedWakes.Load() == 0 {
+			t.Fatalf("ocor=%v: no wakes dropped; scenario exercised nothing", ocor)
+		}
+	}
+}
+
+// TestRecoveryCompletesWakeLossRun is the positive half: the same seeded
+// wake loss with recovery enabled completes (the sleeping threads' futex
+// rechecks re-validate their waits), with or without the watchdog armed.
+func TestRecoveryCompletesWakeLossRun(t *testing.T) {
+	for _, ocor := range []bool{false, true} {
+		cfg := wakeLossConfig(ocor, true)
+		cfg.Watchdog = &sim.WatchdogConfig{}
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(); err != nil {
+			t.Fatalf("ocor=%v: recovery-enabled run failed: %v", ocor, err)
+		}
+		if sys.Faults.Stats.DroppedWakes.Load() == 0 {
+			t.Fatalf("ocor=%v: no wakes dropped; scenario exercised nothing", ocor)
+		}
+		if rs := sys.Kernel.RecoveryStats(); rs.SleepRechecks == 0 {
+			t.Fatalf("ocor=%v: completion without any sleep recheck: %+v", ocor, rs)
+		}
+	}
+}
+
+// TestRunWithTimeout aborts a deadlocked run (no watchdog, no recovery)
+// at a wall-clock deadline instead of burning the MaxCycles budget.
+func TestRunWithTimeout(t *testing.T) {
+	cfg := wakeLossConfig(true, false)
+	cfg.MaxCycles = 2_000_000_000 // far beyond any reasonable wall-clock budget
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.RunWithTimeout(200 * time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "abort") {
+		t.Fatalf("RunWithTimeout returned %v, want wall-clock abort", err)
+	}
+
+	// A healthy run under a generous deadline is unaffected.
+	ok, err := New(Config{Benchmark: detProfile(), Threads: 16, OCOR: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ok.RunWithTimeout(5 * time.Minute); err != nil {
+		t.Fatalf("healthy run under timeout failed: %v", err)
+	}
+}

@@ -32,7 +32,7 @@ func newHarness(t testing.TB, w, h int) *harness {
 	kcfg := kernel.DefaultConfig()
 	kcfg.SleepPrepLatency = 100
 	kcfg.WakeLatency = 200
-	ks := kernel.NewSystem(kcfg, net)
+	ks := kernel.MustSystem(kcfg, net)
 	for i := 0; i < ncfg.Nodes(); i++ {
 		node := i
 		net.SetSink(node, func(now uint64, pkt *noc.Packet) {

@@ -135,6 +135,11 @@ func (s *System) ROIFinish() uint64 {
 // Tick implements sim.Component.
 func (s *System) Tick(now uint64) { s.delay.RunDue(now) }
 
+// ScheduledOps returns the lifetime count of timer operations scheduled
+// on the CPU system's delay queue (a monotone progress signal for the
+// simulation watchdog).
+func (s *System) ScheduledOps() uint64 { return s.delay.Scheduled() }
+
 // NextWake implements sim.Component.
 func (s *System) NextWake(now uint64) uint64 {
 	if at, ok := s.delay.Next(); ok {

@@ -1,0 +1,181 @@
+package experiments
+
+// Fault-injection sweeps: run a benchmark across a ladder of seeded
+// flit-drop rates, baseline vs OCOR, and report how gracefully each mode
+// degrades. Failed runs — watchdog trips, wall-clock timeouts, panics —
+// are data points, not sweep failures: robustness experiments exist
+// precisely to chart where the system stops completing.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/par"
+	"repro/internal/workload"
+)
+
+// FaultOptions configures a fault-injection sweep.
+type FaultOptions struct {
+	// Bench is the catalog benchmark name.
+	Bench string
+	// Threads, Seed, Scale, Jobs, Workers as in Options.
+	Threads int
+	Seed    uint64
+	Scale   float64
+	Jobs    int
+	Workers int
+	// Rates is the ladder of flit-drop rates applied to the locking
+	// classes (rate 0 is the healthy reference point).
+	Rates []float64
+	// Recovery arms the lock kernel's liveness recovery for every run.
+	Recovery bool
+	// Timeout bounds each run's wall-clock time (0 = no bound). Expiry
+	// fails the run, not the sweep.
+	Timeout time.Duration
+	// Stop, when non-nil and closed, truncates the sweep: runs not yet
+	// started return immediately as interrupted, and the completed prefix
+	// of points is emitted with Truncated set.
+	Stop <-chan struct{}
+}
+
+func (o FaultOptions) withDefaults() FaultOptions {
+	if o.Bench == "" {
+		o.Bench = "body"
+	}
+	if o.Threads == 0 {
+		o.Threads = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if len(o.Rates) == 0 {
+		o.Rates = []float64{0, 0.005, 0.01, 0.02}
+	}
+	return o
+}
+
+// FaultOutcome is one run of the sweep. OK distinguishes a completed
+// simulation from a degraded one (deadlock caught by the watchdog,
+// wall-clock timeout, panic); Failure carries the reason when !OK.
+// Every field is deterministic — failures included, except that a
+// wall-clock timeout's trip point depends on machine speed (which is
+// why sweeps meant to be reproduced should rely on the watchdog, whose
+// budgets are in cycles).
+type FaultOutcome struct {
+	OK       bool                 `json:"ok"`
+	Failure  string               `json:"failure,omitempty"`
+	Results  metrics.Results      `json:"results"`
+	Faults   fault.Snapshot       `json:"faults"`
+	Recovery kernel.RecoveryStats `json:"recovery"`
+}
+
+// FaultPoint pairs the baseline and OCOR outcomes at one drop rate.
+type FaultPoint struct {
+	Rate float64      `json:"rate"`
+	Base FaultOutcome `json:"base"`
+	OCOR FaultOutcome `json:"ocor"`
+}
+
+// FaultSweep is the full sweep result: one point per rate, in rate
+// order. Truncated marks a sweep interrupted before every point
+// completed; the points present are complete and valid.
+type FaultSweep struct {
+	Bench     string       `json:"bench"`
+	Threads   int          `json:"threads"`
+	Seed      uint64       `json:"seed"`
+	Scale     float64      `json:"scale"`
+	Recovery  bool         `json:"recovery"`
+	Points    []FaultPoint `json:"points"`
+	Truncated bool         `json:"truncated,omitempty"`
+}
+
+// FaultRunner is the platform entry point for one fault-injected run,
+// installed by the root package alongside Runner. It must capture run
+// failures (watchdog trips, timeouts, panics) in the outcome rather
+// than returning an error; an error aborts the whole sweep and is
+// reserved for configuration problems.
+type FaultRunner func(p workload.Profile, threads int, ocor bool, seed uint64,
+	plan fault.Plan, recovery bool, workers int, timeout time.Duration) (FaultOutcome, error)
+
+var faultRunner FaultRunner
+
+// SetFaultRunner installs the fault-injected entry point (the root
+// package calls this from the same init as SetRunner).
+func SetFaultRunner(r FaultRunner) { faultRunner = r }
+
+// RunFaultSweep runs the drop-rate ladder, baseline and OCOR per rate,
+// and returns the assembled degradation curve. Runs are distributed
+// over Jobs workers; results and progress output are independent of the
+// job count (par.Map emits in index order).
+func RunFaultSweep(o FaultOptions, progress io.Writer) (FaultSweep, error) {
+	o = o.withDefaults()
+	if faultRunner == nil {
+		return FaultSweep{}, fmt.Errorf("experiments: no fault runner installed")
+	}
+	prof, err := lookupProfile(o.Bench)
+	if err != nil {
+		return FaultSweep{}, err
+	}
+	prof = prof.Scale(o.Scale)
+
+	const interrupted = "interrupted"
+	// Even index = baseline, odd = OCOR, two per rate (the RunSuite
+	// layout). Interrupted and failed runs return outcomes, never errors,
+	// so the sweep always completes with whatever it gathered.
+	var lastBase FaultOutcome
+	outcomes, err := par.Map(2*len(o.Rates), o.Jobs, func(i int) (FaultOutcome, error) {
+		select {
+		case <-o.Stop:
+			return FaultOutcome{Failure: interrupted}, nil
+		default:
+		}
+		rate := o.Rates[i/2]
+		plan := fault.Plan{Seed: o.Seed, DropRate: rate}
+		out, err := faultRunner(prof, o.Threads, i%2 == 1, o.Seed, plan, o.Recovery, o.Workers, o.Timeout)
+		if err != nil {
+			return FaultOutcome{}, fmt.Errorf("experiments: %s rate %g: %w", o.Bench, rate, err)
+		}
+		return out, nil
+	}, func(i int, v FaultOutcome) {
+		if i%2 == 0 {
+			lastBase = v
+			return
+		}
+		if progress != nil && v.Failure != interrupted && lastBase.Failure != interrupted {
+			fmt.Fprintf(progress, "rate %-6g base: %s  ocor: %s\n",
+				o.Rates[i/2], outcomeLabel(lastBase), outcomeLabel(v))
+		}
+	})
+	if err != nil {
+		return FaultSweep{}, err
+	}
+
+	sweep := FaultSweep{
+		Bench: o.Bench, Threads: o.Threads, Seed: o.Seed,
+		Scale: o.Scale, Recovery: o.Recovery,
+	}
+	for i, rate := range o.Rates {
+		base, ocor := outcomes[2*i], outcomes[2*i+1]
+		if base.Failure == interrupted || ocor.Failure == interrupted {
+			sweep.Truncated = true
+			break
+		}
+		sweep.Points = append(sweep.Points, FaultPoint{Rate: rate, Base: base, OCOR: ocor})
+	}
+	return sweep, nil
+}
+
+func outcomeLabel(o FaultOutcome) string {
+	if !o.OK {
+		return "FAILED (" + o.Failure + ")"
+	}
+	return fmt.Sprintf("roi=%-9d drops=%d timeouts=%d",
+		o.Results.ROIFinish, o.Faults.DroppedTails, o.Recovery.ReqTimeouts)
+}

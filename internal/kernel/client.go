@@ -91,6 +91,16 @@ type acquireCtx struct {
 	// timerArmed tracks whether a cpu_relax retry timer is pending.
 	timerArmed bool
 	cb         func(now uint64)
+	// Recovery state (unused while Recovery.Enabled is false).
+	//
+	// reqSeq numbers the try-lock requests of this acquisition so a
+	// timeout armed for request k is dropped once request k+1 exists.
+	reqSeq uint64
+	// backoff is the current request-timeout interval; it doubles on each
+	// timeout up to Recovery.MaxBackoff and resets on a served request.
+	backoff uint64
+	// recheckWait is the current sleep-recheck interval, doubled likewise.
+	recheckWait uint64
 }
 
 // Client is the thread-side enhanced queue spinlock (Algorithms 1 and 2).
@@ -126,10 +136,17 @@ type Client struct {
 	// were armed in so ticks left over from a finished acquisition are
 	// dropped without the timer having to capture its acquireCtx.
 	gen uint64
+	// stateSince is the cycle of the last state change (feeds the
+	// watchdog's blocked-thread diagnostics).
+	stateSince uint64
 	// spinFn is the spin-tick callback bound once at construction; retries
 	// schedule it with ScheduleArgs instead of allocating a closure per
 	// cpu_relax interval.
 	spinFn func(now, gen, _ uint64)
+	// reqTimeoutFn and recheckFn are the recovery timer callbacks, bound
+	// once like spinFn.
+	reqTimeoutFn func(now, gen, seq uint64)
+	recheckFn    func(now, gen, _ uint64)
 
 	listener Listener
 	// obs, when non-nil, receives lock lifecycle events; emission is
@@ -142,6 +159,12 @@ type Client struct {
 	SleepAcquires uint64
 	TotalRetries  uint64
 	TotalSleeps   uint64
+	// Recovery stats — all zero in a fault-free run.
+	ReqTimeouts   uint64 // try-lock requests re-issued after a timeout
+	SleepRechecks uint64 // futex-word rechecks issued while sleeping
+	DupGrants     uint64 // grants ignored (duplicate of a served request)
+	StaleFails    uint64 // fails ignored (for an already-completed request)
+	StaleWakeups  uint64 // wakeups ignored (thread no longer sleeping)
 }
 
 func newClient(cfg *Config, node, nodes int, send func(now uint64, dst int, m Msg, prio core.Priority), cumHeld func(int, uint64) uint64, dq *sim.DelayQueue) *Client {
@@ -157,6 +180,8 @@ func newClient(cfg *Config, node, nodes int, send func(now uint64, dst int, m Ms
 		listener: nopListener{},
 	}
 	c.spinFn = c.spinTick
+	c.reqTimeoutFn = c.reqTimeout
+	c.recheckFn = c.sleepRecheck
 	return c
 }
 
@@ -182,6 +207,7 @@ func (c *Client) setState(now uint64, st ThreadState) {
 		return
 	}
 	c.state = st
+	c.stateSince = now
 	if c.obs != nil {
 		c.obs.ThreadState(now, c.node, uint8(st))
 	}
@@ -200,6 +226,9 @@ func (c *Client) Lock(now uint64, lock int, cb func(now uint64)) {
 		h0:     c.cumHeld(lock, now),
 		budget: c.cfg.Policy.MaxSpin,
 		cb:     cb,
+	}
+	if c.cfg.Recovery.Enabled {
+		ctx.backoff = uint64(c.cfg.Recovery.RequestTimeout)
 	}
 	c.gen++
 	c.cur = ctx
@@ -221,6 +250,13 @@ func (c *Client) sendTry(now uint64) {
 	ctx.retries++
 	ctx.outstanding = true
 	c.TotalRetries++
+	if c.cfg.Recovery.Enabled {
+		// Arm the request timeout: if neither grant nor fail arrives within
+		// the backoff window, re-issue the request (recovering a dropped
+		// try-lock / grant / fail packet).
+		ctx.reqSeq++
+		c.delay.ScheduleArgs(now+ctx.backoff, c.reqTimeoutFn, c.gen, ctx.reqSeq)
+	}
 	prio := c.Regs.LockPriority(c.cfg.Policy)
 	c.send(now, LockHome(ctx.lock, c.nodes), Msg{
 		Type: MsgTryLock, To: ToController, Lock: ctx.lock,
@@ -269,6 +305,57 @@ func (c *Client) spinTick(t, gen, _ uint64) {
 	c.scheduleSpinTick(t, ctx)
 }
 
+// reqTimeout fires when a try-lock request has been unanswered for the
+// backoff window: the request (or its reply) is presumed lost and a fresh
+// one is issued with the backoff doubled. Stale timers — a different
+// acquisition, a served request, or a thread that moved on to the
+// sleeping phase — are dropped.
+func (c *Client) reqTimeout(t, gen, seq uint64) {
+	if gen != c.gen || c.cur == nil {
+		return
+	}
+	ctx := c.cur
+	if !ctx.outstanding || ctx.reqSeq != seq || c.state != StateSpinning {
+		return
+	}
+	c.ReqTimeouts++
+	if ctx.backoff < uint64(c.cfg.Recovery.MaxBackoff) {
+		ctx.backoff *= 2
+		if ctx.backoff > uint64(c.cfg.Recovery.MaxBackoff) {
+			ctx.backoff = uint64(c.cfg.Recovery.MaxBackoff)
+		}
+	}
+	c.sendTry(t)
+}
+
+// sleepRecheck fires while the thread sleeps: real futex sleepers are
+// woken by timeouts/signals and re-check the futex word, which is what
+// recovers a lost wakeup. The model re-sends FUTEX_WAIT — the controller
+// answers with an immediate wake if the lock is free (or reserved for
+// this thread) and dedups the wait-queue entry otherwise.
+func (c *Client) sleepRecheck(t, gen, _ uint64) {
+	if gen != c.gen || c.cur == nil {
+		return
+	}
+	ctx := c.cur
+	if c.state != StateSleeping {
+		return
+	}
+	c.SleepRechecks++
+	c.Regs.WriteLockRegs(0, c.prog)
+	c.send(t, LockHome(ctx.lock, c.nodes), Msg{
+		Type: MsgFutexWait, To: ToController, Lock: ctx.lock,
+		From: c.node, Thread: c.node, RTR: 0, Prog: c.prog,
+	}, c.Regs.LockPriority(c.cfg.Policy))
+	if ctx.recheckWait < uint64(c.cfg.Recovery.MaxBackoff) {
+		ctx.recheckWait *= 2
+		if ctx.recheckWait > uint64(c.cfg.Recovery.MaxBackoff) {
+			ctx.recheckWait = uint64(c.cfg.Recovery.MaxBackoff)
+		}
+	}
+	c.delay.ScheduleArgs(t+ctx.recheckWait, c.recheckFn, c.gen, 0)
+}
+
 // Deliver handles a lock-protocol message addressed to this thread.
 func (c *Client) Deliver(now uint64, m *Msg) {
 	switch m.Type {
@@ -288,6 +375,13 @@ func (c *Client) Deliver(now uint64, m *Msg) {
 func (c *Client) onGrant(now uint64, m *Msg) {
 	ctx := c.cur
 	if ctx == nil || ctx.lock != m.Lock {
+		if c.cfg.Recovery.Enabled {
+			// A duplicate grant: the original and a timeout re-issue both
+			// got answered (the controller re-grants idempotently), or a
+			// duplicated packet. The first copy completed the acquisition.
+			c.DupGrants++
+			return
+		}
 		panic(fmt.Sprintf("kernel: client %d spurious grant for lock %d", c.node, m.Lock))
 	}
 	bt := now - ctx.start
@@ -341,9 +435,20 @@ func (c *Client) onGrant(now uint64, m *Msg) {
 func (c *Client) onFail(now uint64, m *Msg) {
 	ctx := c.cur
 	if ctx == nil || ctx.lock != m.Lock {
+		if c.cfg.Recovery.Enabled {
+			// A fail for a request whose acquisition already completed
+			// (e.g. the re-issued request lost the race after the original
+			// was granted) — nothing to do.
+			c.StaleFails++
+			return
+		}
 		panic(fmt.Sprintf("kernel: client %d spurious fail for lock %d", c.node, m.Lock))
 	}
 	ctx.outstanding = false
+	if c.cfg.Recovery.Enabled {
+		// The request round trip is healthy again; restart the backoff.
+		ctx.backoff = uint64(c.cfg.Recovery.RequestTimeout)
+	}
 	if c.state != StateSpinning {
 		return // already heading to (or in) the sleeping phase
 	}
@@ -404,12 +509,22 @@ func (c *Client) goSleep(now uint64, ctx *acquireCtx) {
 			return
 		}
 		c.setState(t, StateSleeping)
+		if c.cfg.Recovery.Enabled {
+			ctx.recheckWait = uint64(c.cfg.Recovery.SleepRecheck)
+			c.delay.ScheduleArgs(t+ctx.recheckWait, c.recheckFn, c.gen, 0)
+		}
 	})
 }
 
 func (c *Client) onWakeup(now uint64, m *Msg) {
 	ctx := c.cur
 	if ctx == nil || ctx.lock != m.Lock {
+		if c.cfg.Recovery.Enabled {
+			// A wakeup for an acquisition that already completed (e.g. a
+			// recheck's immediate wake crossed the real wakeup in flight).
+			c.StaleWakeups++
+			return
+		}
 		panic(fmt.Sprintf("kernel: client %d spurious wakeup for lock %d", c.node, m.Lock))
 	}
 	switch c.state {
@@ -418,6 +533,12 @@ func (c *Client) onWakeup(now uint64, m *Msg) {
 	case StateSleepPrep:
 		ctx.wakePending = true
 	default:
+		if c.cfg.Recovery.Enabled {
+			// Already spinning or waking: a second wakeup (recheck race)
+			// has nothing left to do.
+			c.StaleWakeups++
+			return
+		}
 		panic(fmt.Sprintf("kernel: client %d wakeup in state %s", c.node, c.state))
 	}
 }

@@ -13,7 +13,11 @@
 // priority ("Wakeup Request Last").
 package kernel
 
-import "repro/internal/core"
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
 
 // Config holds the queue-spinlock timing model and the OCOR policy.
 type Config struct {
@@ -33,6 +37,42 @@ type Config struct {
 	NoPool bool
 	// PoolDebug enables the freelist's use-after-free checker.
 	PoolDebug bool
+	// Recovery configures the lock-liveness recovery machinery. Disabled
+	// by default; when disabled the protocol is byte-identical to a build
+	// without the recovery code.
+	Recovery RecoveryConfig
+}
+
+// RecoveryConfig enables and tunes the kernel's lock-liveness recovery:
+// the defenses that keep seeded packet loss and wakeup loss from
+// deadlocking a run. Off by default. Enabling it changes timer
+// scheduling order even when no fault ever fires, so recovered runs are
+// deterministic but not byte-identical to recovery-off runs.
+type RecoveryConfig struct {
+	// Enabled turns recovery on.
+	Enabled bool
+	// RequestTimeout is the cycles a try-lock request may stay
+	// unanswered before it is re-issued (default 4096 — far above any
+	// healthy NoC round trip, so it never fires fault-free).
+	RequestTimeout int
+	// MaxBackoff caps the exponential backoff of both the request
+	// timeout and the sleep recheck (default 65536).
+	MaxBackoff int
+	// SleepRecheck is the cycles a sleeping thread waits before
+	// re-checking the futex word (re-sending FUTEX_WAIT), recovering
+	// from a lost wakeup (default 8192).
+	SleepRecheck int
+}
+
+// ConfigError is the typed validation error returned by Config.Validate.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("kernel: invalid config: %s: %s", e.Field, e.Reason)
 }
 
 // DefaultConfig returns the reproduction's default timing: the Linux 4.2
@@ -47,19 +87,50 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate normalises the configuration.
-func (c *Config) Validate() {
+// Validate normalises the configuration, filling unset fields with
+// defaults, and returns a *ConfigError for irrecoverable settings.
+func (c *Config) Validate() error {
 	d := DefaultConfig()
-	if c.SpinInterval <= 0 {
+	if c.SpinInterval < 0 {
+		return &ConfigError{Field: "SpinInterval", Reason: fmt.Sprintf("negative interval %d", c.SpinInterval)}
+	}
+	if c.SpinInterval == 0 {
 		c.SpinInterval = d.SpinInterval
 	}
-	if c.SleepPrepLatency <= 0 {
+	if c.SleepPrepLatency < 0 {
+		return &ConfigError{Field: "SleepPrepLatency", Reason: fmt.Sprintf("negative latency %d", c.SleepPrepLatency)}
+	}
+	if c.SleepPrepLatency == 0 {
 		c.SleepPrepLatency = d.SleepPrepLatency
 	}
-	if c.WakeLatency <= 0 {
+	if c.WakeLatency < 0 {
+		return &ConfigError{Field: "WakeLatency", Reason: fmt.Sprintf("negative latency %d", c.WakeLatency)}
+	}
+	if c.WakeLatency == 0 {
 		c.WakeLatency = d.WakeLatency
 	}
+	r := &c.Recovery
+	if r.RequestTimeout < 0 || r.MaxBackoff < 0 || r.SleepRecheck < 0 {
+		return &ConfigError{Field: "Recovery",
+			Reason: fmt.Sprintf("negative interval (timeout %d, backoff cap %d, recheck %d)",
+				r.RequestTimeout, r.MaxBackoff, r.SleepRecheck)}
+	}
+	if r.RequestTimeout == 0 {
+		r.RequestTimeout = 4096
+	}
+	if r.MaxBackoff == 0 {
+		r.MaxBackoff = 65536
+	}
+	if r.SleepRecheck == 0 {
+		r.SleepRecheck = 8192
+	}
+	if r.MaxBackoff < r.RequestTimeout || r.MaxBackoff < r.SleepRecheck {
+		return &ConfigError{Field: "Recovery.MaxBackoff",
+			Reason: fmt.Sprintf("cap %d below initial timeout %d / recheck %d",
+				r.MaxBackoff, r.RequestTimeout, r.SleepRecheck)}
+	}
 	c.Policy = c.Policy.Validate()
+	return nil
 }
 
 // LockHome maps a lock id to its home node (where the lock variable's

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -45,6 +46,10 @@ type ControllerStats struct {
 	FutexWakes     uint64
 	EmptyWakes     uint64 // FUTEX_WAKE with nobody sleeping
 	ImmediateWakes uint64 // FUTEX_WAIT on a free lock: woken right back
+	// Regrants counts idempotent re-grants to the current holder: a
+	// duplicated or timeout-reissued try-lock arriving after its grant.
+	// Always zero in a fault-free run.
+	Regrants uint64
 }
 
 // Controller owns the lock variables homed at one node. It serves atomic
@@ -77,6 +82,9 @@ type Controller struct {
 
 	// obs, when non-nil, receives grant/fail decision events.
 	obs *obs.Recorder
+	// faults, when non-nil, may swallow outgoing FUTEX_WAKE deliveries
+	// (modelling the wakeup packet lost in the NoC).
+	faults *fault.Injector
 }
 
 func newController(node int, queueHandoff bool, send func(now uint64, dst int, m Msg)) *Controller {
@@ -98,6 +106,15 @@ func (c *Controller) Deliver(now uint64, m *Msg) {
 	switch m.Type {
 	case MsgTryLock:
 		c.Stats.TryLocks++
+		if lv.held && lv.holder == m.Thread {
+			// A try-lock from the thread that already holds the lock: a
+			// duplicated packet, or a timeout re-issue whose original grant
+			// is still in flight. Re-send the grant idempotently — no fresh
+			// acquisition is recorded. Unreachable in a fault-free run.
+			c.Stats.Regrants++
+			c.send(now, m.From, Msg{Type: MsgGrant, To: ToClient, Lock: m.Lock, From: c.node, Thread: m.Thread, RTR: m.RTR, Prog: m.Prog, AcquiredAt: lv.acquiredAt, ReqPktID: m.PktID})
+			return
+		}
 		free := !lv.held && (lv.reserved == -1 || lv.reserved == m.Thread)
 		if free {
 			lv.held = true
@@ -124,15 +141,25 @@ func (c *Controller) Deliver(now uint64, m *Msg) {
 	case MsgFutexWait:
 		c.Stats.FutexWaits++
 		c.removePoller(lv, m.Thread)
-		if !lv.held && lv.reserved == -1 {
+		if !lv.held && (lv.reserved == -1 || lv.reserved == m.Thread) {
 			// The lock was released while the FUTEX_WAIT was in flight:
 			// futex re-checks the word and returns immediately, so wake the
 			// thread right back (it still pays its sleep/wake overhead —
-			// the slow scenario of Fig. 5a).
+			// the slow scenario of Fig. 5a). A reservation for this very
+			// thread counts as free — that is the sleep-recheck recovery
+			// path after its wakeup delivery was lost.
+			c.removeWaiter(lv, m.Thread)
 			lv.immediateWakes++
 			c.Stats.ImmediateWakes++
 			c.send(now, m.From, Msg{Type: MsgWakeup, To: ToClient, Lock: m.Lock, From: c.node, Thread: m.Thread})
 			return
+		}
+		for _, th := range lv.waitq {
+			if th == m.Thread {
+				// Already queued: a recovery re-registration must not
+				// produce a second wait-queue entry.
+				return
+			}
 		}
 		lv.waitq = append(lv.waitq, m.Thread)
 	case MsgRelease:
@@ -161,6 +188,12 @@ func (c *Controller) Deliver(now uint64, m *Msg) {
 		}
 		lv.polling = lv.polling[:0]
 	case MsgFutexWake:
+		if c.faults != nil && !c.queueHandoff && c.faults.DropWake(now, int32(m.Lock)) {
+			// The FUTEX_WAKE packet is treated as lost in the NoC before
+			// reaching the home node: nothing here observes it, and any
+			// sleeper stays in the wait queue until its futex recheck.
+			return
+		}
 		c.Stats.FutexWakes++
 		if c.queueHandoff {
 			// Baseline: the wake (and handoff) already happened at release.
@@ -186,6 +219,13 @@ func (c *Controller) wakeHead(now uint64, lock int, lv *lockVar, reserve bool) {
 	if reserve {
 		lv.reserved = thread
 	}
+	if reserve && c.faults != nil && c.faults.DropWake(now, int32(lock)) {
+		// The MsgWakeup delivery is lost in the NoC. The reservation
+		// stands, so the lock stays promised to a thread that will never
+		// hear about it — until its futex recheck finds the reservation
+		// and recovers.
+		return
+	}
 	c.send(now, thread, Msg{Type: MsgWakeup, To: ToClient, Lock: lock, From: c.node, Thread: thread})
 }
 
@@ -196,6 +236,15 @@ func (c *Controller) addPoller(lv *lockVar, thread int) {
 		}
 	}
 	lv.polling = append(lv.polling, thread)
+}
+
+func (c *Controller) removeWaiter(lv *lockVar, thread int) {
+	for i, th := range lv.waitq {
+		if th == thread {
+			lv.waitq = append(lv.waitq[:i], lv.waitq[i+1:]...)
+			return
+		}
+	}
 }
 
 func (c *Controller) removePoller(lv *lockVar, thread int) {

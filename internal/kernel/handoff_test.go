@@ -234,7 +234,7 @@ func TestWakeupLastEndToEnd(t *testing.T) {
 	kcfg.SpinInterval = 40
 	kcfg.SleepPrepLatency = 100
 	kcfg.WakeLatency = 200
-	ks := NewSystem(kcfg, net)
+	ks := MustSystem(kcfg, net)
 	for i := 0; i < ncfg.Nodes(); i++ {
 		node := i
 		net.SetSink(node, func(now uint64, pkt *noc.Packet) {

@@ -35,7 +35,7 @@ func newHarness(t testing.TB, w, h int, ocor bool) *harness {
 		kcfg.Policy = core.BaselinePolicy()
 	}
 	kcfg.Policy.MaxSpin = 8 // small spin budget so tests exercise sleeping
-	ks := NewSystem(kcfg, net)
+	ks := MustSystem(kcfg, net)
 	for i := 0; i < ncfg.Nodes(); i++ {
 		node := i
 		net.SetSink(node, func(now uint64, pkt *noc.Packet) {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/noc"
 	"repro/internal/obs"
 	"repro/internal/pool"
@@ -30,8 +31,10 @@ type System struct {
 }
 
 // NewSystem builds the lock machinery on top of net.
-func NewSystem(cfg Config, net *noc.Network) *System {
-	cfg.Validate()
+func NewSystem(cfg Config, net *noc.Network) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	s := &System{Cfg: cfg, Net: net}
 	s.msgs.Disabled = cfg.NoPool
 	s.msgs.Debug = cfg.PoolDebug
@@ -45,7 +48,27 @@ func NewSystem(cfg Config, net *noc.Network) *System {
 		cliSend := func(now uint64, dst int, m Msg, prio core.Priority) { s.sendMsg(now, node, dst, m, prio) }
 		s.Clients[i] = newClient(&s.Cfg, node, nodes, cliSend, s.CumHeld, &s.delay)
 	}
+	return s, nil
+}
+
+// MustSystem is NewSystem for configurations known valid; it panics on a
+// validation error (tests and fixed internal configs).
+func MustSystem(cfg Config, net *noc.Network) *System {
+	s, err := NewSystem(cfg, net)
+	if err != nil {
+		panic(err)
+	}
 	return s
+}
+
+// SetFaults attaches a fault injector to every controller (nil detaches),
+// enabling the FUTEX_WAKE-loss fault. The flit-level faults live in the
+// network; this hook covers the wake deliveries the kernel model sends
+// outside the flit path's default class mask.
+func (s *System) SetFaults(inj *fault.Injector) {
+	for _, c := range s.Controllers {
+		c.faults = inj
+	}
 }
 
 // classOf maps lock-protocol messages to NoC traffic classes and virtual
@@ -199,3 +222,69 @@ func (s *System) LockStats(now uint64) []LockStat {
 	sort.Slice(out, func(i, j int) bool { return out[i].Lock < out[j].Lock })
 	return out
 }
+
+// RecoveryStats aggregates the recovery machinery's activity across all
+// clients and controllers. Every field is zero in a fault-free run —
+// recovery timers are sized to never fire on a healthy NoC.
+type RecoveryStats struct {
+	ReqTimeouts   uint64 `json:"req_timeouts"`
+	SleepRechecks uint64 `json:"sleep_rechecks"`
+	DupGrants     uint64 `json:"dup_grants"`
+	StaleFails    uint64 `json:"stale_fails"`
+	StaleWakeups  uint64 `json:"stale_wakeups"`
+	Regrants      uint64 `json:"regrants"`
+}
+
+// RecoveryStats sums the recovery counters of the whole system.
+func (s *System) RecoveryStats() RecoveryStats {
+	var r RecoveryStats
+	for _, c := range s.Clients {
+		r.ReqTimeouts += c.ReqTimeouts
+		r.SleepRechecks += c.SleepRechecks
+		r.DupGrants += c.DupGrants
+		r.StaleFails += c.StaleFails
+		r.StaleWakeups += c.StaleWakeups
+	}
+	for _, c := range s.Controllers {
+		r.Regrants += c.Stats.Regrants
+	}
+	return r
+}
+
+// BlockedThread is one row of the watchdog's blocked-thread diagnostic:
+// a thread stuck in a lock acquisition longer than the caller's budget.
+type BlockedThread struct {
+	Thread      int
+	State       ThreadState
+	Lock        int
+	Since       uint64 // cycle of the last state change
+	Outstanding bool   // a try-lock request is in flight
+	Retries     int
+	Sleeps      int
+}
+
+// BlockedThreads lists the threads that have sat in one locking-path
+// state for more than budget cycles as of now.
+func (s *System) BlockedThreads(now, budget uint64) []BlockedThread {
+	var out []BlockedThread
+	for _, c := range s.Clients {
+		if c.cur == nil || now-c.stateSince <= budget {
+			continue
+		}
+		out = append(out, BlockedThread{
+			Thread:      c.node,
+			State:       c.state,
+			Lock:        c.cur.lock,
+			Since:       c.stateSince,
+			Outstanding: c.cur.outstanding,
+			Retries:     c.cur.retries,
+			Sleeps:      c.cur.sleeps,
+		})
+	}
+	return out
+}
+
+// ScheduledOps returns the lifetime count of timer operations scheduled
+// on the kernel's delay queue — a monotone progress signal for the
+// watchdog's stall check.
+func (s *System) ScheduledOps() uint64 { return s.delay.Scheduled() }

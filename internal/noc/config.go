@@ -128,21 +128,39 @@ func DefaultConfig() Config {
 	}
 }
 
+// ConfigError is the typed validation error returned by Config.Validate:
+// Field names the offending configuration field and Reason says what is
+// wrong with it, so entry points can report precisely which flag to fix.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("noc: invalid config: %s: %s", e.Field, e.Reason)
+}
+
 // Validate normalises the configuration, filling unset fields with
-// defaults, and returns an error for irrecoverable settings.
+// defaults, and returns a *ConfigError for irrecoverable settings.
 func (c *Config) Validate() error {
 	if c.Width <= 0 || c.Height <= 0 {
-		return fmt.Errorf("noc: invalid mesh %dx%d", c.Width, c.Height)
+		return &ConfigError{Field: "Width/Height",
+			Reason: fmt.Sprintf("mesh %dx%d has no nodes", c.Width, c.Height)}
+	}
+	if c.VCs < 0 {
+		return &ConfigError{Field: "VCs", Reason: fmt.Sprintf("negative count %d", c.VCs)}
 	}
 	if c.VCs == 0 {
 		c.VCs = 6
 	}
 	if c.VCs < NumVNets {
-		return fmt.Errorf("noc: need at least %d VCs (one per virtual network), got %d", NumVNets, c.VCs)
+		return &ConfigError{Field: "VCs",
+			Reason: fmt.Sprintf("need at least %d (one per virtual network), got %d", NumVNets, c.VCs)}
 	}
 	if c.VCs > 64 {
 		// The router tracks per-port VC state in 64-bit masks.
-		return fmt.Errorf("noc: at most 64 VCs per port, got %d", c.VCs)
+		return &ConfigError{Field: "VCs", Reason: fmt.Sprintf("at most 64 per port, got %d", c.VCs)}
 	}
 	if c.VCDepth <= 0 {
 		c.VCDepth = 4
@@ -152,6 +170,9 @@ func (c *Config) Validate() error {
 	}
 	if c.DataPacketFlits <= 0 {
 		c.DataPacketFlits = 8
+	}
+	if c.Routing != RoutingXY && c.Routing != RoutingYX {
+		return &ConfigError{Field: "Routing", Reason: fmt.Sprintf("unknown algorithm %d", c.Routing)}
 	}
 	return nil
 }

@@ -1,11 +1,21 @@
 package noc
 
+import "repro/internal/fault"
+
 // flitEvent is a flit in flight on a link, due at cycle at, destined for
-// input VC vc of the receiver.
+// input VC vc of the receiver. dup marks an injected duplicate: receivers
+// skip dup events before touching the packet, because the original may
+// already have been delivered (and recycled) in the same drain batch.
+// drop marks a flit the injector corrupted in transit: the receiver
+// discards it on arrival and immediately credits the buffer slot it
+// would have occupied back upstream, so drops degrade throughput without
+// ever leaking flow-control credits.
 type flitEvent struct {
-	f  flit
-	vc int
-	at uint64
+	f    flit
+	vc   int
+	at   uint64
+	dup  bool
+	drop bool
 }
 
 // creditEvent travels upstream on a link: one buffer slot of VC vc was
@@ -48,18 +58,53 @@ type link struct {
 
 	flitQueued   bool
 	creditQueued bool
+
+	// faults, when non-nil, decides the fate of every flit sent on this
+	// link; id is the link's stable fault-injection identity (assigned by
+	// Network.SetFaults). Nil faults is the zero-cost default.
+	faults *fault.Injector
+	id     int32
+}
+
+// flitFate asks the injector (if any) what happens to flit f arriving at
+// cycle at. It returns the number of events to enqueue (2 = duplicated),
+// the possibly delayed arrival cycle, and whether the event is
+// drop-marked — the flit still travels (and is accounted) like any
+// other, but the receiver discards it on arrival and returns its credit
+// instead of buffering it. The fate is a pure function of (plan seed,
+// packet id, link id), so all flits of one packet share it: a Drop
+// removes the whole packet atomically rather than truncating its flit
+// train, and no partial train ever occupies a downstream VC.
+func (l *link) flitFate(f flit, at uint64) (n int, when uint64, drop bool) {
+	act, extra := l.faults.FlitFate(at, f.pkt.ID, f.isTail(), l.id, uint8(f.pkt.Class))
+	switch act {
+	case fault.Drop:
+		return 1, at, true
+	case fault.Dup:
+		return 2, at, false
+	case fault.Delay:
+		return 1, at + extra, false
+	}
+	return 1, at, false
 }
 
 func (l *link) sendFlit(f flit, vc int, at uint64) {
-	l.flits = append(l.flits, flitEvent{f: f, vc: vc, at: at})
-	*l.act++
+	n, drop := 1, false
+	if l.faults != nil {
+		n, at, drop = l.flitFate(f, at)
+	}
+	l.flits = append(l.flits, flitEvent{f: f, vc: vc, at: at, drop: drop})
+	if n == 2 {
+		l.flits = append(l.flits, flitEvent{f: f, vc: vc, at: at, dup: true})
+	}
+	*l.act += n
 	if l.flitRecv != nil {
 		if !l.flitQueued {
 			l.flitQueued = true
 			l.net.pendFlits = append(l.net.pendFlits, l)
 		}
 	} else {
-		l.net.niEvents++
+		l.net.niEvents += n
 		l.net.niActive[l.niIdx>>6] |= 1 << uint(l.niIdx&63)
 	}
 }
@@ -117,9 +162,20 @@ func (l *link) takeDueFlits(now uint64, scratch []flitEvent) (due []flitEvent, t
 // so they are deferred into the worker's shard and replayed by the commit
 // phase in shard order.
 func (l *link) sendFlitPar(f flit, vc int, at uint64, sh *tickShard) {
-	l.flits = append(l.flits, flitEvent{f: f, vc: vc, at: at})
+	n, drop := 1, false
+	if l.faults != nil {
+		// The fate hash is order-independent and the stat counters are
+		// atomic, so the injector is safe from shard workers.
+		n, at, drop = l.flitFate(f, at)
+	}
+	l.flits = append(l.flits, flitEvent{f: f, vc: vc, at: at, drop: drop})
 	sh.actDelta++
 	sh.sentF = append(sh.sentF, l)
+	if n == 2 {
+		l.flits = append(l.flits, flitEvent{f: f, vc: vc, at: at, dup: true})
+		sh.actDelta++
+		sh.sentF = append(sh.sentF, l)
+	}
 }
 
 // sendCreditPar is sendCredit with the same deferred-side-effect contract

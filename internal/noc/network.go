@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/sim"
@@ -80,6 +81,12 @@ type Network struct {
 	parMinLinks int
 	parMinFlits int
 	parMinPkts  int
+
+	// faults, when non-nil, is the attached fault injector (SetFaults).
+	// The network keeps its own pointer for the Send-side priority
+	// corruption hook and the conservation census; links and routers hold
+	// their own copies for the per-flit and per-tick decisions.
+	faults *fault.Injector
 
 	// pktSlab recycles Packets: NewPacket draws from it and FreePacket
 	// (called by the consumer once the packet is fully processed) returns
@@ -279,6 +286,15 @@ func (n *Network) Send(now uint64, pkt *Packet) {
 		n.loopback = append(n.loopback, loopbackEvent{pkt: pkt, at: now + n.localDelay})
 		n.activity++
 	} else {
+		if n.faults != nil && pkt.Class == ClassLock {
+			// Header-corruption fault: the RTR/PROG priority bits of a
+			// locking-request header are overwritten before the NI stamps
+			// them into the head flit. Arbitration must tolerate arbitrary
+			// (even out-of-range) header values.
+			if p, ok := n.faults.CorruptPriority(pkt.ID, pkt.Prio); ok {
+				pkt.Prio = p
+			}
+		}
 		n.NIs[pkt.Src].enqueue(now, pkt)
 	}
 	if n.waker != nil {

@@ -97,6 +97,19 @@ func (ni *NI) enqueue(now uint64, pkt *Packet) {
 func (ni *NI) eject(now uint64) {
 	ni.scratchF = ni.fromRouter.dueFlits(now, ni.scratchF)
 	for _, ev := range ni.scratchF {
+		if ev.dup {
+			// Injected duplicate: discard before touching the packet (the
+			// original may have been delivered and recycled earlier in this
+			// very batch) and return no credit — the router never budgeted
+			// buffer space for it.
+			continue
+		}
+		if ev.drop {
+			// Injected drop at the ejection port: the router budgeted the
+			// slot, so return its credit, but never deliver the packet.
+			ni.fromRouter.sendCredit(ev.vc, ev.f.isTail(), now+uint64(ni.cfg.LinkLatency))
+			continue
+		}
 		ni.fromRouter.sendCredit(ev.vc, ev.f.isTail(), now+uint64(ni.cfg.LinkLatency))
 		if ev.f.isTail() {
 			pkt := ev.f.pkt

@@ -486,3 +486,31 @@ func TestYXAllPairs(t *testing.T) {
 		t.Fatalf("delivered %d of %d under YX", count, sent)
 	}
 }
+
+// TestPoolDebugDoubleFreePanics frees the same packet twice through the
+// public FreePacket surface with PoolDebug on, and asserts the exact
+// slab diagnostic a user sees: PoolDebug keeps the ref on the poisoned
+// packet precisely so the second free trips the checker instead of
+// silently corrupting the freelist.
+func TestPoolDebugDoubleFreePanics(t *testing.T) {
+	cfg := testConfig(2, 2, false)
+	cfg.PoolDebug = true
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := n.NewPacket(0, 1, ClassCtrl, VNetRequest, nil)
+	n.FreePacket(pkt)
+	if pkt.Src != -1 || pkt.Dst != -1 {
+		t.Fatalf("PoolDebug did not poison the freed packet: src=%d dst=%d", pkt.Src, pkt.Dst)
+	}
+	defer func() {
+		r := recover()
+		want := "pool: double free of ref 1"
+		if got, ok := r.(string); !ok || got != want {
+			t.Fatalf("second FreePacket panicked with %v, want %q", r, want)
+		}
+	}()
+	n.FreePacket(pkt)
+	t.Fatal("second FreePacket did not panic")
+}

@@ -62,6 +62,12 @@ type tickShard struct {
 	scratchF []flitEvent
 	scratchC []creditEvent
 
+	// Phase 1: credits owed upstream for drop-marked arrivals. The
+	// upstream side of the same link may be drained concurrently by
+	// another shard during this phase, so the sends are replayed by the
+	// dispatcher after the barrier.
+	dropCredits []dropCredit
+
 	// Routers whose flitCount crossed 0->1 (phase 1) / 1->0 (phase 4):
 	// their routerActive bit must be set / cleared at commit.
 	nowActive []int32
@@ -79,6 +85,15 @@ type tickShard struct {
 	// Pad shards apart so neighbouring workers' delta writes do not share
 	// a cache line.
 	_ [64]byte
+}
+
+// dropCredit is a deferred phase-1 credit return for a drop-marked flit
+// arrival (see Router.commit).
+type dropCredit struct {
+	l      *link
+	vc     int
+	freeVC bool
+	at     uint64
 }
 
 // tickExec drives the shards over a par.Pool. The dispatch closures are
@@ -169,6 +184,15 @@ func (n *Network) drainLinksPar(now uint64) {
 		n.pendCredits = append(n.pendCredits, sh.keepC...)
 		sh.keepF = sh.keepF[:0]
 		sh.keepC = sh.keepC[:0]
+		// Replay the deferred drop-credit returns. Credit commits are
+		// commutative (counter increments plus idempotent flag clears), so
+		// shard order yields the same state as the sequential in-drain
+		// sends; the pending-list registration inside sendCredit is guarded
+		// by creditQueued, so links kept above are not re-registered.
+		for _, dc := range sh.dropCredits {
+			dc.l.sendCredit(dc.vc, dc.freeVC, dc.at)
+		}
+		sh.dropCredits = sh.dropCredits[:0]
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -146,6 +147,9 @@ type Router struct {
 	// emission site is read-only: attaching a recorder cannot perturb the
 	// simulation.
 	obs *obs.Recorder
+	// faults, when non-nil, can freeze this router for whole cycles
+	// (Network.SetFaults wires it). Nil is the zero-cost default.
+	faults *fault.Injector
 
 	// scratch buffers reused across cycles to avoid allocation. vaPerOut
 	// groups VA requests by output direction in a single input scan;
@@ -228,6 +232,31 @@ func (r *Router) route(dst int) Dir {
 // Everything else commit touches is owned by this router alone.
 func (r *Router) commit(now uint64, fs []flitEvent, dir Dir, sh *tickShard) {
 	for _, ev := range fs {
+		if ev.dup {
+			// Injected duplicate: discard before touching the packet (the
+			// original may have been delivered and recycled already). The
+			// link-level accounting for the event was settled by the drain.
+			continue
+		}
+		if ev.drop {
+			// Injected drop, detected on arrival: discard the flit and
+			// immediately credit the buffer slot it would have occupied
+			// back upstream (freeing the VC on the tail), exactly what a
+			// buffered flit's eventual departure would have returned. The
+			// whole packet shares the fate on this link, so the input VC
+			// never sees a partial train. In a parallel drain the upstream
+			// side of this very link may be concurrently draining its
+			// credit queue, so the send is deferred into the shard.
+			at := now + uint64(r.cfg.LinkLatency)
+			if sh == nil {
+				r.inLink[dir].sendCredit(ev.vc, ev.f.isTail(), at)
+			} else {
+				sh.dropCredits = append(sh.dropCredits, dropCredit{
+					l: r.inLink[dir], vc: ev.vc, freeVC: ev.f.isTail(), at: at,
+				})
+			}
+			continue
+		}
 		vc := r.vc(dir, ev.vc)
 		if vc.n >= r.cfg.VCDepth {
 			panic(fmt.Sprintf("noc: router %d dir %s vc %d buffer overflow", r.id, dir, ev.vc))
@@ -285,6 +314,12 @@ func (r *Router) commitCredits(cs []creditEvent, dir Dir) {
 // parallel mode — the allocators emit into a shared recorder.
 func (r *Router) tick(now uint64, sh *tickShard) {
 	if r.flitCount == 0 {
+		return
+	}
+	if r.faults != nil && r.faults.Frozen(now, int32(r.id)) {
+		// Frozen pipeline: no allocation or traversal this cycle. Arrivals
+		// still commit (the credit protocol bounds them to buffer space),
+		// so a thawed router resumes from a consistent state.
 		return
 	}
 	r.allocateVCs(now)

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzPriorityCodec checks the packed priority-header codec against the
+// core.Priority domain: every (check, one-hot class, prog) combination
+// must survive an encode/decode round trip exactly, and re-encoding an
+// arbitrary packed word must be the identity on the 25 payload bits the
+// codec defines (prog 0-15, class 16-23, check 24).
+func FuzzPriorityCodec(f *testing.F) {
+	f.Add(false, uint8(0), uint16(0), uint64(0))
+	f.Add(true, uint8(core.WakeupClass), uint16(3), uint64(1)<<24)
+	f.Add(true, uint8(core.DefaultLockLevels), uint16(1<<15), ^uint64(0))
+	f.Fuzz(func(t *testing.T, check bool, class uint8, prog uint16, word uint64) {
+		p := core.Priority{Check: check, Class: class, Prog: prog}
+		if got := DecodePriority(EncodePriority(p)); got != p {
+			t.Fatalf("round trip %+v -> %+v", p, got)
+		}
+		if p.OneHot() != DecodePriority(EncodePriority(p)).OneHot() {
+			t.Fatalf("one-hot encoding changed across the codec: %+v", p)
+		}
+		const payload = 1<<25 - 1
+		if got := EncodePriority(DecodePriority(word)); got != word&payload {
+			t.Fatalf("re-encode of %#x = %#x, want %#x", word, got, word&payload)
+		}
+	})
+}
+
+// eventsFromBytes derives a deterministic event stream from raw fuzz
+// bytes: 56 bytes per event, Node masked non-negative (the writer's
+// domain — node/thread/router ids are never negative).
+func eventsFromBytes(data []byte) []Event {
+	const per = 56
+	evs := make([]Event, 0, len(data)/per)
+	for len(data) >= per && len(evs) < 256 {
+		evs = append(evs, Event{
+			At:   binary.LittleEndian.Uint64(data[0:]),
+			Pkt:  binary.LittleEndian.Uint64(data[8:]),
+			Pkt2: binary.LittleEndian.Uint64(data[16:]),
+			V1:   binary.LittleEndian.Uint64(data[24:]),
+			V2:   binary.LittleEndian.Uint64(data[32:]),
+			V3:   binary.LittleEndian.Uint64(data[40:]),
+			Node: int32(binary.LittleEndian.Uint32(data[48:]) & 0x7fffffff),
+			Kind: Kind(data[52]),
+			A:    data[53],
+			B:    data[54],
+			C:    data[55],
+		})
+		data = data[per:]
+	}
+	return evs
+}
+
+// FuzzTraceRoundTrip writes an arbitrary event stream with WriteTrace and
+// requires ReadTrace to hand back exactly the same events and dropped
+// count: the embedded reproEvents block is the simulator's archival
+// format, so any lossy field would silently corrupt cmd/traceq queries.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint64(0))
+	seed := make([]byte, 2*56)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed, uint64(12))
+	f.Fuzz(func(t *testing.T, data []byte, dropped uint64) {
+		evs := eventsFromBytes(data)
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, evs, dropped); err != nil {
+			t.Fatalf("WriteTrace: %v", err)
+		}
+		got, d, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadTrace of our own output: %v", err)
+		}
+		if d != dropped {
+			t.Fatalf("dropped count %d, want %d", d, dropped)
+		}
+		if len(got) != len(evs) {
+			t.Fatalf("%d events back, want %d", len(got), len(evs))
+		}
+		for i := range evs {
+			if got[i] != evs[i] {
+				t.Fatalf("event %d: %+v != %+v", i, got[i], evs[i])
+			}
+		}
+	})
+}
+
+// FuzzReadTrace feeds arbitrary bytes to the trace parser: malformed
+// input must come back as an error, never a panic, and anything the
+// parser accepts must survive a write/read cycle unchanged.
+func FuzzReadTrace(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"reproDropped":3,"reproEvents":[[1,2,3,4,5,6,7,8,9,10,11]]}`))
+	f.Add([]byte(`{"reproEvents":[[1]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, dropped, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, evs, dropped); err != nil {
+			t.Fatalf("WriteTrace of accepted input: %v", err)
+		}
+		got, d, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil || d != dropped || len(got) != len(evs) {
+			t.Fatalf("re-read: evs %d->%d dropped %d->%d err %v", len(evs), len(got), dropped, d, err)
+		}
+	})
+}

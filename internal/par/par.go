@@ -3,17 +3,45 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is what Map returns when a work item panics: the panic is
+// caught on the worker, wrapped with its stack, and fed through the same
+// lowest-failed-index selection as ordinary errors, so one broken run
+// degrades a sweep into a deterministic failure instead of taking the
+// whole process down mid-flight.
+type PanicError struct {
+	Index int    // work item that panicked
+	Value any    // the recovered panic value
+	Stack []byte // stack captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: work item %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// protect runs one work item under a panic net.
+func protect[T any](i int, fn func(i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
 
 // Map evaluates fn(0..n-1) across at most `jobs` concurrent
 // workers (0 or negative = GOMAXPROCS) and returns the results in index
 // order. Work items are claimed in increasing index order from a shared
 // counter, so low indices always run; after a failure no new items are
 // claimed, making the returned error — the failure at the lowest index —
-// deterministic whenever fn is.
+// deterministic whenever fn is. A panicking work item is captured on its
+// worker and surfaces as a *PanicError through the same selection.
 //
 // emit, when non-nil, is called in strict index order as results complete
 // (progress output stays serialized and deterministic even though the
@@ -49,7 +77,7 @@ func Map[T any](n, jobs int, fn func(i int) (T, error), emit func(i int, v T)) (
 				if i >= n {
 					return
 				}
-				v, err := fn(i)
+				v, err := protect(i, fn)
 				mu.Lock()
 				results[i], errs[i], done[i] = v, err, true
 				if err != nil {

@@ -92,6 +92,30 @@ func TestMapStopsClaimingAfterFailure(t *testing.T) {
 	}
 }
 
+func TestMapCapturesPanics(t *testing.T) {
+	// A panicking item must not take the process down; it surfaces as a
+	// *PanicError, selected like any other failure (lowest index wins).
+	_, err := Map(8, 4, func(i int) (int, error) {
+		if i == 3 {
+			panic("simulated run explosion")
+		}
+		return i, nil
+	}, nil)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Index != 3 {
+		t.Fatalf("PanicError.Index = %d, want 3", pe.Index)
+	}
+	if pe.Value != "simulated run explosion" {
+		t.Fatalf("PanicError.Value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError carries no stack")
+	}
+}
+
 func TestMapEdgeCases(t *testing.T) {
 	if res, err := Map(0, 4, func(i int) (int, error) { return i, nil }, nil); err != nil || len(res) != 0 {
 		t.Fatalf("n=0: res=%v err=%v", res, err)

@@ -124,6 +124,57 @@ func TestDisabledBypassesPool(t *testing.T) {
 	}
 }
 
+// mustPanicMsg asserts fn panics with exactly msg — these strings are the
+// diagnostics users see when a recycle point is wrong, so they are part
+// of the package's contract.
+func mustPanicMsg(t *testing.T, msg string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic, want %q", msg)
+		}
+		if got, ok := r.(string); !ok || got != msg {
+			t.Fatalf("panic %v, want %q", r, msg)
+		}
+	}()
+	fn()
+}
+
+func TestPanicMessages(t *testing.T) {
+	var s Slab[obj]
+	ref, _ := s.Alloc()
+	mustPanicMsg(t, "pool: At(0) out of range (1 objects)", func() { s.At(0) })
+	mustPanicMsg(t, "pool: At(99) out of range (1 objects)", func() { s.At(99) })
+	mustPanicMsg(t, "pool: Free(99) out of range (1 objects)", func() { s.Free(99) })
+	s.Free(ref)
+	mustPanicMsg(t, "pool: use after free of ref 1", func() { s.At(ref) })
+	mustPanicMsg(t, "pool: double free of ref 1", func() { s.Free(ref) })
+}
+
+func TestDebugPoisonOnReuse(t *testing.T) {
+	// Without Debug a recycled object keeps its stale contents (callers
+	// must fully reset it); with Debug the object was zeroed at Free, so a
+	// stale holder reads zero values instead of silently observing the
+	// next owner's state.
+	var plain Slab[obj]
+	ref, p := plain.Alloc()
+	p.a = 7
+	plain.Free(ref)
+	if _, q := plain.Alloc(); q.a != 7 {
+		t.Fatalf("plain reuse unexpectedly cleared contents (a=%d)", q.a)
+	}
+
+	var dbg Slab[obj]
+	dbg.Debug = true
+	ref, p = dbg.Alloc()
+	p.a, p.b = 7, 9
+	dbg.Free(ref)
+	if _, q := dbg.Alloc(); q.a != 0 || q.b != 0 {
+		t.Fatalf("Debug reuse leaked recycled contents a=%d b=%d", q.a, q.b)
+	}
+}
+
 func TestSteadyStateAllocFree(t *testing.T) {
 	// A churning alloc/free loop must stop growing the slab once the
 	// working set is covered: everything comes off the free list.

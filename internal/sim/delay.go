@@ -115,6 +115,11 @@ func (q *DelayQueue) RunDue(now uint64) {
 	}
 }
 
+// Scheduled returns the lifetime count of scheduled actions. It is a
+// monotone progress signal: a component whose Scheduled stops advancing
+// while the simulation claims to be busy has stalled.
+func (q *DelayQueue) Scheduled() uint64 { return q.seq }
+
 // Next returns the earliest scheduled cycle, or ok=false when empty.
 func (q *DelayQueue) Next() (uint64, bool) {
 	if len(q.items) == 0 {

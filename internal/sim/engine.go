@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -91,6 +92,10 @@ type Engine struct {
 	// MaxCycles aborts the run when the clock passes it (0 = unlimited).
 	MaxCycles uint64
 	stopped   bool
+	// abort is the cross-goroutine stop request (RequestAbort): unlike
+	// stopped it may be set from outside the simulation goroutine, e.g.
+	// by a wall-clock watchdog timer.
+	abort atomic.Bool
 	// Stats. TickedCycles counts cycles in which at least one component
 	// ticked; SkippedCycles counts cycles the clock jumped over because no
 	// component was due. The two sum to the wall-clock cycle span of the
@@ -201,6 +206,14 @@ func (e *Engine) Stop() { e.stopped = true }
 // Stopped reports whether Stop has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
 
+// RequestAbort asks the engine to stop at the next cycle boundary. Safe
+// to call from any goroutine (e.g. a wall-clock timeout watching a run),
+// unlike Stop, which may only be called from the simulation goroutine.
+func (e *Engine) RequestAbort() { e.abort.Store(true) }
+
+// Aborted reports whether RequestAbort has been called.
+func (e *Engine) Aborted() bool { return e.abort.Load() }
+
 // Step executes exactly one cycle: every due component (plus every legacy
 // poll component; all components when FastForward is off) ticks in
 // registration order, then reports its next wake time.
@@ -241,6 +254,9 @@ func (e *Engine) RunUntil(done func() bool) uint64 {
 	e.resync()
 	for !e.stopped && !done() {
 		if e.MaxCycles != 0 && e.now >= e.MaxCycles {
+			break
+		}
+		if e.abort.Load() {
 			break
 		}
 		if e.FastForward {

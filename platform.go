@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/kernel"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -94,6 +95,105 @@ type Config struct {
 	NoC    *noc.Config
 	Mem    *mem.Config
 	Kernel *kernel.Config
+
+	// Faults, when non-nil and enabled, attaches a deterministic fault
+	// injector to the NoC and the lock kernel: seeded flit drops,
+	// duplicates, delays, router freezes, FUTEX_WAKE losses and priority
+	// corruption per the plan. Nil (the default) is byte-identical to a
+	// build without the fault machinery.
+	Faults *fault.Plan
+	// Recovery overrides the lock kernel's liveness-recovery settings.
+	// Nil leaves recovery disabled (the byte-identical default).
+	Recovery *kernel.RecoveryConfig
+	// Watchdog, when non-nil, registers a simulation watchdog that sweeps
+	// forward-progress and conservation invariants and aborts the run
+	// with a diagnostic dump on a violation. Nil (the default) is
+	// byte-identical to a build without the watchdog.
+	Watchdog *sim.WatchdogConfig
+}
+
+// ConfigError is the typed validation error returned by Config.Validate:
+// Field names the offending configuration field and Reason says what is
+// wrong with it, mirroring noc.ConfigError and kernel.ConfigError.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("repro: invalid config: %s: %s", e.Field, e.Reason)
+}
+
+// meshDims returns the mesh New will build for this configuration: an
+// explicit MeshWidth/MeshHeight wins, then a mesh derived from Threads,
+// then the NoC override's own dimensions, then the 8x8 default.
+func (c *Config) meshDims() (w, h int) {
+	if c.MeshWidth > 0 && c.MeshHeight > 0 {
+		return c.MeshWidth, c.MeshHeight
+	}
+	if c.Threads > 0 {
+		return MeshFor(c.Threads)
+	}
+	if c.NoC != nil {
+		return c.NoC.Width, c.NoC.Height
+	}
+	d := noc.DefaultConfig()
+	return d.Width, d.Height
+}
+
+// Validate checks the platform configuration for impossible settings —
+// negative counts, half-specified meshes, more threads or tick workers
+// than the mesh has nodes — and delegates to the subsystem validators
+// (noc, kernel, fault), returning a typed error that names the field to
+// fix. New calls it first, so every cmd entry point reports bad flags as
+// a clean error instead of panicking or misbehaving mid-run; entry
+// points that stream output (CSV headers, JSON documents) call it
+// directly to fail before the first byte is written. Validation never
+// mutates cfg: subsystem configs are checked on copies, and default
+// filling stays in the constructors.
+func (c *Config) Validate() error {
+	if c.Threads < 0 {
+		return &ConfigError{Field: "Threads", Reason: fmt.Sprintf("negative count %d", c.Threads)}
+	}
+	if c.Workers < 0 {
+		return &ConfigError{Field: "Workers", Reason: fmt.Sprintf("negative count %d", c.Workers)}
+	}
+	if c.PriorityLevels < 0 {
+		return &ConfigError{Field: "PriorityLevels", Reason: fmt.Sprintf("negative count %d", c.PriorityLevels)}
+	}
+	if c.MeshWidth < 0 || c.MeshHeight < 0 || (c.MeshWidth > 0) != (c.MeshHeight > 0) {
+		return &ConfigError{Field: "MeshWidth/MeshHeight",
+			Reason: fmt.Sprintf("mesh %dx%d (set both dimensions, both positive)", c.MeshWidth, c.MeshHeight)}
+	}
+	if w, h := c.meshDims(); w > 0 && h > 0 {
+		if c.Threads > w*h {
+			return &ConfigError{Field: "Threads",
+				Reason: fmt.Sprintf("%d threads exceed the %dx%d mesh's %d nodes", c.Threads, w, h, w*h)}
+		}
+		if c.Workers > w*h {
+			return &ConfigError{Field: "Workers",
+				Reason: fmt.Sprintf("%d tick workers exceed the %dx%d mesh's %d nodes (shards would be empty)", c.Workers, w, h, w*h)}
+		}
+	}
+	if c.NoC != nil {
+		nc := *c.NoC
+		if err := nc.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Kernel != nil {
+		kc := *c.Kernel
+		if err := kc.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // MeshFor returns the paper's mesh for a given core count: 2x2, 4x4, 8x4
@@ -129,10 +229,17 @@ type System struct {
 	CPU       *cpu.System
 	Collector *metrics.Collector
 	Timeline  *trace.Timeline
+	// Faults is the attached injector (nil when Cfg.Faults is off).
+	Faults *fault.Injector
+	// Watchdog is the registered watchdog (nil when Cfg.Watchdog is nil).
+	Watchdog *sim.Watchdog
 }
 
 // New builds a platform from cfg.
 func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.PriorityLevels == 0 {
 		cfg.PriorityLevels = core.DefaultLockLevels
 	}
@@ -144,11 +251,7 @@ func New(cfg Config) (*System, error) {
 	} else {
 		ncfg = noc.DefaultConfig()
 	}
-	if cfg.MeshWidth > 0 && cfg.MeshHeight > 0 {
-		ncfg.Width, ncfg.Height = cfg.MeshWidth, cfg.MeshHeight
-	} else if cfg.Threads > 0 {
-		ncfg.Width, ncfg.Height = MeshFor(cfg.Threads)
-	}
+	ncfg.Width, ncfg.Height = cfg.meshDims()
 	ncfg.Priority = cfg.OCOR
 	ncfg.NoPool = cfg.NoPool
 	ncfg.PoolDebug = cfg.PoolDebug
@@ -159,9 +262,6 @@ func New(cfg Config) (*System, error) {
 	nodes := ncfg.Nodes()
 	if cfg.Threads == 0 {
 		cfg.Threads = nodes
-	}
-	if cfg.Threads > nodes {
-		return nil, fmt.Errorf("repro: %d threads exceed %d nodes", cfg.Threads, nodes)
 	}
 
 	// Memory hierarchy.
@@ -197,7 +297,22 @@ func New(cfg Config) (*System, error) {
 		kcfg.Policy.ProgSegments = d.ProgSegments
 		kcfg.Policy.ProgSpan = d.ProgSpan
 	}
-	ksys := kernel.NewSystem(kcfg, net)
+	if cfg.Recovery != nil {
+		kcfg.Recovery = *cfg.Recovery
+	}
+	ksys, err := kernel.NewSystem(kcfg, net)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fault injection (inert when no plan is configured). The plan was
+	// already validated by Config.Validate above.
+	var inj *fault.Injector
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		inj = fault.NewInjector(*cfg.Faults)
+		net.SetFaults(inj)
+		ksys.SetFaults(inj)
+	}
 
 	// Programs.
 	progs := cfg.Programs
@@ -218,6 +333,7 @@ func New(cfg Config) (*System, error) {
 		Kernel:    ksys,
 		CPU:       csys,
 		Collector: metrics.NewCollector(),
+		Faults:    inj,
 	}
 	ksys.SetListener(s.Collector)
 	if cfg.Trace {
@@ -265,6 +381,12 @@ func New(cfg Config) (*System, error) {
 	register(msys)
 	register(ksys)
 	register(csys)
+	if cfg.Watchdog != nil {
+		s.Watchdog = s.buildWatchdog(*cfg.Watchdog)
+		// Registered last so every sweep observes a settled inter-cycle
+		// state (all subsystems of the cycle have ticked).
+		register(s.Watchdog)
+	}
 	s.Engine.MaxCycles = cfg.MaxCycles
 	if s.Engine.MaxCycles == 0 {
 		s.Engine.MaxCycles = 500_000_000
@@ -288,14 +410,33 @@ func (s *System) Run() (metrics.Results, error) {
 	}
 	s.CPU.Start(s.Engine.Now())
 	s.Engine.RunUntil(s.CPU.AllDone)
+	if err := s.watchdogErr(); err != nil {
+		return metrics.Results{}, err
+	}
 	if !s.CPU.AllDone() {
+		if s.Engine.Aborted() {
+			return metrics.Results{}, fmt.Errorf("repro: run aborted at cycle %d (external abort)", s.Engine.Now())
+		}
 		return metrics.Results{}, fmt.Errorf("repro: run aborted at cycle %d (MaxCycles guard)", s.Engine.Now())
 	}
 	// Drain in-flight protocol stragglers (final releases, wakeups,
 	// write-backs) so the platform ends quiescent and coherent.
-	s.Engine.RunUntil(func() bool {
+	drained := func() bool {
 		return !s.Net.Busy() && s.Mem.Pending() == 0 && s.Kernel.Pending() == 0
-	})
+	}
+	if s.Faults != nil {
+		// Dropped packets never reach their protocol consumers, so a
+		// faulted run may legitimately never reach protocol quiescence
+		// (e.g. a swallowed final wakeup); bound the drain instead of
+		// spinning to the MaxCycles guard.
+		limit := s.Engine.Now() + 1_000_000
+		s.Engine.RunUntil(func() bool { return drained() || s.Engine.Now() >= limit })
+	} else {
+		s.Engine.RunUntil(drained)
+	}
+	if err := s.watchdogErr(); err != nil {
+		return metrics.Results{}, err
+	}
 	if s.Timeline != nil {
 		s.Timeline.Close(s.Engine.Now())
 	}

@@ -1,8 +1,14 @@
 package repro
 
 import (
+	"fmt"
+	"time"
+
 	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -10,6 +16,7 @@ import (
 // which cannot import this package directly.
 func init() {
 	experiments.SetRunner(experimentRun, experimentTrace)
+	experiments.SetFaultRunner(experimentFaultRun)
 }
 
 // experimentRun is the experiments.Runner backed by the full platform.
@@ -49,6 +56,54 @@ func experimentTrace(p workload.Profile, threads int, ocor bool, seed uint64, tr
 		col = 1
 	}
 	return res, sys.Timeline.RenderString(traceThreads, window, col), nil
+}
+
+// experimentFaultRun is the experiments.FaultRunner: one fault-injected
+// run under a watchdog (so a fault-induced deadlock becomes a prompt
+// typed failure, in deterministic cycles, instead of burning the
+// MaxCycles budget) and an optional wall-clock timeout with panic
+// capture. Run failures are folded into the outcome — a degraded run is
+// a data point of the sweep, not an error.
+func experimentFaultRun(p workload.Profile, threads int, ocor bool, seed uint64,
+	plan fault.Plan, recovery bool, workers int, timeout time.Duration) (experiments.FaultOutcome, error) {
+	cfg := Config{
+		Benchmark: p, Threads: threads, OCOR: ocor, Seed: seed, Workers: workers,
+		Recovery: &kernel.RecoveryConfig{Enabled: recovery},
+		Watchdog: &sim.WatchdogConfig{},
+	}
+	if plan.Enabled() {
+		cfg.Faults = &plan
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		return experiments.FaultOutcome{}, err
+	}
+	var res metrics.Results
+	if timeout > 0 {
+		res, err = sys.RunWithTimeout(timeout)
+	} else {
+		res, err = func() (r metrics.Results, err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					err = fmt.Errorf("repro: run panicked: %v", p)
+				}
+			}()
+			return sys.Run()
+		}()
+	}
+	out := experiments.FaultOutcome{
+		OK:       err == nil,
+		Results:  res,
+		Recovery: sys.Kernel.RecoveryStats(),
+	}
+	if err != nil {
+		out.Failure = err.Error()
+		out.Results = metrics.Results{}
+	}
+	if sys.Faults != nil {
+		out.Faults = sys.Faults.SnapshotStats()
+	}
+	return out, nil
 }
 
 // Experiments re-exports the experiment options type for cmd binaries and

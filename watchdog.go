@@ -1,0 +1,120 @@
+package repro
+
+// Platform-level watchdog assembly and guarded execution: the invariant
+// checks span layers (NoC packet conservation, kernel thread liveness,
+// whole-platform forward progress), so they are wired here where every
+// subsystem is in scope.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// buildWatchdog assembles the standard check set over the platform:
+//
+//   - packet conservation: injected == delivered + in-flight + dropped
+//   - credit bounds: every credit counter within [0, VCDepth]
+//   - stall: platform-wide activity counters must keep advancing
+//   - blocked threads: no thread stuck in one locking state past budget
+func (s *System) buildWatchdog(cfg sim.WatchdogConfig) *sim.Watchdog {
+	w := sim.NewWatchdog(cfg, s.Engine.Stop)
+	wcfg := w.Config()
+	w.AddCheck("packet-conservation", func(uint64) error { return s.Net.CheckConservation() })
+	w.AddCheck("credit-bounds", func(uint64) error { return s.Net.CheckCreditBounds() })
+	progress := func() uint64 {
+		return s.Net.Injected() + s.Net.Delivered() +
+			s.Kernel.ScheduledOps() + s.Mem.ScheduledOps() + s.CPU.ScheduledOps()
+	}
+	stall := sim.NewStallCheck(progress, wcfg.StallBudget)
+	w.AddCheck("stall", func(now uint64) error {
+		if s.CPU.AllDone() {
+			return nil // quiescent because finished, not stuck
+		}
+		return stall(now)
+	})
+	w.AddCheck("blocked-threads", func(now uint64) error {
+		if blocked := s.Kernel.BlockedThreads(now, wcfg.BlockBudget); len(blocked) > 0 {
+			return fmt.Errorf("%d threads blocked > %d cycles (first: thread %d %s on lock %d since cycle %d)",
+				len(blocked), wcfg.BlockBudget,
+				blocked[0].Thread, blocked[0].State, blocked[0].Lock, blocked[0].Since)
+		}
+		return nil
+	})
+	w.SetDump(s.diagnosticDump)
+	return w
+}
+
+// diagnosticDump renders the scene of a watchdog trip: the blocked-thread
+// table, the packet census, recovery and fault counters, and the tail of
+// the structured event stream when a recorder is attached.
+func (s *System) diagnosticDump(now uint64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycle %d\n", now)
+	fmt.Fprintf(&sb, "census: %+v\n", s.Net.CensusNow())
+	fmt.Fprintf(&sb, "recovery: %+v\n", s.Kernel.RecoveryStats())
+	if s.Faults != nil {
+		fmt.Fprintf(&sb, "faults: %+v\n", s.Faults.SnapshotStats())
+	}
+	blocked := s.Kernel.BlockedThreads(now, 0)
+	fmt.Fprintf(&sb, "threads in lock path: %d\n", len(blocked))
+	for i, b := range blocked {
+		if i == 16 {
+			fmt.Fprintf(&sb, "  ... %d more\n", len(blocked)-i)
+			break
+		}
+		fmt.Fprintf(&sb, "  thread %d: %s on lock %d since %d (outstanding=%v retries=%d sleeps=%d)\n",
+			b.Thread, b.State, b.Lock, b.Since, b.Outstanding, b.Retries, b.Sleeps)
+	}
+	for _, ls := range s.Kernel.LockStats(now) {
+		fmt.Fprintf(&sb, "  lock %d@%d: acq=%d fails=%d wakes=%d sleepers=%d pollers=%d held=%d\n",
+			ls.Lock, ls.Home, ls.Acquisitions, ls.FailedTries, ls.Wakes, ls.Sleepers, ls.Pollers, ls.HeldCycles)
+	}
+	if s.Cfg.Obs != nil {
+		evs := s.Cfg.Obs.Events()
+		const tail = 32
+		if len(evs) > tail {
+			evs = evs[len(evs)-tail:]
+		}
+		fmt.Fprintf(&sb, "last %d events:\n", len(evs))
+		for _, ev := range evs {
+			fmt.Fprintf(&sb, "  @%d kind=%s node=%d pkt=%d v=(%d,%d,%d)\n",
+				ev.At, ev.Kind, ev.Node, ev.Pkt, ev.V1, ev.V2, ev.V3)
+		}
+	}
+	return sb.String()
+}
+
+// watchdogErr surfaces a tripped watchdog as the run's error.
+func (s *System) watchdogErr() error {
+	if s.Watchdog == nil {
+		return nil
+	}
+	return s.Watchdog.Err()
+}
+
+// RunWithTimeout executes Run under a wall-clock deadline and a panic
+// net: a deadline expiry aborts the engine at the next cycle boundary
+// (deterministic simulation state, nondeterministic abort point — only
+// for harness protection, never for measurements), and a panicking run
+// is converted into an error instead of taking the process down.
+func (s *System) RunWithTimeout(d time.Duration) (res metrics.Results, err error) {
+	if d <= 0 {
+		return s.Run()
+	}
+	timer := time.AfterFunc(d, s.Engine.RequestAbort)
+	defer timer.Stop()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("repro: run panicked: %v", r)
+		}
+	}()
+	res, err = s.Run()
+	if err == nil && s.Engine.Aborted() {
+		err = fmt.Errorf("repro: run aborted after wall-clock timeout %v at cycle %d", d, s.Engine.Now())
+	}
+	return res, err
+}
