@@ -43,14 +43,20 @@ bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/noc/ .
 
 # bench-json regenerates the Fig. 2/10/11 experiments under the benchmark
-# harness and writes wall-clock + allocs/op plus an intra-run tick scaling
-# block to BENCH_4.json.
+# harness and writes wall-clock + allocs/op plus per-mesh tick-cost and
+# intra-run tick scaling blocks to BENCH_5.json (pass -tickbase reference
+# points by hand when recording a before/after comparison; see
+# EXPERIMENTS.md "Dispatch floor").
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_4.json
+	$(GO) run ./cmd/benchjson -o BENCH_5.json
 
-# bench-smoke is the CI allocation gate: the steady-state step benchmark
+# bench-smoke is the CI performance gate: the steady-state step benchmark
 # and the sequential (workers=1) NoC tick hot loop must not allocate more
-# per op than their committed thresholds.
+# per op than their committed thresholds, and the 8x8 tick must stay under
+# the committed ns/op ceiling (set with generous headroom over the
+# BENCH_5 dispatch-floor numbers, so it catches order-of-magnitude
+# regressions — a dropped active-set bitmap, an accidental allocation per
+# flit — not CI-runner jitter).
 bench-smoke:
 	@$(GO) test -run '^$$' -bench '^BenchmarkSteadyStateStep$$' -benchmem -benchtime 20000x . | tee /tmp/bench-smoke.out
 	@max=$$(cat .github/alloc-threshold); \
@@ -69,4 +75,12 @@ bench-smoke:
 		echo "bench-smoke: tick $$allocs allocs/op exceeds threshold $$max"; exit 1; \
 	else \
 		echo "bench-smoke: tick $$allocs allocs/op within threshold $$max"; \
+	fi
+	@max=$$(cat .github/tick-ns-threshold); \
+	ns=$$(awk '/^BenchmarkNetworkTick/ {for (i=1; i<=NF; i++) if ($$i == "ns/op") printf "%d", $$(i-1)}' /tmp/bench-smoke-tick.out); \
+	if [ -z "$$ns" ]; then echo "bench-smoke: no ns/op in tick output"; exit 1; fi; \
+	if [ "$$ns" -gt "$$max" ]; then \
+		echo "bench-smoke: tick $$ns ns/op exceeds threshold $$max"; exit 1; \
+	else \
+		echo "bench-smoke: tick $$ns ns/op within threshold $$max"; \
 	fi

@@ -5,15 +5,18 @@
 // figure is regenerated from scratch, so a record reflects the full cost of
 // that experiment rather than a memoised suite.
 //
-// Besides the per-figure records, the report carries an intra-run scaling
-// block: the same Fig. 11 regeneration timed once per -scaleworkers value,
-// so the record shows how the sharded tick executor behaves on this host
-// (together with the host's CPU count, without which a scaling curve is
-// meaningless).
+// Besides the per-figure records, the report carries a network_tick block
+// — the sequential per-cycle cost of the saturated NoC tick loop per mesh
+// size, optionally annotated with -tickbase reference points from an
+// earlier commit — and an intra-run scaling block: the same Fig. 11
+// regeneration timed once per -scaleworkers value, so the record shows
+// how the sharded tick executor behaves on this host (together with the
+// host's CPU count, without which a scaling curve is meaningless; when
+// worker counts exceed the CPUs, the report says so in a "caveat" field).
 //
 // Usage:
 //
-//	benchjson                       # writes BENCH_4.json
+//	benchjson                       # writes BENCH_5.json
 //	benchjson -o perf.json -scale 0.5 -workers 4
 package main
 
@@ -31,6 +34,9 @@ import (
 	"repro" // installs the platform runner into the experiments package
 
 	"repro/internal/experiments"
+	"repro/internal/noc"
+	"repro/internal/par"
+	"repro/internal/sim"
 )
 
 // record is one benchmark measurement in the JSON output.
@@ -50,29 +56,52 @@ type scalingPoint struct {
 	SpeedupVs1  float64 `json:"speedup_vs_1"`
 }
 
+// tickRecord is one cell of the network_tick block: the sequential
+// (workers=1) per-cycle cost of the saturated-mesh NoC tick loop, the
+// same workload BenchmarkNetworkTick measures. BaselineNs, when the
+// -tickbase flag supplies it, is a reference ns/op measured on the same
+// host from an earlier commit, so the record documents the regression or
+// win it was committed to demonstrate.
+type tickRecord struct {
+	Mesh        string  `json:"mesh"`
+	Workers     int     `json:"workers"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BaselineNs  float64 `json:"baseline_ns_per_op,omitempty"`
+	SpeedupVs   float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
 // report is the top-level JSON document.
 type report struct {
-	GoVersion string         `json:"go_version"`
-	GOOS      string         `json:"goos"`
-	GOARCH    string         `json:"goarch"`
-	CPUs      int            `json:"cpus"`
-	Threads   int            `json:"threads"`
-	Scale     float64        `json:"scale"`
-	Quick     bool           `json:"quick"`
-	Workers   int            `json:"workers"`
-	Records   []record       `json:"benchmarks"`
-	Scaling   []scalingPoint `json:"tick_scaling,omitempty"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	CPUs      int     `json:"cpus"`
+	Threads   int     `json:"threads"`
+	Scale     float64 `json:"scale"`
+	Quick     bool    `json:"quick"`
+	Workers   int     `json:"workers"`
+	// Caveat is set when any measured worker count exceeds the host's
+	// CPUs: the scaling numbers then reflect time-slicing, not
+	// parallelism, and must not be compared across hosts.
+	Caveat  string         `json:"caveat,omitempty"`
+	Records []record       `json:"benchmarks"`
+	Tick    []tickRecord   `json:"network_tick,omitempty"`
+	Scaling []scalingPoint `json:"tick_scaling,omitempty"`
 }
 
 func main() {
 	var (
-		out          = flag.String("o", "BENCH_4.json", "output JSON file")
+		out          = flag.String("o", "BENCH_5.json", "output JSON file")
 		threads      = flag.Int("threads", 64, "thread/core count")
 		scale        = flag.Float64("scale", 0.25, "iteration scale factor")
 		seed         = flag.Uint64("seed", 1, "simulation seed")
 		quick        = flag.Bool("quick", true, "use the representative benchmark subset")
 		workers      = flag.Int("workers", 1, "intra-simulation tick worker count for the per-figure benchmarks")
 		scaleWorkers = flag.String("scaleworkers", "1,2,4", "comma-separated worker counts for the tick_scaling block (empty disables it)")
+		tickMeshes   = flag.String("tickmeshes", "8,16,32", "comma-separated square mesh widths for the network_tick block (empty disables it)")
+		tickBase     = flag.String("tickbase", "", "comma-separated mesh=ns_per_op reference points recorded into the network_tick block (e.g. 8x8=30128,16x16=144082)")
 	)
 	flag.Parse()
 
@@ -81,6 +110,9 @@ func main() {
 
 	if err := (&repro.Config{Threads: *threads, Workers: *workers}).Validate(); err != nil {
 		fatal(err)
+	}
+	if c := par.WorkerCaveat(*workers); c != "" {
+		fmt.Fprintln(os.Stderr, "benchjson: warning:", c)
 	}
 	opt := experiments.Options{Threads: *threads, Seed: *seed, Scale: *scale, Quick: *quick, Workers: *workers}
 	cases := []struct {
@@ -119,6 +151,16 @@ func main() {
 		Quick:     *quick,
 		Workers:   *workers,
 	}
+	// Measure the tick hot loop before the figure suite touches the heap:
+	// the figure runs allocate tens of MB per op, and the garbage and
+	// background GC work they leave behind measurably inflate the
+	// microbenchmark on a single-CPU host.
+	if recs, err := measureTicks(*tickMeshes, *tickBase); err != nil {
+		fatal(err)
+	} else {
+		rep.Tick = recs
+	}
+
 	for _, c := range cases {
 		var runErr error
 		r := testing.Benchmark(func(b *testing.B) {
@@ -149,6 +191,12 @@ func main() {
 		fatal(err)
 	} else {
 		rep.Scaling = pts
+		rep.Caveat = par.WorkerCaveat(*workers)
+		for _, pt := range pts {
+			if c := par.WorkerCaveat(pt.Workers); c != "" && rep.Caveat == "" {
+				rep.Caveat = "tick_scaling: " + c
+			}
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -179,6 +227,9 @@ func measureScaling(opt experiments.Options, spec string) ([]scalingPoint, error
 		if err != nil || w < 1 {
 			return nil, fmt.Errorf("bad -scaleworkers entry %q", field)
 		}
+		if c := par.WorkerCaveat(w); c != "" {
+			fmt.Fprintln(os.Stderr, "benchjson: warning:", c)
+		}
 		o := opt
 		o.Workers = w
 		start := time.Now()
@@ -197,6 +248,107 @@ func measureScaling(opt experiments.Options, spec string) ([]scalingPoint, error
 		pts = append(pts, pt)
 	}
 	return pts, nil
+}
+
+// measureTicks benchmarks the sequential saturated-mesh tick loop — the
+// in-process equivalent of BenchmarkNetworkTick/mesh=NxN/workers=1 — for
+// each requested square mesh width, attaching reference ns/op points
+// from the base spec ("mesh=ns" pairs) when given.
+func measureTicks(meshSpec, baseSpec string) ([]tickRecord, error) {
+	base := map[string]float64{}
+	for _, field := range strings.Split(baseSpec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		mesh, nsText, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -tickbase entry %q", field)
+		}
+		ns, err := strconv.ParseFloat(nsText, 64)
+		if err != nil || ns <= 0 {
+			return nil, fmt.Errorf("bad -tickbase entry %q", field)
+		}
+		base[mesh] = ns
+	}
+	var recs []tickRecord
+	for _, field := range strings.Split(meshSpec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		mesh, err := strconv.Atoi(field)
+		if err != nil || mesh < 2 {
+			return nil, fmt.Errorf("bad -tickmeshes entry %q", field)
+		}
+		cfg := noc.DefaultConfig()
+		cfg.Width, cfg.Height = mesh, mesh
+		cfg.Priority = true
+		n := noc.MustNetwork(cfg)
+		nodes := cfg.Nodes()
+		rng := sim.NewRNG(42)
+		resend := func(now uint64, pkt *noc.Packet) {
+			// Keep the load constant: every delivery immediately re-injects
+			// a packet from a rotating source.
+			src := pkt.Dst
+			dst := rng.Intn(nodes)
+			if dst == src {
+				dst = (src + 1) % nodes
+			}
+			n.Send(now, n.NewPacket(src, dst, noc.ClassData, rng.Intn(noc.NumVNets), nil))
+			n.FreePacket(pkt)
+		}
+		for j := 0; j < nodes; j++ {
+			n.SetSink(j, resend)
+		}
+		for s := 0; s < nodes; s++ {
+			for k := 0; k < 4; k++ {
+				if d := rng.Intn(nodes); d != s {
+					n.Send(0, n.NewPacket(s, d, noc.ClassData, rng.Intn(noc.NumVNets), nil))
+				}
+			}
+		}
+		var now uint64
+		for ; now < 500; now++ {
+			n.Tick(now)
+		}
+		runtime.GC()
+		// Minimum of several timed runs: scheduler noise on a shared (or
+		// single-CPU) host only ever inflates a run, so the minimum is the
+		// cleanest estimate of the loop's cost and matches how the -tickbase
+		// reference points are meant to be measured.
+		var best testing.BenchmarkResult
+		for rep := 0; rep < 5; rep++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					n.Tick(now)
+					now++
+				}
+			})
+			if rep == 0 || r.NsPerOp() < best.NsPerOp() {
+				best = r
+			}
+		}
+		rec := tickRecord{
+			Mesh:        fmt.Sprintf("%dx%d", mesh, mesh),
+			Workers:     1,
+			Iterations:  best.N,
+			NsPerOp:     float64(best.T.Nanoseconds()) / float64(best.N),
+			AllocsPerOp: best.AllocsPerOp(),
+		}
+		if ns, ok := base[rec.Mesh]; ok {
+			rec.BaselineNs = ns
+			rec.SpeedupVs = ns / rec.NsPerOp
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: tick %-7s %10.0f ns/op  %3d allocs/op", rec.Mesh, rec.NsPerOp, rec.AllocsPerOp)
+		if rec.SpeedupVs != 0 {
+			fmt.Fprintf(os.Stderr, "  (%.2fx vs baseline %0.f)", rec.SpeedupVs, rec.BaselineNs)
+		}
+		fmt.Fprintln(os.Stderr)
+		recs = append(recs, rec)
+	}
+	return recs, nil
 }
 
 func fatal(err error) {

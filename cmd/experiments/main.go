@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro" // also installs the platform runner into the experiments package
+	"repro/internal/par"
 
 	"repro/internal/experiments"
 	"repro/internal/export"
@@ -40,6 +41,10 @@ func main() {
 		workers  = flag.Int("workers", 1, "intra-simulation worker count per run; composes with -j (0 jobs = GOMAXPROCS/workers)")
 	)
 	flag.Parse()
+
+	if c := par.WorkerCaveat(*workers); c != "" {
+		fmt.Fprintln(os.Stderr, "experiments: warning:", c)
+	}
 
 	if *traceOut != "" {
 		if err := writeFig10Trace(*traceOut, *threads, *seed, *scale, *noPool); err != nil {

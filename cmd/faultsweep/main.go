@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"repro" // also installs the platform runners into the experiments package
+	"repro/internal/par"
 
 	"repro/internal/experiments"
 )
@@ -46,6 +47,10 @@ func main() {
 		verbose  = flag.Bool("v", true, "print per-rate progress to stderr")
 	)
 	flag.Parse()
+
+	if c := par.WorkerCaveat(*workers); c != "" {
+		fmt.Fprintln(os.Stderr, "faultsweep: warning:", c)
+	}
 
 	rateList, err := parseRates(*rates)
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/noc"
 	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 func main() {
@@ -39,6 +40,10 @@ func main() {
 		workers  = flag.Int("workers", 1, "intra-simulation worker count for the NoC tick (results are identical for every value)")
 	)
 	flag.Parse()
+
+	if c := par.WorkerCaveat(*workers); c != "" {
+		fmt.Fprintln(os.Stderr, "ocorsim: warning:", c)
+	}
 
 	if *list {
 		fmt.Printf("%-10s %-14s %-8s %-8s %-9s\n", "name", "full", "suite", "CS rate", "net util")

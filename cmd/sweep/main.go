@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"runtime"
 	"strconv"
 	"strings"
 
@@ -51,6 +50,10 @@ func main() {
 		workers = flag.Int("workers", 1, "intra-simulation worker count per run; composes with -j (0 jobs = GOMAXPROCS/workers)")
 	)
 	flag.Parse()
+
+	if c := par.WorkerCaveat(*workers); c != "" {
+		fmt.Fprintln(os.Stderr, "sweep: warning:", c)
+	}
 
 	stopCPU, err := profiling.StartCPU(*cpuProf)
 	if err != nil {
@@ -104,15 +107,10 @@ func main() {
 	// odd = OCOR. The ordered emitter writes both CSV rows once the OCOR
 	// half completes, so row order matches the serial grid walk exactly
 	// regardless of -j.
-	// -workers and -j compose through a shared core budget: with -j left
+	// -workers and -j compose through the shared core budget: with -j left
 	// at its default, the outer job count shrinks so jobs x workers never
-	// oversubscribes the machine.
-	effJobs := *jobs
-	if effJobs == 0 && *workers > 1 {
-		if effJobs = runtime.GOMAXPROCS(0) / *workers; effJobs < 1 {
-			effJobs = 1
-		}
-	}
+	// oversubscribes the machine (and never drops below one job).
+	effJobs := par.SharedCoreBudget(*jobs, *workers)
 	var lastBase metrics.Results
 	_, err = par.Map(2*len(grid), effJobs, func(i int) (metrics.Results, error) {
 		select {
@@ -123,7 +121,7 @@ func main() {
 		c := grid[i/2]
 		cfg := repro.Config{
 			Benchmark: p, Threads: c.threads, OCOR: i%2 == 1,
-			Seed: c.seed, NoPool: *noPool,
+			Seed: c.seed, NoPool: *noPool, Workers: *workers,
 		}
 		if cfg.OCOR {
 			cfg.PriorityLevels = c.levels

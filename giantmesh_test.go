@@ -1,0 +1,72 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestGiantMeshSmoke runs a short deterministic workload on a 32x32
+// platform — 1024 nodes, far past every structure the hot path indexes by
+// node id — with the watchdog armed and the fused parallel tick engaged.
+// It is the giant-mesh counterpart of TestRunCompletes: the run must
+// finish, the watchdog must stay quiet (Run returns a *sim.WatchdogError
+// if it fires), and the platform must end quiescent and coherent.
+func TestGiantMeshSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32x32 platform smoke skipped in -short")
+	}
+	p := smallProfile()
+	p.Iterations = 3
+	sys, err := New(Config{
+		Benchmark:  p,
+		Threads:    64,
+		MeshWidth:  32,
+		MeshHeight: 32,
+		OCOR:       true,
+		Seed:       11,
+		Workers:    4,
+		Watchdog:   &sim.WatchdogConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatalf("32x32 run failed: %v", err)
+	}
+	if res.ROIFinish == 0 {
+		t.Fatal("zero ROI")
+	}
+	if res.Acquisitions != 64*3 {
+		t.Fatalf("acquisitions = %d, want %d", res.Acquisitions, 64*3)
+	}
+	if sys.Net.Busy() {
+		t.Fatal("network still busy after completion")
+	}
+	if err := sys.Mem.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fused executor must not change results on the giant mesh either:
+	// a sequential run of the same configuration is byte-identical.
+	seq, err := New(Config{
+		Benchmark:  p,
+		Threads:    64,
+		MeshWidth:  32,
+		MeshHeight: 32,
+		OCOR:       true,
+		Seed:       11,
+		Watchdog:   &sim.WatchdogConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRes, err := seq.Run()
+	if err != nil {
+		t.Fatalf("sequential 32x32 run failed: %v", err)
+	}
+	if seqRes != res {
+		t.Fatalf("32x32 workers=4 diverged from sequential:\n%+v\n%+v", res, seqRes)
+	}
+}

@@ -246,6 +246,24 @@ func Compare(a, b Priority) int {
 	return 0
 }
 
+// Key flattens the priority word into a single uint32 whose natural
+// integer order is exactly the Table 1 order: Compare(a, b) and
+// a.Key() <=> b.Key() always agree, including equality (a property test
+// pins this). Routers cache the key of each buffered head flit so the
+// per-cycle VA/SA scans compare one integer instead of re-walking the
+// rule chain through a packet pointer.
+//
+// Layout (most significant first): bit 24 = Check, bits 8-23 = ^Prog
+// (smaller progress must order higher), bits 0-7 = Class. Normal packets
+// map to 0 regardless of their (unused) Class/Prog fields, mirroring
+// Compare's rule 2 short-circuit.
+func (p Priority) Key() uint32 {
+	if !p.Check {
+		return 0
+	}
+	return 1<<24 | uint32(^p.Prog)<<8 | uint32(p.Class)
+}
+
 // Max returns the higher-priority of two words (a on ties).
 func Max(a, b Priority) Priority {
 	if Compare(a, b) < 0 {

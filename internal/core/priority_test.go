@@ -254,3 +254,56 @@ func TestRegisterFile(t *testing.T) {
 		t.Fatal("Clear did not invalidate")
 	}
 }
+
+// TestKeyOrderMatchesCompare pins the property Router allocation relies on:
+// the flattened Key agrees with Compare on every pair, including equality
+// and including normal packets carrying (unused) nonzero Class/Prog fields.
+func TestKeyOrderMatchesCompare(t *testing.T) {
+	sign := func(v int) int {
+		switch {
+		case v > 0:
+			return 1
+		case v < 0:
+			return -1
+		}
+		return 0
+	}
+	keySign := func(a, b uint32) int {
+		switch {
+		case a > b:
+			return 1
+		case a < b:
+			return -1
+		}
+		return 0
+	}
+	// Exhaustive over the representable classes and a progress sample that
+	// covers 0, the extremes and every byte boundary the bit layout packs.
+	progs := []uint16{0, 1, 2, 7, 8, 63, 127, 128, 255, 256, 4095, 32767, 65534, 65535}
+	var words []Priority
+	for _, check := range []bool{false, true} {
+		for class := 0; class < 256; class += 5 {
+			for _, prog := range progs {
+				words = append(words, Priority{Check: check, Class: uint8(class), Prog: prog})
+			}
+		}
+	}
+	// Normal packets with garbage Class/Prog must all collapse to key 0.
+	words = append(words, Priority{Check: false, Class: 255, Prog: 65535})
+	for _, a := range words {
+		for _, b := range words {
+			if got, want := keySign(a.Key(), b.Key()), sign(Compare(a, b)); got != want {
+				t.Fatalf("Key disagrees with Compare: %v vs %v: key %d, cmp %d", a, b, got, want)
+			}
+		}
+	}
+	// And a randomized sweep over the full field space.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200000; i++ {
+		a := Priority{Check: rng.Intn(2) == 1, Class: uint8(rng.Intn(256)), Prog: uint16(rng.Intn(65536))}
+		b := Priority{Check: rng.Intn(2) == 1, Class: uint8(rng.Intn(256)), Prog: uint16(rng.Intn(65536))}
+		if got, want := keySign(a.Key(), b.Key()), sign(Compare(a, b)); got != want {
+			t.Fatalf("Key disagrees with Compare: %v vs %v: key %d, cmp %d", a, b, got, want)
+		}
+	}
+}

@@ -11,7 +11,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 
 	"repro/internal/metrics"
@@ -112,19 +111,11 @@ func (o Options) run(p workload.Profile, threads int, ocor bool, seed uint64) (m
 	return runner(p, threads, ocor, 0, seed, o.NoPool, o.Workers)
 }
 
-// effectiveJobs resolves the outer concurrency bound passed to par.Map.
-// An explicit Jobs wins; otherwise the default of "one job per core"
-// shrinks to GOMAXPROCS/Workers when intra-run workers are active, so
-// jobs × workers stays within the machine's core budget.
+// effectiveJobs resolves the outer concurrency bound passed to par.Map:
+// Jobs and Workers compose through par.SharedCoreBudget, so jobs × workers
+// stays within the machine's core budget (and never drops below one job).
 func (o Options) effectiveJobs() int {
-	if o.Jobs != 0 || o.Workers <= 1 {
-		return o.Jobs
-	}
-	jobs := runtime.GOMAXPROCS(0) / o.Workers
-	if jobs < 1 {
-		jobs = 1
-	}
-	return jobs
+	return par.SharedCoreBudget(o.Jobs, o.Workers)
 }
 
 // BenchResult pairs the baseline and OCOR results of one benchmark.

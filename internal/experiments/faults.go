@@ -112,8 +112,10 @@ func SetFaultRunner(r FaultRunner) { faultRunner = r }
 
 // RunFaultSweep runs the drop-rate ladder, baseline and OCOR per rate,
 // and returns the assembled degradation curve. Runs are distributed
-// over Jobs workers; results and progress output are independent of the
-// job count (par.Map emits in index order).
+// over Jobs workers — Jobs and Workers compose through
+// par.SharedCoreBudget, like every other sweep — and results and
+// progress output are independent of the job count (par.Map emits in
+// index order).
 func RunFaultSweep(o FaultOptions, progress io.Writer) (FaultSweep, error) {
 	o = o.withDefaults()
 	if faultRunner == nil {
@@ -130,7 +132,7 @@ func RunFaultSweep(o FaultOptions, progress io.Writer) (FaultSweep, error) {
 	// layout). Interrupted and failed runs return outcomes, never errors,
 	// so the sweep always completes with whatever it gathered.
 	var lastBase FaultOutcome
-	outcomes, err := par.Map(2*len(o.Rates), o.Jobs, func(i int) (FaultOutcome, error) {
+	outcomes, err := par.Map(2*len(o.Rates), par.SharedCoreBudget(o.Jobs, o.Workers), func(i int) (FaultOutcome, error) {
 		select {
 		case <-o.Stop:
 			return FaultOutcome{Failure: interrupted}, nil

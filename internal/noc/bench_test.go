@@ -67,7 +67,7 @@ func BenchmarkUniformTraffic(b *testing.B) {
 // regardless of instantaneous load, so dispatch overhead is fully
 // visible).
 func BenchmarkNetworkTick(b *testing.B) {
-	for _, mesh := range []int{8, 16} {
+	for _, mesh := range []int{8, 16, 32, 64} {
 		for _, workers := range []int{1, 2, 4} {
 			b.Run(fmt.Sprintf("mesh=%dx%d/workers=%d", mesh, mesh, workers), func(b *testing.B) {
 				cfg := testConfig(mesh, mesh, true)

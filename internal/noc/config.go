@@ -13,8 +13,11 @@ package noc
 
 import "fmt"
 
-// Dir enumerates router ports.
-type Dir int
+// Dir enumerates router ports. The underlying type is int8 so a direction
+// stored per VC (vcBuf.outDir) costs one byte instead of a machine word;
+// -1 doubles as the "request already served" sentinel in the allocators'
+// scratch entries.
+type Dir int8
 
 // Port directions. Local is the NI port.
 const (

@@ -105,8 +105,8 @@ func (n *Network) CensusNow() Census {
 		}
 		for i := range r.in {
 			vc := &r.in[i]
-			for k := 0; k < vc.n; k++ {
-				idx := vc.hd + k
+			for k := 0; k < int(vc.n); k++ {
+				idx := int(vc.hd) + k
 				if idx >= len(vc.flits) {
 					idx -= len(vc.flits)
 				}
@@ -152,7 +152,7 @@ func (n *Network) CheckCreditBounds() error {
 				continue
 			}
 			for v, cr := range r.out[d].credits {
-				if cr < 0 || cr > depth {
+				if cr < 0 || int(cr) > depth {
 					return fmt.Errorf("noc: router %d dir %s vc %d credits %d outside [0, %d]",
 						r.id, d, v, cr, depth)
 				}
@@ -161,7 +161,7 @@ func (n *Network) CheckCreditBounds() error {
 	}
 	for _, ni := range n.NIs {
 		for v, cr := range ni.outCredits {
-			if cr < 0 || cr > depth {
+			if cr < 0 || int(cr) > depth {
 				return fmt.Errorf("noc: NI %d vc %d credits %d outside [0, %d]",
 					ni.node, v, cr, depth)
 			}

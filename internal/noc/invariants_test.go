@@ -34,8 +34,8 @@ func checkInvariants(t *testing.T, n *Network, now uint64) {
 		for d := Dir(0); d < NumDirs; d++ {
 			for v := 0; v < r.cfg.VCs; v++ {
 				vc := r.vc(d, v)
-				fc += vc.n
-				pf[d] += vc.n
+				fc += int(vc.n)
+				pf[d] += int(vc.n)
 				switch vc.state {
 				case vcRouted:
 					routed++

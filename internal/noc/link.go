@@ -56,6 +56,13 @@ type link struct {
 	// NI phase visits only interfaces that hold events.
 	niIdx int
 
+	// srcNode/dstNode are the mesh nodes owning this link's flit sender and
+	// flit receiver (equal for NI local links). The sharded executor drains
+	// a link inside a shard only when both endpoints map to that shard —
+	// the fused-phase dependence rule — and pre-drains the rest centrally.
+	srcNode int32
+	dstNode int32
+
 	flitQueued   bool
 	creditQueued bool
 

@@ -69,6 +69,9 @@ type Network struct {
 	scratchF  []flitEvent
 	scratchC  []creditEvent
 	scratchLB []loopbackEvent
+	// alloc is the sequential tick's VA/SA scratch, shared by every router
+	// the dispatching goroutine ticks (each shard worker carries its own).
+	alloc allocScratch
 
 	// exec, when non-nil, is the sharded parallel tick executor (attached
 	// via SetTickPool). observed mirrors "an obs recorder is attached":
@@ -116,37 +119,75 @@ func NewNetwork(cfg Config) (*Network, error) {
 	n.routerActive = make([]uint64, words)
 	n.niActive = make([]uint64, words)
 	n.niInject = make([]uint64, words)
+	// Structure-of-arrays state: routers, NIs, links and every hot per-VC
+	// array live in node-major arenas instead of per-object allocations, so
+	// the bytes one tick phase sweeps — and the bytes one shard owns — are
+	// contiguous. Routers/NIs stay exposed as []*Router / []*NI pointing
+	// into the slabs, keeping the public surface unchanged.
+	routerSlab := make([]Router, nodes)
+	niSlab := make([]NI, nodes)
+	perRouter := int(NumDirs) * cfg.VCs
+	inArena := make([]vcBuf, nodes*perRouter)
+	ringArena := make([]flit, nodes*perRouter*cfg.VCDepth)
+	creditArena := make([]int32, nodes*perRouter)
+	allocArena := make([]bool, nodes*perRouter)
+	niCreditArena := make([]int32, nodes*cfg.VCs)
+	niAllocArena := make([]bool, nodes*cfg.VCs)
 	for i := 0; i < nodes; i++ {
-		n.Routers[i] = newRouter(&n.Cfg, i, act, &n.routerFlits, n.routerActive)
-		n.NIs[i] = newNI(&n.Cfg, i, act, &n.queuedPkts, n.niInject)
+		initRouter(&routerSlab[i], &n.Cfg, i, act, &n.routerFlits, n.routerActive,
+			inArena[i*perRouter:], ringArena[i*perRouter*cfg.VCDepth:],
+			creditArena[i*perRouter:], allocArena[i*perRouter:])
+		n.Routers[i] = &routerSlab[i]
+		initNI(&niSlab[i], &n.Cfg, i, act, &n.queuedPkts, n.niInject,
+			niCreditArena[i*cfg.VCs:], niAllocArena[i*cfg.VCs:])
+		n.NIs[i] = &niSlab[i]
 	}
 	// Wire neighbour links. For each adjacent pair create two directed
-	// links. opposite(d) is the receiving side's port.
+	// links, carved from one slab in node-major wiring order so a shard's
+	// links sit together. opposite(d) is the receiving side's port.
+	// srcNode/dstNode record the nodes owning the flit sender and flit
+	// receiver; the sharded executor classifies a link as shard-local when
+	// both map to the same shard.
+	linkSlab := make([]link, 2*(cfg.Width-1)*cfg.Height+2*cfg.Width*(cfg.Height-1)+2*nodes)
+	li := 0
+	newLink := func(src, dst int) *link {
+		l := &linkSlab[li]
+		li++
+		l.act = act
+		l.srcNode = int32(src)
+		l.dstNode = int32(dst)
+		return l
+	}
 	for i := 0; i < nodes; i++ {
 		r := n.Routers[i]
 		x, y := cfg.XY(i)
 		if x+1 < cfg.Width {
-			nbr := n.Routers[cfg.Node(x+1, y)]
-			east := &link{act: act}
-			west := &link{act: act}
+			j := cfg.Node(x+1, y)
+			nbr := n.Routers[j]
+			east := newLink(i, j)
+			west := newLink(j, i)
 			r.outLink[East] = east
 			nbr.inLink[West] = east
 			nbr.outLink[West] = west
 			r.inLink[East] = west
 		}
 		if y+1 < cfg.Height {
-			nbr := n.Routers[cfg.Node(x, y+1)]
-			south := &link{act: act}
-			north := &link{act: act}
+			j := cfg.Node(x, y+1)
+			nbr := n.Routers[j]
+			south := newLink(i, j)
+			north := newLink(j, i)
 			r.outLink[South] = south
 			nbr.inLink[North] = south
 			nbr.outLink[North] = north
 			r.inLink[South] = north
 		}
-		// NI <-> router local port. The NI consumes inj's credits and
+		// NI <-> router local port: both endpoints are node i, so these
+		// links are always shard-local. The NI consumes inj's credits and
 		// ej's flits, so both carry its node index for niActive marking.
-		inj := &link{act: act, niIdx: i}
-		ej := &link{act: act, niIdx: i}
+		inj := newLink(i, i)
+		inj.niIdx = i
+		ej := newLink(i, i)
+		ej.niIdx = i
 		n.NIs[i].toRouter = inj
 		r.inLink[Local] = inj
 		r.outLink[Local] = ej
@@ -308,13 +349,34 @@ func (n *Network) SetWaker(w sim.Waker) { n.waker = w }
 
 // Tick implements sim.Component.
 func (n *Network) Tick(now uint64) {
+	// Fused parallel cycle: with a pool attached, no observer, and enough
+	// work in any phase to amortize the barrier, run the NI-eject and
+	// loopback phases first (a byte-identical reordering — all link events
+	// are future-dated at send and the two phases write disjoint state;
+	// see the parallel.go package comment), then execute link drain,
+	// router allocation/traversal and NI injection under ONE fork-join
+	// barrier instead of one per phase.
+	if n.exec != nil && !n.observed {
+		pend := len(n.pendFlits) + len(n.pendCredits)
+		if (pend > 0 && pend >= n.parMinLinks) ||
+			((n.routerFlits > 0 || n.queuedPkts > 0) &&
+				(n.routerFlits >= n.parMinFlits || n.queuedPkts >= n.parMinPkts)) {
+			if n.niEvents > 0 {
+				n.drainNIs(now)
+			}
+			n.deliverLoopback(now)
+			n.tickFused(now)
+			return
+		}
+	}
 	// Phase 1: commit link events due this cycle into router buffers and
 	// router credit state. Only links holding events are on the pending
 	// lists; commits to distinct (router, port) pairs are independent, so
 	// list order (send order) yields the same state as the full port scan
-	// — which is also what lets the sharded executor drain the lists
-	// concurrently (grouped by receiving router) when enough links are
-	// pending to amortize its barrier.
+	// — which is also what lets the executor drain the lists concurrently
+	// (bucketed by receiving node) when an observer keeps the router/NI
+	// phases sequential but enough links are pending to amortize a
+	// drain-only barrier.
 	if pend := len(n.pendFlits) + len(n.pendCredits); n.exec != nil && pend > 0 && pend >= n.parMinLinks {
 		n.drainLinksPar(now)
 	} else {
@@ -349,59 +411,12 @@ func (n *Network) Tick(now uint64) {
 			n.pendCredits = keep
 		}
 	}
-	// Phase 2: NIs eject and absorb credits, in node order (delivery
-	// callbacks are order-sensitive; bit iteration is ascending, so the
-	// order is the same as the full scan's). A bit stays set while its
-	// links hold events — including future-dated ones — and is cleared
-	// only here, once both queues drain; sends during this phase go to
-	// router-consumed links, so no bit is set mid-iteration.
+	// Phase 2: NI eject/credit absorption, in node order.
 	if n.niEvents > 0 {
-		for w, word := range n.niActive {
-			for ; word != 0; word &= word - 1 {
-				i := w<<6 | bits.TrailingZeros64(word)
-				ni := n.NIs[i]
-				if len(ni.fromRouter.flits) > 0 {
-					ni.eject(now)
-				}
-				if len(ni.toRouter.credits) > 0 {
-					ni.commitCredits(now)
-				}
-				if len(ni.fromRouter.flits) == 0 && len(ni.toRouter.credits) == 0 {
-					n.niActive[w] &^= 1 << uint(i&63)
-				}
-			}
-		}
+		n.drainNIs(now)
 	}
-	// Phase 3: loopback deliveries. Copy the due prefix out first: sinks
-	// may send new loopback packets while we iterate.
-	if len(n.loopback) > 0 && n.loopback[0].at <= now {
-		k := 0
-		for k < len(n.loopback) && n.loopback[k].at <= now {
-			k++
-		}
-		n.scratchLB = append(n.scratchLB[:0], n.loopback[:k]...)
-		n.loopback = n.loopback[:copy(n.loopback, n.loopback[k:])]
-		n.activity -= k
-		for _, ev := range n.scratchLB {
-			ev.pkt.DeliveredAt = now
-			n.Stats.LocalDeliveries++
-			n.recordDelivery(ev.pkt)
-			if sink := n.NIs[ev.pkt.Dst].sink; sink != nil {
-				sink(now, ev.pkt)
-			}
-		}
-	}
-	// Phases 4+5: router allocation/traversal and NI injection. The two
-	// phases are mutually independent (allocation never reads injection
-	// state and vice versa), so the sharded executor runs them under one
-	// barrier — but only without an observer (routers and NIs emit into a
-	// shared recorder) and with enough work to amortize the dispatch.
-	if n.exec != nil && !n.observed &&
-		(n.routerFlits > 0 || n.queuedPkts > 0) &&
-		(n.routerFlits >= n.parMinFlits || n.queuedPkts >= n.parMinPkts) {
-		n.tickNodesPar(now)
-		return
-	}
+	// Phase 3: loopback deliveries.
+	n.deliverLoopback(now)
 	// Phase 4: router allocation and traversal. Bit iteration visits the
 	// flit-holding routers in ascending id order — the same order as a
 	// full scan (tick order is invisible anyway: routers only interact
@@ -411,7 +426,7 @@ func (n *Network) Tick(now uint64) {
 	if n.routerFlits > 0 {
 		for w, word := range n.routerActive {
 			for ; word != 0; word &= word - 1 {
-				n.Routers[w<<6|bits.TrailingZeros64(word)].tick(now, nil)
+				n.Routers[w<<6|bits.TrailingZeros64(word)].tick(now, nil, &n.alloc)
 			}
 		}
 	}
@@ -424,6 +439,54 @@ func (n *Network) Tick(now uint64) {
 			for ; word != 0; word &= word - 1 {
 				n.NIs[w<<6|bits.TrailingZeros64(word)].inject(now, nil)
 			}
+		}
+	}
+}
+
+// drainNIs is Tick phase 2: NIs eject arrived flits and absorb credit
+// returns, in node order (delivery callbacks are order-sensitive; bit
+// iteration is ascending, so the order is the same as the full scan's). A
+// bit stays set while its links hold events — including future-dated ones
+// — and is cleared only here, once both queues drain; sends during this
+// phase go to router-consumed links, so no bit is set mid-iteration.
+func (n *Network) drainNIs(now uint64) {
+	for w, word := range n.niActive {
+		for ; word != 0; word &= word - 1 {
+			i := w<<6 | bits.TrailingZeros64(word)
+			ni := n.NIs[i]
+			if len(ni.fromRouter.flits) > 0 {
+				ni.eject(now)
+			}
+			if len(ni.toRouter.credits) > 0 {
+				ni.commitCredits(now)
+			}
+			if len(ni.fromRouter.flits) == 0 && len(ni.toRouter.credits) == 0 {
+				n.niActive[w] &^= 1 << uint(i&63)
+			}
+		}
+	}
+}
+
+// deliverLoopback is Tick phase 3: src==dst deliveries that bypassed the
+// mesh. The due prefix is copied out first: sinks may send new loopback
+// packets while we iterate.
+func (n *Network) deliverLoopback(now uint64) {
+	if len(n.loopback) == 0 || n.loopback[0].at > now {
+		return
+	}
+	k := 0
+	for k < len(n.loopback) && n.loopback[k].at <= now {
+		k++
+	}
+	n.scratchLB = append(n.scratchLB[:0], n.loopback[:k]...)
+	n.loopback = n.loopback[:copy(n.loopback, n.loopback[k:])]
+	n.activity -= k
+	for _, ev := range n.scratchLB {
+		ev.pkt.DeliveredAt = now
+		n.Stats.LocalDeliveries++
+		n.recordDelivery(ev.pkt)
+		if sink := n.NIs[ev.pkt.Dst].sink; sink != nil {
+			sink(now, ev.pkt)
 		}
 	}
 }

@@ -3,7 +3,6 @@ package noc
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/obs"
 )
 
@@ -35,7 +34,7 @@ type NI struct {
 	// fromRouter carries flits ejected to us; we return credits on it.
 	fromRouter *link
 
-	outCredits []int
+	outCredits []int32
 	outAlloc   []bool
 
 	queues [NumVNets][]*Packet
@@ -66,14 +65,15 @@ type NI struct {
 	scratchC []creditEvent
 }
 
-func newNI(cfg *Config, node int, act, qp *int, injSet []uint64) *NI {
-	ni := &NI{cfg: cfg, node: node, act: act, qp: qp, injSet: injSet}
-	ni.outCredits = make([]int, cfg.VCs)
-	ni.outAlloc = make([]bool, cfg.VCs)
+// initNI initialises a slab-allocated NI in place; credits and allocs are
+// VCs-sized subslices of the caller's network-wide node-major arenas.
+func initNI(ni *NI, cfg *Config, node int, act, qp *int, injSet []uint64, credits []int32, allocs []bool) {
+	*ni = NI{cfg: cfg, node: node, act: act, qp: qp, injSet: injSet}
+	ni.outCredits = credits[:cfg.VCs:cfg.VCs]
+	ni.outAlloc = allocs[:cfg.VCs:cfg.VCs]
 	for v := range ni.outCredits {
-		ni.outCredits[v] = cfg.VCDepth
+		ni.outCredits[v] = int32(cfg.VCDepth)
 	}
-	return ni
 }
 
 // SetSink registers the delivery callback invoked when a packet's tail flit
@@ -133,7 +133,7 @@ func (ni *NI) commitCredits(now uint64) {
 	ni.scratchC = ni.toRouter.dueCredits(now, ni.scratchC)
 	for _, ev := range ni.scratchC {
 		ni.outCredits[ev.vc]++
-		if ni.outCredits[ev.vc] > ni.cfg.VCDepth {
+		if int(ni.outCredits[ev.vc]) > ni.cfg.VCDepth {
 			panic(fmt.Sprintf("noc: NI %d credit overflow on vc %d", ni.node, ev.vc))
 		}
 		if ev.freeVC {
@@ -168,9 +168,13 @@ func (ni *NI) inject(now uint64, sh *tickShard) {
 		}
 		idx := 0
 		if ni.cfg.Priority {
+			// Key order is Compare order (core.TestKeyOrderMatchesCompare);
+			// strict > keeps the first-enqueued packet on ties, exactly as
+			// the rule-chain comparison did.
+			bestKey := ni.queues[vn][0].Prio.Key()
 			for i := 1; i < len(ni.queues[vn]); i++ {
-				if core.Compare(ni.queues[vn][i].Prio, ni.queues[vn][idx].Prio) > 0 {
-					idx = i
+				if k := ni.queues[vn][i].Prio.Key(); k > bestKey {
+					idx, bestKey = i, k
 				}
 			}
 		}
@@ -191,7 +195,7 @@ func (ni *NI) inject(now uint64, sh *tickShard) {
 			best = vn
 			continue
 		}
-		if ni.cfg.Priority && core.Compare(st.pkt.Prio, ni.active[best].pkt.Prio) > 0 {
+		if ni.cfg.Priority && st.pkt.Prio.Key() > ni.active[best].pkt.Prio.Key() {
 			best = vn
 		}
 	}

@@ -1,38 +1,73 @@
 package noc
 
-// Sharded two-phase tick executor.
+// Sharded fused-tick executor.
 //
 // Within one cycle, routers interact with each other only through link
-// events that are committed in *later* cycles, so every per-cycle phase of
-// Network.Tick that touches routers or injection is data-parallel across
-// nodes. The executor partitions the node range into contiguous spatial
-// shards (router i and NI i always share a shard) and runs the two heavy
-// phases on a persistent par.Pool:
+// events that are committed in *later* cycles (every sender stamps
+// now+LinkLatency, latency >= 1), so every per-cycle phase of Network.Tick
+// that touches routers or injection is data-parallel across nodes. The
+// executor partitions the node range into contiguous spatial shards
+// (router i and NI i always share a shard) and runs the heavy phases on a
+// persistent par.Pool.
 //
-//   - the link drain (phase 1): each shard drains the pending links whose
-//     receiving router it owns;
-//   - router allocation + NI injection (phases 4+5): each shard ticks its
-//     active routers and injecting NIs. The two phases are mutually
-//     independent — allocation never reads injection state and vice versa
-//     — so they share one fork-join barrier.
+// The fused path (no observer attached) runs ONE fork-join barrier per
+// cycle. Each shard worker, over its own node range, performs: link drain
+// -> router allocation/traversal -> NI injection. The dependence analysis
+// that allows the fusion is per link: a link may be drained inside a shard
+// only when BOTH of its endpoints map to that shard, because draining a
+// link's queue (takeDue*, a swap) races with the sends its remote endpoint
+// issues during the same barrier (the flit sender appends during router
+// traversal / NI injection; the credit sender appends during traversal /
+// ejection-credit returns). Links whose endpoints straddle a shard
+// boundary are instead pre-drained by the dispatching goroutine before the
+// barrier — sequential semantics, direct shared accounting — so the
+// workers never touch a queue another worker can append to. NI local
+// links (src == dst) are local by construction, and on a W x H mesh with
+// contiguous shards only the O(W) links crossing each boundary row pay
+// the central pre-drain.
+//
+// Reordering the NI-eject and loopback phases ahead of the link drain
+// (the sequential engine drains links first) is byte-identical: all link
+// events are future-dated at send, so the drain only commits events from
+// earlier cycles and can never make new work due in the current one. The
+// two phases write disjoint state (router VC/credit state vs NI state);
+// their only shared touches — the activity counter, niEvents, and the
+// niActive bitmap — are commuting counter increments and idempotent bit
+// sets. The one coupling, a drop-marked arrival crediting its slot back
+// upstream onto an NI-consumed link, produces a future-dated event that
+// neither order can consume this cycle.
+//
+// A worker that skips the router phase is also byte-identical even when
+// its own drain buffers new flits: an arrival enqueued at `now` fails
+// every allocator's staging test (now > headEnq), and vcRouted implies a
+// buffered head, so a router whose flits all arrived this cycle provably
+// does nothing when ticked. The dispatcher therefore evaluates the
+// router-phase gate after the central pre-drain without loss.
 //
 // Workers compute against cycle-start state and apply all *node-local*
-// effects immediately (VC buffers, credit counts, link queues — each link
-// has exactly one flit sender and one credit sender, so its queue appends
-// are private to the owning worker). Every *shared* side effect is instead
-// recorded in the worker's tickShard and replayed by the dispatching
-// goroutine in ascending shard order once the barrier completes: the
-// activity/routerFlits/queuedPkts counters, the routerActive/niActive/
-// niInject bitmaps (their 64-node words span shard boundaries), and the
-// pendFlits/pendCredits registration lists. Pending-list order is already
-// immaterial to state evolution (each link appears at most once and
-// commits to distinct (router, port) pairs), and counter deltas and bitmap
-// bits commute, so the resulting state is byte-identical to the
-// sequential engine's — the determinism matrix in the root package holds
-// the executor to exactly that.
+// effects immediately. Every *shared* side effect is recorded in the
+// worker's tickShard and replayed by the dispatcher in ascending shard
+// order once the barrier completes: the activity/routerFlits/queuedPkts
+// counters, the routerActive/niActive/niInject bitmaps (their 64-node
+// words span shard boundaries), and the pendFlits/pendCredits
+// registration lists. Pending-list order is immaterial to state evolution
+// (each link appears at most once and commits to a distinct (router,
+// port) pair), and counter deltas and bitmap bits commute, so the
+// resulting state is byte-identical to the sequential engine's — the
+// determinism matrix in the root package holds the executor to exactly
+// that.
 //
-// The parallel phases never run with an observer attached (routers and
-// NIs emit into one shared recorder); Network.Tick gates on n.observed.
+// Because the worker's own drain can activate routers in its range while
+// the shared routerActive words are frozen for the barrier, each worker
+// ticks from a private snapshot of its words with its own 0->1
+// transitions OR-ed in — ascending id order, exactly the sequential
+// visit order.
+//
+// With an observer attached the router/NI phases stay sequential (they
+// emit into one shared recorder), but the standalone link-drain barrier
+// (drainLinksPar) is still available: no sends happen during a pure
+// drain, so every pending link is drainable concurrently, bucketed by
+// its receiving node's shard.
 
 import (
 	"math/bits"
@@ -41,7 +76,7 @@ import (
 )
 
 // tickShard is one worker's slice of the node range plus its deferred
-// shared-state effects for the current phase. All slices are retained and
+// shared-state effects for the current cycle. All slices are retained and
 // reused across cycles ([:0] reset), so steady-state parallel ticking
 // allocates nothing.
 type tickShard struct {
@@ -54,41 +89,56 @@ type tickShard struct {
 	rfDelta  int
 	qpDelta  int
 
-	// Phase 1: links that still hold events and must stay on the pending
-	// lists, and per-shard drain scratch (same swap contract as the
-	// network-wide scratch buffers).
+	// localF/localC are the pending links this shard drains this cycle,
+	// bucketed by the dispatcher (fused path: links with both endpoints in
+	// the shard; pure-drain path: links whose receiver is in the shard).
+	localF []*link
+	localC []*link
+
+	// Links that still hold events after the drain and must return to the
+	// pending lists, and per-shard drain scratch (same swap contract as
+	// the network-wide scratch buffers).
 	keepF    []*link
 	keepC    []*link
 	scratchF []flitEvent
 	scratchC []creditEvent
 
-	// Phase 1: credits owed upstream for drop-marked arrivals. The
-	// upstream side of the same link may be drained concurrently by
-	// another shard during this phase, so the sends are replayed by the
-	// dispatcher after the barrier.
+	// Credits owed upstream for drop-marked arrivals. The upstream side of
+	// the same link may be appended to concurrently by another shard
+	// during the barrier, so the sends are replayed by the dispatcher
+	// after it.
 	dropCredits []dropCredit
 
-	// Routers whose flitCount crossed 0->1 (phase 1) / 1->0 (phase 4):
+	// Routers whose flitCount crossed 0->1 (drain) / 1->0 (traversal):
 	// their routerActive bit must be set / cleared at commit.
 	nowActive []int32
 	cleared   []int32
 
-	// Links sent on this phase (one entry per sendFlitPar/sendCreditPar):
+	// Links sent on this cycle (one entry per sendFlitPar/sendCreditPar):
 	// their pending-list or NI-bitmap registration happens at commit.
 	sentF []*link
 	sentC []*link
 
-	// NIs whose QueuedPkts crossed 1->0 in phase 5: their niInject bit
-	// must be cleared at commit.
+	// NIs whose QueuedPkts crossed 1->0 during injection: their niInject
+	// bit must be cleared at commit.
 	idleNI []int32
+
+	// actWords is the worker's private view of the routerActive words
+	// covering [lo, hi): a snapshot of the shared words with this shard's
+	// own drain activations OR-ed in.
+	actWords []uint64
+
+	// alloc is this shard's private VA/SA scratch, shared by the routers
+	// the shard ticks.
+	alloc allocScratch
 
 	// Pad shards apart so neighbouring workers' delta writes do not share
 	// a cache line.
 	_ [64]byte
 }
 
-// dropCredit is a deferred phase-1 credit return for a drop-marked flit
-// arrival (see Router.commit).
+// dropCredit is a deferred drain-phase credit return for a drop-marked
+// flit arrival (see Router.commit).
 type dropCredit struct {
 	l      *link
 	vc     int
@@ -106,13 +156,20 @@ type tickExec struct {
 	// shardOf maps a node id to its owning shard.
 	shardOf []int32
 
+	// spareF/spareC are the double-buffer halves the fused dispatcher
+	// swaps with the live pending lists: the snapshot being classified
+	// must stay stable while pre-drain sends re-register links on the
+	// live (empty) lists.
+	spareF []*link
+	spareC []*link
+
 	// Per-dispatch parameters, written by the dispatching goroutine before
 	// Pool.Run and read-only during it.
 	now       uint64
 	doR, doNI bool
 
 	drainFn func(worker int)
-	nodesFn func(worker int)
+	fusedFn func(worker int)
 }
 
 // SetTickPool attaches (or with nil detaches) a worker pool for
@@ -145,7 +202,7 @@ func (n *Network) SetTickPool(p *par.Pool) {
 		}
 	}
 	e.drainFn = e.drainLinks
-	e.nodesFn = e.tickNodes
+	e.fusedFn = e.fusedShard
 	switch {
 	case n.Cfg.ParThreshold < 0:
 		n.parMinLinks, n.parMinFlits, n.parMinPkts = 0, 0, 0
@@ -162,101 +219,87 @@ func (n *Network) SetTickPool(p *par.Pool) {
 	n.exec = e
 }
 
-// drainLinksPar is the parallel form of Tick phase 1: shard workers drain
-// the pending links owned by their routers, then the dispatcher rebuilds
-// the pending lists and folds the deferred effects in shard order.
-func (n *Network) drainLinksPar(now uint64) {
-	e := n.exec
-	e.now = now
-	e.pool.Run(e.drainFn)
-	n.pendFlits = n.pendFlits[:0]
-	n.pendCredits = n.pendCredits[:0]
-	for i := range e.shards {
-		sh := &e.shards[i]
-		n.activity += sh.actDelta
-		n.routerFlits += sh.rfDelta
-		sh.actDelta, sh.rfDelta = 0, 0
-		for _, id := range sh.nowActive {
-			n.routerActive[id>>6] |= 1 << uint(id&63)
-		}
-		sh.nowActive = sh.nowActive[:0]
-		n.pendFlits = append(n.pendFlits, sh.keepF...)
-		n.pendCredits = append(n.pendCredits, sh.keepC...)
-		sh.keepF = sh.keepF[:0]
-		sh.keepC = sh.keepC[:0]
-		// Replay the deferred drop-credit returns. Credit commits are
-		// commutative (counter increments plus idempotent flag clears), so
-		// shard order yields the same state as the sequential in-drain
-		// sends; the pending-list registration inside sendCredit is guarded
-		// by creditQueued, so links kept above are not re-registered.
-		for _, dc := range sh.dropCredits {
-			dc.l.sendCredit(dc.vc, dc.freeVC, dc.at)
-		}
-		sh.dropCredits = sh.dropCredits[:0]
-	}
+// shardLocal reports whether l's two endpoints map to the same shard —
+// the fused-phase dependence rule — and, when they do, which shard owns
+// it. The satellite classification test cross-checks this against a
+// brute-force membership scan.
+func (e *tickExec) shardLocal(l *link) (int32, bool) {
+	s := e.shardOf[l.srcNode]
+	return s, s == e.shardOf[l.dstNode]
 }
 
-// drainLinks is the phase-1 shard worker: commit due flit and credit
-// events on every pending link whose receiving router lies in this shard.
-// flitQueued/creditQueued are per-link and each link has exactly one
-// owning shard, so clearing them here is race-free.
-func (e *tickExec) drainLinks(worker int) {
-	if worker >= len(e.shards) {
-		return
-	}
-	sh := &e.shards[worker]
-	n := e.net
-	now := e.now
-	for _, l := range n.pendFlits {
-		if e.shardOf[l.flitRecv.id] != sh.id {
-			continue
-		}
-		if l.flits[0].at <= now {
-			var taken int
-			sh.scratchF, taken = l.takeDueFlits(now, sh.scratchF)
-			sh.actDelta -= taken
-			l.flitRecv.commit(now, sh.scratchF, l.flitDir, sh)
-		}
-		if len(l.flits) > 0 {
-			sh.keepF = append(sh.keepF, l)
-		} else {
-			l.flitQueued = false
-		}
-	}
-	for _, l := range n.pendCredits {
-		if e.shardOf[l.creditRecv.id] != sh.id {
+// tickFused runs Tick phases 1+4+5 under one barrier: the dispatcher
+// classifies the pending links — shard-local ones are bucketed for their
+// owning worker, boundary-crossing ones are pre-drained centrally — then
+// every shard drains, allocates/traverses and injects over its own node
+// range, and the deferred shared effects fold back in ascending shard
+// order. Callers must run the NI-eject and loopback phases first (see the
+// package comment for why that reordering is byte-identical).
+func (n *Network) tickFused(now uint64) {
+	e := n.exec
+	e.now = now
+	// Swap the pending lists aside: the snapshot below must stay stable
+	// while cross-shard pre-drain sends (drop-credit returns) re-register
+	// links on the live lists through the usual queued guards.
+	pf, pc := n.pendFlits, n.pendCredits
+	n.pendFlits, e.spareF = e.spareF[:0], pf
+	n.pendCredits, e.spareC = e.spareC[:0], pc
+	// Credits first: commitCredits never sends, so the live credit list
+	// only grows once the flit pass below starts issuing drop credits —
+	// each lands exactly once, on the live list or via its queued guard.
+	for _, l := range pc {
+		if s, local := e.shardLocal(l); local {
+			sh := &e.shards[s]
+			sh.localC = append(sh.localC, l)
 			continue
 		}
 		if l.credits[0].at <= now {
-			var taken int
-			sh.scratchC, taken = l.takeDueCredits(now, sh.scratchC)
-			sh.actDelta -= taken
-			l.creditRecv.commitCredits(sh.scratchC, l.creditDir)
+			n.scratchC = l.dueCredits(now, n.scratchC)
+			l.creditRecv.commitCredits(n.scratchC, l.creditDir)
 		}
 		if len(l.credits) > 0 {
-			sh.keepC = append(sh.keepC, l)
+			n.pendCredits = append(n.pendCredits, l)
 		} else {
 			l.creditQueued = false
 		}
 	}
-}
-
-// tickNodesPar is the parallel form of Tick phases 4+5: shard workers run
-// router allocation/traversal and NI injection over their node ranges,
-// then the dispatcher folds counters, bitmap transitions and link
-// registrations in shard order.
-func (n *Network) tickNodesPar(now uint64) {
-	e := n.exec
-	e.now = now
+	for _, l := range pf {
+		if s, local := e.shardLocal(l); local {
+			sh := &e.shards[s]
+			sh.localF = append(sh.localF, l)
+			continue
+		}
+		if l.flits[0].at <= now {
+			n.scratchF = l.dueFlits(now, n.scratchF)
+			l.flitRecv.commit(now, n.scratchF, l.flitDir, nil)
+		}
+		if len(l.flits) > 0 {
+			n.pendFlits = append(n.pendFlits, l)
+		} else {
+			l.flitQueued = false
+		}
+	}
+	// Phase gates, evaluated after the central pre-drain. Arrivals from
+	// the in-shard drains can still activate routers, but a router whose
+	// flits all arrived this cycle ticks to a provable no-op, so the gate
+	// needs no second look.
 	e.doR = n.routerFlits > 0
 	e.doNI = n.queuedPkts > 0
-	e.pool.Run(e.nodesFn)
+	e.pool.Run(e.fusedFn)
+	// Ordered commit: fold every shard's deferred shared effects in
+	// ascending shard order. Within a shard, drain activations (0->1)
+	// apply before traversal clearings (1->0), matching the sequential
+	// within-cycle sequence for a router that did both.
 	for i := range e.shards {
 		sh := &e.shards[i]
 		n.activity += sh.actDelta
 		n.routerFlits += sh.rfDelta
 		n.queuedPkts += sh.qpDelta
 		sh.actDelta, sh.rfDelta, sh.qpDelta = 0, 0, 0
+		for _, id := range sh.nowActive {
+			n.routerActive[id>>6] |= 1 << uint(id&63)
+		}
+		sh.nowActive = sh.nowActive[:0]
 		for _, id := range sh.cleared {
 			n.routerActive[id>>6] &^= 1 << uint(id&63)
 		}
@@ -265,6 +308,20 @@ func (n *Network) tickNodesPar(now uint64) {
 			n.niInject[id>>6] &^= 1 << uint(id&63)
 		}
 		sh.idleNI = sh.idleNI[:0]
+		n.pendFlits = append(n.pendFlits, sh.keepF...)
+		n.pendCredits = append(n.pendCredits, sh.keepC...)
+		sh.keepF = sh.keepF[:0]
+		sh.keepC = sh.keepC[:0]
+		// Replay the deferred drop-credit returns. Credit commits are
+		// commutative (counter increments plus idempotent flag clears), so
+		// shard order yields the same state as in-drain sends; the
+		// pending-list registration inside sendCredit is guarded by
+		// creditQueued, so links already on the live list are not
+		// re-registered.
+		for _, dc := range sh.dropCredits {
+			dc.l.sendCredit(dc.vc, dc.freeVC, dc.at)
+		}
+		sh.dropCredits = sh.dropCredits[:0]
 		for _, l := range sh.sentF {
 			if l.flitRecv != nil {
 				if !l.flitQueued {
@@ -292,23 +349,61 @@ func (n *Network) tickNodesPar(now uint64) {
 	}
 }
 
-// tickNodes is the phases-4+5 shard worker: tick the active routers and
-// injecting NIs of this shard's node range, in ascending id order (bitmap
-// iteration masked to [lo, hi)). Nothing writes the shared bitmaps during
-// the parallel phase — all transitions are deferred — so reading word
-// snapshots is safe.
-func (e *tickExec) tickNodes(worker int) {
+// fusedShard is the one-barrier worker: drain this shard's local links,
+// tick its active routers from the private bitmap view, then inject on
+// its NIs — the same phase order as the sequential engine from this
+// shard's point of view.
+func (e *tickExec) fusedShard(worker int) {
 	if worker >= len(e.shards) {
 		return
 	}
 	sh := &e.shards[worker]
 	n := e.net
 	now := e.now
+	for _, l := range sh.localC {
+		if l.credits[0].at <= now {
+			var taken int
+			sh.scratchC, taken = l.takeDueCredits(now, sh.scratchC)
+			sh.actDelta -= taken
+			l.creditRecv.commitCredits(sh.scratchC, l.creditDir)
+		}
+		if len(l.credits) > 0 {
+			sh.keepC = append(sh.keepC, l)
+		} else {
+			l.creditQueued = false
+		}
+	}
+	sh.localC = sh.localC[:0]
+	for _, l := range sh.localF {
+		if l.flits[0].at <= now {
+			var taken int
+			sh.scratchF, taken = l.takeDueFlits(now, sh.scratchF)
+			sh.actDelta -= taken
+			l.flitRecv.commit(now, sh.scratchF, l.flitDir, sh)
+		}
+		if len(l.flits) > 0 {
+			sh.keepF = append(sh.keepF, l)
+		} else {
+			l.flitQueued = false
+		}
+	}
+	sh.localF = sh.localF[:0]
 	if e.doR {
-		for w := sh.lo >> 6; w<<6 < sh.hi; w++ {
-			word := maskToRange(n.routerActive[w], w<<6, sh.lo, sh.hi)
+		// Tick from a private snapshot of the routerActive words covering
+		// [lo, hi), with this shard's own drain activations OR-ed in: the
+		// shared words are frozen during the barrier, and ascending bit
+		// iteration reproduces the sequential visit order.
+		w0 := sh.lo >> 6
+		w1 := (sh.hi + 63) >> 6
+		words := append(sh.actWords[:0], n.routerActive[w0:w1]...)
+		sh.actWords = words
+		for _, id := range sh.nowActive {
+			words[int(id)>>6-w0] |= 1 << uint(id&63)
+		}
+		for w := w0; w < w1; w++ {
+			word := maskToRange(words[w-w0], w<<6, sh.lo, sh.hi)
 			for ; word != 0; word &= word - 1 {
-				n.Routers[w<<6|bits.TrailingZeros64(word)].tick(now, sh)
+				n.Routers[w<<6|bits.TrailingZeros64(word)].tick(now, sh, &sh.alloc)
 			}
 		}
 	}
@@ -320,6 +415,86 @@ func (e *tickExec) tickNodes(worker int) {
 			}
 		}
 	}
+}
+
+// drainLinksPar is the standalone parallel link drain used when an
+// observer keeps the router/NI phases sequential: no sends happen during
+// a pure drain, so every pending link is drainable concurrently, bucketed
+// by the shard of its receiving node. The dispatcher then rebuilds the
+// pending lists and folds the deferred effects in shard order.
+func (n *Network) drainLinksPar(now uint64) {
+	e := n.exec
+	e.now = now
+	for _, l := range n.pendFlits {
+		sh := &e.shards[e.shardOf[l.dstNode]]
+		sh.localF = append(sh.localF, l)
+	}
+	for _, l := range n.pendCredits {
+		sh := &e.shards[e.shardOf[l.srcNode]]
+		sh.localC = append(sh.localC, l)
+	}
+	e.pool.Run(e.drainFn)
+	n.pendFlits = n.pendFlits[:0]
+	n.pendCredits = n.pendCredits[:0]
+	for i := range e.shards {
+		sh := &e.shards[i]
+		n.activity += sh.actDelta
+		n.routerFlits += sh.rfDelta
+		sh.actDelta, sh.rfDelta = 0, 0
+		for _, id := range sh.nowActive {
+			n.routerActive[id>>6] |= 1 << uint(id&63)
+		}
+		sh.nowActive = sh.nowActive[:0]
+		n.pendFlits = append(n.pendFlits, sh.keepF...)
+		n.pendCredits = append(n.pendCredits, sh.keepC...)
+		sh.keepF = sh.keepF[:0]
+		sh.keepC = sh.keepC[:0]
+		// Same drop-credit replay contract as the fused commit.
+		for _, dc := range sh.dropCredits {
+			dc.l.sendCredit(dc.vc, dc.freeVC, dc.at)
+		}
+		sh.dropCredits = sh.dropCredits[:0]
+	}
+}
+
+// drainLinks is the pure-drain shard worker: commit due flit and credit
+// events on the links the dispatcher bucketed for this shard.
+// flitQueued/creditQueued are per-link and each link lands in exactly one
+// bucket per event kind, so clearing them here is race-free.
+func (e *tickExec) drainLinks(worker int) {
+	if worker >= len(e.shards) {
+		return
+	}
+	sh := &e.shards[worker]
+	now := e.now
+	for _, l := range sh.localF {
+		if l.flits[0].at <= now {
+			var taken int
+			sh.scratchF, taken = l.takeDueFlits(now, sh.scratchF)
+			sh.actDelta -= taken
+			l.flitRecv.commit(now, sh.scratchF, l.flitDir, sh)
+		}
+		if len(l.flits) > 0 {
+			sh.keepF = append(sh.keepF, l)
+		} else {
+			l.flitQueued = false
+		}
+	}
+	sh.localF = sh.localF[:0]
+	for _, l := range sh.localC {
+		if l.credits[0].at <= now {
+			var taken int
+			sh.scratchC, taken = l.takeDueCredits(now, sh.scratchC)
+			sh.actDelta -= taken
+			l.creditRecv.commitCredits(sh.scratchC, l.creditDir)
+		}
+		if len(l.credits) > 0 {
+			sh.keepC = append(sh.keepC, l)
+		} else {
+			l.creditQueued = false
+		}
+	}
+	sh.localC = sh.localC[:0]
 }
 
 // maskToRange restricts a bitmap word whose bit 0 represents node `base`

@@ -11,7 +11,18 @@ import (
 	"repro/internal/sim"
 )
 
-// runSignature drives a multi-generation ping-pong workload on a 4x4 mesh
+// sigParams describes one runSignature configuration.
+type sigParams struct {
+	w, h         int
+	prio         bool
+	workers      int
+	parThreshold int
+	flows        int // injection flows opened per node
+	generations  int // ping-pong bounces per delivered packet
+	rec          *obs.Recorder
+}
+
+// runSignature drives a multi-generation ping-pong workload on a WxH mesh
 // and returns a textual signature of everything observable: the exact
 // delivery sequence (order, cycle, hops, latency per packet), the final
 // network statistics, and per-router/per-NI counters. Two runs are
@@ -21,20 +32,20 @@ import (
 // the sim.TickPoolUser forwarding); parThreshold is Config.ParThreshold;
 // rec optionally attaches an observer (which must force the router/NI
 // phases sequential without changing results).
-func runSignature(t *testing.T, prio bool, workers, parThreshold int, rec *obs.Recorder) string {
+func runSignature(t *testing.T, p sigParams) string {
 	t.Helper()
-	cfg := testConfig(4, 4, prio)
-	cfg.ParThreshold = parThreshold
+	cfg := testConfig(p.w, p.h, p.prio)
+	cfg.ParThreshold = p.parThreshold
 	n := MustNetwork(cfg)
-	if rec != nil {
-		n.SetObserver(rec)
+	if p.rec != nil {
+		n.SetObserver(p.rec)
 	}
 
 	var sb strings.Builder
 	// Each delivery bounces a response back to the sender for a fixed
 	// number of generations, so the network stays loaded across many
 	// cycles and the parallel phases engage repeatedly at varying load.
-	const generations = 3
+	generations := p.generations
 	for i := 0; i < cfg.Nodes(); i++ {
 		node := i
 		n.SetSink(node, func(now uint64, pkt *Packet) {
@@ -51,8 +62,8 @@ func runSignature(t *testing.T, prio bool, workers, parThreshold int, rec *obs.R
 
 	e := sim.NewEngine()
 	e.Register(n)
-	if workers > 1 {
-		pool := par.NewPool(workers)
+	if p.workers > 1 {
+		pool := par.NewPool(p.workers)
 		defer pool.Close()
 		e.SetTickPool(pool)
 		defer e.SetTickPool(nil)
@@ -61,7 +72,7 @@ func runSignature(t *testing.T, prio bool, workers, parThreshold int, rec *obs.R
 	// Seed-driven all-to-some traffic: every node opens several flows.
 	rng := sim.NewRNG(23)
 	for s := 0; s < cfg.Nodes(); s++ {
-		for k := 0; k < 12; k++ {
+		for k := 0; k < p.flows; k++ {
 			d := rng.Intn(cfg.Nodes())
 			if d == s {
 				continue
@@ -72,7 +83,7 @@ func runSignature(t *testing.T, prio bool, workers, parThreshold int, rec *obs.R
 				class = ClassCtrl
 			}
 			pkt := n.NewPacket(s, d, class, vn, 0)
-			if prio && k%4 == 0 {
+			if p.prio && k%4 == 0 {
 				pkt.Class = ClassLock
 				pkt.Prio = core.Priority{Check: true, Class: uint8(k % 8), Prog: uint16(s % 4)}
 			}
@@ -83,10 +94,10 @@ func runSignature(t *testing.T, prio bool, workers, parThreshold int, rec *obs.R
 	e.MaxCycles = 500000
 	end := e.RunUntil(func() bool { return !n.Busy() })
 	if n.Busy() {
-		t.Fatalf("network not drained (prio=%v workers=%d thr=%d)", prio, workers, parThreshold)
+		t.Fatalf("network not drained (prio=%v workers=%d thr=%d)", p.prio, p.workers, p.parThreshold)
 	}
 	if n.Busy() != n.scanBusy() {
-		t.Fatalf("Busy()/scanBusy() disagree at end (workers=%d)", workers)
+		t.Fatalf("Busy()/scanBusy() disagree at end (workers=%d)", p.workers)
 	}
 
 	fmt.Fprintf(&sb, "end=%d injected=%v delivered=%v flits=%d local=%d\n",
@@ -106,8 +117,8 @@ func runSignature(t *testing.T, prio bool, workers, parThreshold int, rec *obs.R
 }
 
 // TestParallelTickMatchesSequential is the executor's core guarantee: for
-// every worker count, threshold setting and arbitration policy, the
-// sharded two-phase tick executor produces a byte-identical simulation to
+// every worker count, threshold setting and arbitration policy, the fused
+// single-barrier tick executor produces a byte-identical simulation to
 // the plain sequential path. ParThreshold -1 forces the parallel phases
 // on for every non-empty cycle (the 4x4 test mesh would otherwise stay
 // under the default work thresholds); 0 keeps the defaults so threshold
@@ -115,14 +126,37 @@ func runSignature(t *testing.T, prio bool, workers, parThreshold int, rec *obs.R
 // exercised too.
 func TestParallelTickMatchesSequential(t *testing.T) {
 	for _, prio := range []bool{false, true} {
-		ref := runSignature(t, prio, 1, 0, nil)
+		ref := runSignature(t, sigParams{w: 4, h: 4, prio: prio, workers: 1, flows: 12, generations: 3})
 		for _, workers := range []int{2, 3, 4, 8} {
 			for _, thr := range []int{-1, 0, 4} {
-				got := runSignature(t, prio, workers, thr, nil)
+				got := runSignature(t, sigParams{w: 4, h: 4, prio: prio, workers: workers,
+					parThreshold: thr, flows: 12, generations: 3})
 				if got != ref {
 					t.Fatalf("prio=%v workers=%d thr=%d diverged from sequential:\nref %d bytes, got %d bytes",
 						prio, workers, thr, len(ref), len(got))
 				}
+			}
+		}
+	}
+}
+
+// TestParallelTickMatchesSequentialLarge repeats the identity check on a
+// 32x32 mesh — large enough that shards span multiple routerActive words,
+// the default work thresholds engage without forcing, and cross-shard
+// boundary links are plentiful. The workload is lighter per node to keep
+// the matrix fast.
+func TestParallelTickMatchesSequentialLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32x32 identity matrix skipped in -short")
+	}
+	ref := runSignature(t, sigParams{w: 32, h: 32, prio: true, workers: 1, flows: 3, generations: 2})
+	for _, workers := range []int{2, 4} {
+		for _, thr := range []int{-1, 0} {
+			got := runSignature(t, sigParams{w: 32, h: 32, prio: true, workers: workers,
+				parThreshold: thr, flows: 3, generations: 2})
+			if got != ref {
+				t.Fatalf("32x32 workers=%d thr=%d diverged from sequential:\nref %d bytes, got %d bytes",
+					workers, thr, len(ref), len(got))
 			}
 		}
 	}
@@ -135,9 +169,10 @@ func TestParallelTickMatchesSequential(t *testing.T) {
 // sequential observed run.
 func TestParallelTickWithObserver(t *testing.T) {
 	recSeq := obs.NewRecorder(1 << 20)
-	ref := runSignature(t, true, 1, 0, recSeq)
+	ref := runSignature(t, sigParams{w: 4, h: 4, prio: true, workers: 1, flows: 12, generations: 3, rec: recSeq})
 	recPar := obs.NewRecorder(1 << 20)
-	got := runSignature(t, true, 4, -1, recPar)
+	got := runSignature(t, sigParams{w: 4, h: 4, prio: true, workers: 4, parThreshold: -1,
+		flows: 12, generations: 3, rec: recPar})
 	if got != ref {
 		t.Fatal("observed parallel run diverged from observed sequential run")
 	}
@@ -194,6 +229,97 @@ func TestSetTickPoolSharding(t *testing.T) {
 			t.Fatal("single-worker pool must not attach an executor")
 		}
 		pool.Close()
+	}
+}
+
+// meshLinks collects every distinct link of a network: the four neighbour
+// directions of every router plus both NI local links.
+func meshLinks(n *Network) []*link {
+	seen := make(map[*link]bool)
+	var links []*link
+	add := func(l *link) {
+		if l != nil && !seen[l] {
+			seen[l] = true
+			links = append(links, l)
+		}
+	}
+	for _, r := range n.Routers {
+		for d := Dir(0); d < NumDirs; d++ {
+			add(r.inLink[d])
+			add(r.outLink[d])
+		}
+	}
+	for _, ni := range n.NIs {
+		add(ni.toRouter)
+		add(ni.fromRouter)
+	}
+	return links
+}
+
+// TestFusedShardLinkClassification pins the fused-phase dependence rule:
+// for every link of several mesh sizes and shard counts, shardLocal must
+// agree with a brute-force membership scan of the shard ranges — a link
+// is drainable inside a shard iff both its endpoint nodes fall in that
+// shard's [lo, hi) range. It also checks the structural consequences the
+// executor relies on: NI local links are always shard-local, and on a
+// contiguous row-major partition only links crossing a shard boundary are
+// classified for the central pre-drain.
+func TestFusedShardLinkClassification(t *testing.T) {
+	for _, tc := range []struct{ w, h int }{{4, 4}, {8, 8}, {32, 32}} {
+		n := MustNetwork(testConfig(tc.w, tc.h, false))
+		for _, workers := range []int{2, 3, 4, 7, 8} {
+			pool := par.NewPool(workers)
+			n.SetTickPool(pool)
+			e := n.exec
+			// bruteShard finds the shard whose range contains the node by
+			// scanning all ranges, independently of shardOf.
+			bruteShard := func(node int32) int32 {
+				for i := range e.shards {
+					if int(node) >= e.shards[i].lo && int(node) < e.shards[i].hi {
+						return int32(i)
+					}
+				}
+				t.Fatalf("%dx%d workers=%d: node %d in no shard", tc.w, tc.h, workers, node)
+				return -1
+			}
+			var local, cross int
+			for _, l := range meshLinks(n) {
+				ss, ds := bruteShard(l.srcNode), bruteShard(l.dstNode)
+				gotShard, gotLocal := e.shardLocal(l)
+				if wantLocal := ss == ds; gotLocal != wantLocal {
+					t.Fatalf("%dx%d workers=%d link %d->%d: shardLocal=%v, brute force says %v",
+						tc.w, tc.h, workers, l.srcNode, l.dstNode, gotLocal, wantLocal)
+				}
+				if gotLocal {
+					local++
+					if gotShard != ss {
+						t.Fatalf("%dx%d workers=%d link %d->%d: owner shard %d, want %d",
+							tc.w, tc.h, workers, l.srcNode, l.dstNode, gotShard, ss)
+					}
+					continue
+				}
+				cross++
+				if l.srcNode == l.dstNode {
+					t.Fatalf("%dx%d workers=%d: NI local link at node %d classified cross-shard",
+						tc.w, tc.h, workers, l.srcNode)
+				}
+			}
+			if cross == 0 {
+				t.Fatalf("%dx%d workers=%d: no cross-shard links — partition degenerate", tc.w, tc.h, workers)
+			}
+			// Contiguity bound: a directed neighbour link crosses iff the
+			// boundary between consecutive shards separates its endpoints;
+			// with S shards there are S-1 boundaries and each is crossed by
+			// at most 2*(width+1) directed links (the row-spanning vertical
+			// pairs plus at most one horizontal pair when a boundary splits
+			// a row).
+			if max := (len(e.shards) - 1) * 2 * (tc.w + 1); cross > max {
+				t.Fatalf("%dx%d workers=%d: %d cross-shard links exceeds boundary bound %d",
+					tc.w, tc.h, workers, cross, max)
+			}
+			n.SetTickPool(nil)
+			pool.Close()
+		}
 	}
 }
 

@@ -19,44 +19,65 @@ const (
 )
 
 // vcBuf is one input virtual channel: a fixed-capacity ring FIFO of flits
-// (backing storage allocated once at VCDepth and reused across packets)
-// plus the per-packet pipeline state.
+// (backing storage carved from a network-wide arena, reused across packets)
+// plus the per-packet pipeline state. The struct is deliberately 48 bytes —
+// narrow index fields and a byte-sized direction — so a port's VC array
+// spans a third fewer cache lines than the naive word-per-field layout;
+// the allocators sweep these structures every cycle.
 type vcBuf struct {
-	flits  []flit // ring storage; len == VCDepth
-	hd     int    // index of the oldest flit
-	n      int    // occupied slots
-	state  vcState
-	outDir Dir
-	outVC  int
+	flits []flit // ring storage; len == VCDepth
 	// headEnq mirrors head().enqueuedAt: the allocators test staging
 	// eligibility on every VC every cycle, and reading it here spares them
 	// the flits-ring indirection on their hottest line.
 	headEnq uint64
+	// headKey caches head().pkt.Prio.Key(). A VC holds at most one packet
+	// at a time (head flits only enter idle VCs; tails leave them empty),
+	// and a packet's priority word is immutable once the NI accepts it, so
+	// the key set at push time stays valid for the whole occupancy. The
+	// priority allocators compare this one integer instead of chasing
+	// vcBuf -> flit -> packet on every candidate scan. headVNet caches the
+	// occupying packet's virtual network under the same invariant, for the
+	// VC-range lookup in tryAssignVC.
+	headKey  uint32
+	hd       int32 // index of the oldest flit
+	n        int32 // occupied slots
+	state    vcState
+	outDir   Dir
+	outVC    uint8
+	headVNet uint8
 }
 
 func (v *vcBuf) head() *flit { return &v.flits[v.hd] }
 
 func (v *vcBuf) push(f flit) {
-	i := v.hd + v.n
+	i := int(v.hd + v.n)
 	if i >= len(v.flits) {
 		i -= len(v.flits)
 	}
 	v.flits[i] = f
 	if v.n == 0 {
 		v.headEnq = f.enqueuedAt
+		v.headKey = f.pkt.Prio.Key()
+		v.headVNet = uint8(f.pkt.VNet)
 	}
 	v.n++
 }
 
 func (v *vcBuf) pop() flit {
+	// The popped slot keeps its stale flit value (including the packet
+	// pointer) instead of being zeroed: the census and the allocators only
+	// ever read the occupied window [hd, hd+n), so stale slots are never
+	// interpreted, and the retention is bounded at one packet per buffer
+	// slot (pooled packets are slab-resident anyway). Skipping the 24-byte
+	// clear is a measurable win on the traversal path.
 	f := v.flits[v.hd]
-	v.flits[v.hd] = flit{} // drop the packet reference
 	v.hd++
-	if v.hd == len(v.flits) {
+	if int(v.hd) == len(v.flits) {
 		v.hd = 0
 	}
 	v.n--
 	if v.n > 0 {
+		// Same packet as the popped flit, so headKey is already right.
 		v.headEnq = v.flits[v.hd].enqueuedAt
 	}
 	return f
@@ -64,9 +85,12 @@ func (v *vcBuf) pop() flit {
 
 // outPort is the upstream view of a downstream input port: credit counts
 // and VC allocation flags, plus the round-robin pointers used for
-// tie-breaking in VA and SA at this output.
+// tie-breaking in VA and SA at this output. Credit counters are int32 —
+// they never exceed VCDepth — so a port's whole credit array fits in half
+// the cache lines; both slices are carved from network-wide node-major
+// arenas rather than per-router allocations.
 type outPort struct {
-	credits []int
+	credits []int32
 	alloc   []bool
 	vaPtr   int
 	saPtr   int
@@ -90,9 +114,13 @@ type Router struct {
 	x, y int
 	// vcs and prio cache cfg.VCs and cfg.Priority: the allocators read them
 	// per VC per cycle, and a direct field load avoids re-chasing the shared
-	// config pointer on the hottest loops (vc() in particular).
+	// config pointer on the hottest loops (vc() in particular). vcLo/vcHi
+	// cache cfg.VCRange per virtual network so tryAssignVC skips both the
+	// packet-pointer chase and the range arithmetic on every grant attempt.
 	vcs  int
 	prio bool
+	vcLo [NumVNets]uint8
+	vcHi [NumVNets]uint8
 
 	// in holds every input VC in one contiguous value slice (port-major:
 	// port d's VCs are in[d*VCs:(d+1)*VCs], accessed via vc(d, v)), with
@@ -150,13 +178,6 @@ type Router struct {
 	// faults, when non-nil, can freeze this router for whole cycles
 	// (Network.SetFaults wires it). Nil is the zero-cost default.
 	faults *fault.Injector
-
-	// scratch buffers reused across cycles to avoid allocation. vaPerOut
-	// groups VA requests by output direction in a single input scan;
-	// vaPrios caches head-flit priorities for the priority VA arbiter.
-	vaPerOut [NumDirs][]vaReq
-	vaPrios  []core.Priority
-	saCands  []saCand
 }
 
 type vaReq struct {
@@ -169,25 +190,45 @@ type saCand struct {
 	vc  int
 }
 
-func newRouter(cfg *Config, id int, act, rf *int, activeSet []uint64) *Router {
-	r := &Router{cfg: cfg, id: id, act: act, rf: rf, activeSet: activeSet, vcs: cfg.VCs, prio: cfg.Priority}
+// allocScratch holds the VA/SA scratch buffers reused across cycles to
+// avoid allocation: vaPerOut groups VA requests by output direction in a
+// single input scan; vaKeys caches head-flit priority keys for the priority
+// VA arbiter. The scratch lives per execution context — one for the
+// sequential Network, one per shard — instead of per router, so a mesh of
+// N routers carries one warm working set through the allocation sweep
+// rather than N cold ones.
+type allocScratch struct {
+	vaPerOut [NumDirs][]vaReq
+	vaKeys   []uint32
+	saCands  []saCand
+}
+
+// initRouter initialises a slab-allocated Router in place. The hot per-VC
+// state — the vcBuf array, the flit rings and the output-port credit and
+// allocation arrays — is carved from the caller's network-wide node-major
+// arenas, so consecutive routers' working sets are contiguous in memory:
+// in has NumDirs*VCs entries, rings NumDirs*VCs*VCDepth, credits and
+// allocs NumDirs*VCs each.
+func initRouter(r *Router, cfg *Config, id int, act, rf *int, activeSet []uint64,
+	in []vcBuf, rings []flit, credits []int32, allocs []bool) {
+	*r = Router{cfg: cfg, id: id, act: act, rf: rf, activeSet: activeSet, vcs: cfg.VCs, prio: cfg.Priority}
 	r.x, r.y = cfg.XY(id)
-	r.in = make([]vcBuf, int(NumDirs)*cfg.VCs)
-	rings := make([]flit, len(r.in)*cfg.VCDepth)
+	for vn := 0; vn < NumVNets; vn++ {
+		lo, hi := cfg.VCRange(vn)
+		r.vcLo[vn], r.vcHi[vn] = uint8(lo), uint8(hi)
+	}
+	r.in = in[: int(NumDirs)*cfg.VCs : int(NumDirs)*cfg.VCs]
 	for i := range r.in {
 		r.in[i].flits = rings[i*cfg.VCDepth : (i+1)*cfg.VCDepth : (i+1)*cfg.VCDepth]
 	}
-	credits := make([]int, int(NumDirs)*cfg.VCs)
-	allocs := make([]bool, int(NumDirs)*cfg.VCs)
 	for d := Dir(0); d < NumDirs; d++ {
 		op := &r.out[d]
 		op.credits = credits[int(d)*cfg.VCs : (int(d)+1)*cfg.VCs : (int(d)+1)*cfg.VCs]
 		op.alloc = allocs[int(d)*cfg.VCs : (int(d)+1)*cfg.VCs : (int(d)+1)*cfg.VCs]
 		for v := range op.credits {
-			op.credits[v] = cfg.VCDepth
+			op.credits[v] = int32(cfg.VCDepth)
 		}
 	}
-	return r
 }
 
 // vc returns the input VC of port d at index v.
@@ -258,7 +299,7 @@ func (r *Router) commit(now uint64, fs []flitEvent, dir Dir, sh *tickShard) {
 			continue
 		}
 		vc := r.vc(dir, ev.vc)
-		if vc.n >= r.cfg.VCDepth {
+		if int(vc.n) >= r.cfg.VCDepth {
 			panic(fmt.Sprintf("noc: router %d dir %s vc %d buffer overflow", r.id, dir, ev.vc))
 		}
 		f := ev.f
@@ -296,7 +337,7 @@ func (r *Router) commitCredits(cs []creditEvent, dir Dir) {
 	op := &r.out[dir]
 	for _, ev := range cs {
 		op.credits[ev.vc]++
-		if op.credits[ev.vc] > r.cfg.VCDepth {
+		if int(op.credits[ev.vc]) > r.cfg.VCDepth {
 			panic(fmt.Sprintf("noc: router %d dir %s vc %d credit overflow", r.id, dir, ev.vc))
 		}
 		if ev.freeVC {
@@ -310,9 +351,11 @@ func (r *Router) commitCredits(cs []creditEvent, dir Dir) {
 // parallel compute phase: every decision reads cycle-start state that no
 // other router writes this cycle (routers interact only through link
 // events committed in later cycles), and traversal defers its
-// shared-state side effects into the shard. Observers must be detached in
-// parallel mode — the allocators emit into a shared recorder.
-func (r *Router) tick(now uint64, sh *tickShard) {
+// shared-state side effects into the shard. sc is the execution context's
+// allocation scratch (shared across the routers one goroutine ticks).
+// Observers must be detached in parallel mode — the allocators emit into a
+// shared recorder.
+func (r *Router) tick(now uint64, sh *tickShard, sc *allocScratch) {
 	if r.flitCount == 0 {
 		return
 	}
@@ -322,14 +365,14 @@ func (r *Router) tick(now uint64, sh *tickShard) {
 		// so a thawed router resumes from a consistent state.
 		return
 	}
-	r.allocateVCs(now)
-	r.allocateSwitch(now, sh)
+	r.allocateVCs(now, sc)
+	r.allocateSwitch(now, sh, sc)
 }
 
 // allocateVCs performs virtual-channel allocation for input VCs in the
 // vcRouted state. Under OCOR the grant order is the Table 1 priority
 // order; the baseline uses round-robin.
-func (r *Router) allocateVCs(now uint64) {
+func (r *Router) allocateVCs(now uint64, sc *allocScratch) {
 	if r.routedCount == 0 {
 		return
 	}
@@ -337,54 +380,63 @@ func (r *Router) allocateVCs(now uint64) {
 	// direction. Requests land in each group in (inDir, vc) order —
 	// identical to the order the per-output scan produced, so the
 	// round-robin and priority arbiters see the exact same lists.
-	for d := range r.vaPerOut {
-		if len(r.vaPerOut[d]) != 0 {
-			r.vaPerOut[d] = r.vaPerOut[d][:0]
+	for d := range sc.vaPerOut {
+		if len(sc.vaPerOut[d]) != 0 {
+			sc.vaPerOut[d] = sc.vaPerOut[d][:0]
 		}
 	}
 	for inDir := Dir(0); inDir < NumDirs; inDir++ {
+		m := r.routedMask[inDir]
+		if m == 0 {
+			continue
+		}
+		// Hoist the port's VC subslice so the per-VC address is one index
+		// off a base pointer instead of a fresh port*VCs multiply.
+		port := r.in[int(inDir)*r.vcs:]
 		// Bit iteration visits exactly the vcRouted VCs in ascending index
 		// order — the same order a full scan would.
-		for m := r.routedMask[inDir]; m != 0; m &= m - 1 {
+		for ; m != 0; m &= m - 1 {
 			v := bits.TrailingZeros64(m)
-			vc := r.vc(inDir, v)
+			vc := &port[v]
 			// Conditions in the original order: staged one cycle, no
 			// u-turns in XY routing.
 			if vc.n != 0 && now > vc.headEnq && vc.outDir != inDir {
-				r.vaPerOut[vc.outDir] = append(r.vaPerOut[vc.outDir], vaReq{dir: inDir, vc: v})
+				sc.vaPerOut[vc.outDir] = append(sc.vaPerOut[vc.outDir], vaReq{dir: inDir, vc: v})
 			}
 		}
 	}
 	for outDir := Dir(0); outDir < NumDirs; outDir++ {
-		reqs := r.vaPerOut[outDir]
+		reqs := sc.vaPerOut[outDir]
 		if len(reqs) == 0 {
 			continue
 		}
 		op := &r.out[outDir]
 		if r.prio {
-			r.grantVAPriority(now, op, reqs)
+			r.grantVAPriority(now, op, reqs, sc)
 		} else {
 			r.grantVARoundRobin(now, op, reqs)
 		}
 	}
 }
 
-func (r *Router) grantVAPriority(now uint64, op *outPort, reqs []vaReq) {
+func (r *Router) grantVAPriority(now uint64, op *outPort, reqs []vaReq, sc *allocScratch) {
 	n := len(reqs)
 	// Priorities are stable for the duration of the grant loop (grants pop
-	// no flits); fetch each head's priority word once instead of chasing
-	// vcBuf -> flit -> packet pointers on every selection round.
-	prios := r.vaPrios[:0]
+	// no flits); fetch each head's cached priority key once instead of
+	// chasing vcBuf -> flit -> packet pointers on every selection round.
+	// Key order is exactly Compare order (core.TestKeyOrderMatchesCompare),
+	// so integer comparison picks the same winner the rule chain would.
+	keys := sc.vaKeys[:0]
 	for _, req := range reqs {
-		prios = append(prios, r.vc(req.dir, req.vc).head().pkt.Prio)
+		keys = append(keys, r.vc(req.dir, req.vc).headKey)
 	}
-	r.vaPrios = prios
+	sc.vaKeys = keys
 	// Repeatedly pick the highest-priority unserved request (ties broken by
 	// the rotating pointer) and hand it the first free VC in its vnet.
 	served := 0
 	for served < n {
 		best := -1
-		var bestPrio core.Priority
+		var bestKey uint32
 		p := op.vaPtr % n
 		for i := 0; i < n; i++ {
 			idx := p + i
@@ -394,8 +446,8 @@ func (r *Router) grantVAPriority(now uint64, op *outPort, reqs []vaReq) {
 			if reqs[idx].dir == -1 {
 				continue
 			}
-			if best == -1 || core.Compare(prios[idx], bestPrio) > 0 {
-				best, bestPrio = idx, prios[idx]
+			if best == -1 || keys[idx] > bestKey {
+				best, bestKey = idx, keys[idx]
 			}
 		}
 		if best == -1 {
@@ -438,7 +490,7 @@ func (r *Router) grantVARoundRobin(now uint64, op *outPort, reqs []vaReq) {
 // its packet's virtual network. It returns false when none is free.
 func (r *Router) tryAssignVC(now uint64, op *outPort, req vaReq) bool {
 	vc := r.vc(req.dir, req.vc)
-	lo, hi := r.cfg.VCRange(vc.head().pkt.VNet)
+	lo, hi := int(r.vcLo[vc.headVNet]), int(r.vcHi[vc.headVNet])
 	for v := lo; v < hi; v++ {
 		if !op.alloc[v] {
 			op.alloc[v] = true
@@ -457,7 +509,7 @@ func (r *Router) tryAssignVC(now uint64, op *outPort, req vaReq) bool {
 				r.activeMask[req.dir] |= 1 << uint(req.vc)
 			}
 			vc.state = vcActive
-			vc.outVC = v
+			vc.outVC = uint8(v)
 			r.Stats.VAGrants++
 			return true
 		}
@@ -469,19 +521,32 @@ func (r *Router) tryAssignVC(now uint64, op *outPort, req vaReq) bool {
 // Arbiter per input port selects one candidate VC, then a per-output-port
 // global arbiter picks the winner. Winners traverse the switch immediately
 // (stage two).
-func (r *Router) allocateSwitch(now uint64, sh *tickShard) {
+func (r *Router) allocateSwitch(now uint64, sh *tickShard, sc *allocScratch) {
 	if r.activeCount == 0 {
 		return
 	}
 	// Stage 1: LPA per input port.
-	cands := r.saCands[:0]
+	cands := sc.saCands[:0]
 	for inDir := Dir(0); inDir < NumDirs; inDir++ {
 		mask := r.activeMask[inDir]
 		if mask == 0 || r.portFlits[inDir] == 0 {
 			continue // no active VC holding a flit on this port
 		}
+		port := r.in[int(inDir)*r.vcs:]
+		if mask&(mask-1) == 0 {
+			// One active VC on this port — by far the common case. The
+			// rotated scan would visit exactly this VC once wherever the
+			// pointer stands, so test it directly.
+			v := bits.TrailingZeros64(mask)
+			vc := &port[v]
+			if vc.n != 0 && now > vc.headEnq &&
+				r.out[vc.outDir].credits[vc.outVC] > 0 {
+				cands = append(cands, saCand{dir: inDir, vc: v})
+			}
+			continue
+		}
 		best := -1
-		var bestPrio core.Priority
+		var bestKey uint32
 		n := r.vcs
 		p := r.lpaPtr[inDir]
 		if p >= n {
@@ -495,16 +560,16 @@ func (r *Router) allocateSwitch(now uint64, sh *tickShard) {
 		for _, m := range [2]uint64{mask &^ lo, mask & lo} {
 			for ; m != 0; m &= m - 1 {
 				v := bits.TrailingZeros64(m)
-				vc := r.vc(inDir, v)
+				vc := &port[v]
 				if vc.n != 0 && now > vc.headEnq && // stage-one latency
 					r.out[vc.outDir].credits[vc.outVC] > 0 { // downstream space
 					if best == -1 {
-						best, bestPrio = v, vc.head().pkt.Prio
+						best, bestKey = v, vc.headKey
 						if !r.prio {
 							break scan // round-robin: first ready VC from the pointer wins
 						}
-					} else if pr := vc.head().pkt.Prio; core.Compare(pr, bestPrio) > 0 {
-						best, bestPrio = v, pr
+					} else if vc.headKey > bestKey {
+						best, bestKey = v, vc.headKey
 					}
 				}
 			}
@@ -513,7 +578,7 @@ func (r *Router) allocateSwitch(now uint64, sh *tickShard) {
 			cands = append(cands, saCand{dir: inDir, vc: best})
 		}
 	}
-	r.saCands = cands[:0]
+	sc.saCands = cands[:0]
 	if len(cands) == 0 {
 		return
 	}
@@ -541,40 +606,53 @@ func (r *Router) allocateSwitch(now uint64, sh *tickShard) {
 		}
 		op := &r.out[outDir]
 		winner := -1
-		var winPrio core.Priority
-		bidders := 0
 		n := len(cands)
-		p := op.saPtr % n
-		for i := 0; i < n; i++ {
-			idx := p + i
-			if idx >= n {
-				idx -= n
-			}
-			c := cands[idx]
-			if c.dir == -1 {
-				// Already granted at an earlier output this cycle; its own
-				// output was that one, so it is not a bidder here.
-				continue
-			}
-			vc := r.vc(c.dir, c.vc)
-			if vc.outDir != outDir {
-				continue
-			}
-			bidders++
-			if winner == -1 {
-				winner, winPrio = idx, vc.head().pkt.Prio
-				if !r.prio {
+		if bidCount[outDir] == 1 {
+			// A lone bidder wins wherever the rotating pointer stands, so a
+			// straight scan finds the same winner as the rotated one. (A
+			// candidate marked -1 was granted at its own output, which was
+			// not this one, so the surviving bidder is still live.)
+			for idx := range cands {
+				if c := cands[idx]; c.dir != -1 && r.vc(c.dir, c.vc).outDir == outDir {
+					winner = idx
 					break
 				}
-			} else if p := vc.head().pkt.Prio; core.Compare(p, winPrio) > 0 {
-				winner, winPrio = idx, p
 			}
-			if bidders == bidCount[outDir] {
-				break
+		} else {
+			var winKey uint32
+			bidders := 0
+			p := op.saPtr % n
+			for i := 0; i < n; i++ {
+				idx := p + i
+				if idx >= n {
+					idx -= n
+				}
+				c := cands[idx]
+				if c.dir == -1 {
+					// Already granted at an earlier output this cycle; its own
+					// output was that one, so it is not a bidder here.
+					continue
+				}
+				vc := r.vc(c.dir, c.vc)
+				if vc.outDir != outDir {
+					continue
+				}
+				bidders++
+				if winner == -1 {
+					winner, winKey = idx, vc.headKey
+					if !r.prio {
+						break
+					}
+				} else if vc.headKey > winKey {
+					winner, winKey = idx, vc.headKey
+				}
+				if bidders == bidCount[outDir] {
+					break
+				}
 			}
-		}
-		if bidders > 1 {
-			r.Stats.SAConflicts++
+			if bidders > 1 {
+				r.Stats.SAConflicts++
+			}
 		}
 		if winner == -1 {
 			continue
@@ -655,7 +733,7 @@ func (r *Router) traverse(now uint64, inDir Dir, vcIdx int, sh *tickShard) {
 		}
 		*r.act--
 		*r.rf--
-		r.outLink[vc.outDir].sendFlit(f, vc.outVC, at)
+		r.outLink[vc.outDir].sendFlit(f, int(vc.outVC), at)
 		r.inLink[inDir].sendCredit(vcIdx, f.isTail(), at)
 	} else {
 		if r.flitCount == 0 {
@@ -663,7 +741,7 @@ func (r *Router) traverse(now uint64, inDir Dir, vcIdx int, sh *tickShard) {
 		}
 		sh.actDelta--
 		sh.rfDelta--
-		r.outLink[vc.outDir].sendFlitPar(f, vc.outVC, at, sh)
+		r.outLink[vc.outDir].sendFlitPar(f, int(vc.outVC), at, sh)
 		r.inLink[inDir].sendCreditPar(vcIdx, f.isTail(), at, sh)
 	}
 	r.Stats.SAGrants++
@@ -671,7 +749,7 @@ func (r *Router) traverse(now uint64, inDir Dir, vcIdx int, sh *tickShard) {
 	if f.isHead() {
 		f.pkt.Hops++
 		if r.obs != nil {
-			r.obs.Hop(now, r.id, f.pkt.ID, now-f.enqueuedAt, int(inDir), int(vc.outDir), vc.outVC)
+			r.obs.Hop(now, r.id, f.pkt.ID, now-f.enqueuedAt, int(inDir), int(vc.outDir), int(vc.outVC))
 		}
 	}
 	if f.isTail() {
