@@ -21,13 +21,16 @@ test:
 # Race-check the concurrent code paths: the bounded-parallelism helper, the
 # experiment harness that fans simulations out over it, the simulation
 # engine it drives, the recorder the parallel trace capture shares, the
-# object slabs the pooled hot path recycles through, and the fault/recovery
-# layer (the injector is consulted from sharded tick phases). The second
-# line runs the platform-level fault matrix and watchdog tests — faults
-# on/off × OCOR on/off with the sharded executor forced — under -race.
+# object slabs the pooled hot path recycles through, the lock kernel with
+# its pluggable protocol implementations (./internal/kernel/... covers
+# ./internal/kernel/protocol), and the fault/recovery layer (the injector
+# is consulted from sharded tick phases). The second line runs the
+# platform-level fault matrix, watchdog tests, and the protocol
+# determinism matrix — every lock protocol × both engines × worker
+# widths — under -race.
 race:
-	$(GO) test -race ./internal/par/... ./internal/experiments/... ./internal/sim/... ./internal/obs/... ./internal/pool/... ./internal/noc/... ./internal/kernel/... ./internal/fault/...
-	$(GO) test -race -run 'TestFault|TestWatchdog|TestRecovery|TestRunWithTimeout' .
+	$(GO) test -race ./internal/par/... ./internal/experiments/... ./internal/sim/... ./internal/obs/... ./internal/pool/... ./internal/noc/... ./internal/kernel/... ./internal/kernel/protocol/... ./internal/fault/...
+	$(GO) test -race -run 'TestFault|TestWatchdog|TestRecovery|TestRunWithTimeout|TestProtocolDeterminismMatrix' .
 
 check: build vet fmt-check test race
 
@@ -83,4 +86,13 @@ bench-smoke:
 		echo "bench-smoke: tick $$ns ns/op exceeds threshold $$max"; exit 1; \
 	else \
 		echo "bench-smoke: tick $$ns ns/op within threshold $$max"; \
+	fi
+	@$(GO) test -run '^$$' -bench '^BenchmarkProtocolDispatch$$' -benchmem -benchtime 20000x ./internal/kernel/protocol/ | tee /tmp/bench-smoke-proto.out
+	@max=$$(cat .github/protocol-alloc-threshold); \
+	allocs=$$(awk '/^BenchmarkProtocolDispatch/ {for (i=1; i<=NF; i++) if ($$i == "allocs/op" && $$(i-1) > worst) worst = $$(i-1)} END {print worst+0}' /tmp/bench-smoke-proto.out); \
+	if [ -z "$$allocs" ]; then echo "bench-smoke: no allocs/op in protocol output"; exit 1; fi; \
+	if [ "$$allocs" -gt "$$max" ]; then \
+		echo "bench-smoke: protocol dispatch $$allocs allocs/op exceeds threshold $$max"; exit 1; \
+	else \
+		echo "bench-smoke: protocol dispatch $$allocs allocs/op within threshold $$max"; \
 	fi

@@ -89,6 +89,15 @@ type report struct {
 	Records []record       `json:"benchmarks"`
 	Tick    []tickRecord   `json:"network_tick,omitempty"`
 	Scaling []scalingPoint `json:"tick_scaling,omitempty"`
+	Arena   *arenaBlock    `json:"lock_arena,omitempty"`
+}
+
+// arenaBlock is the lock-protocol tournament record: a small deterministic
+// arena configuration (the leaderboard bytes are identical across hosts
+// and worker counts) plus the wall-clock cost of producing it here.
+type arenaBlock struct {
+	WallSeconds float64                 `json:"wall_seconds"`
+	Report      experiments.ArenaReport `json:"report"`
 }
 
 func main() {
@@ -102,6 +111,7 @@ func main() {
 		scaleWorkers = flag.String("scaleworkers", "1,2,4", "comma-separated worker counts for the tick_scaling block (empty disables it)")
 		tickMeshes   = flag.String("tickmeshes", "8,16,32", "comma-separated square mesh widths for the network_tick block (empty disables it)")
 		tickBase     = flag.String("tickbase", "", "comma-separated mesh=ns_per_op reference points recorded into the network_tick block (e.g. 8x8=30128,16x16=144082)")
+		arena        = flag.Bool("arena", true, "include the lock_arena block (small deterministic protocol tournament)")
 	)
 	flag.Parse()
 
@@ -185,6 +195,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %-6s %8.2fs/op  %12d allocs/op  %14d B/op\n",
 			rec.Name, rec.WallSeconds, rec.AllocsPerOp, rec.BytesPerOp)
 		rep.Records = append(rep.Records, rec)
+	}
+
+	if *arena {
+		// A small fixed configuration keeps the block cheap and its
+		// leaderboard bytes comparable across records: 16 threads, two
+		// benchmarks, every protocol, OCOR on and off.
+		start := time.Now()
+		ar, err := experiments.RunArena(experiments.ArenaOptions{
+			Threads: 16, Seed: *seed, Scale: 0.1,
+			Benches: []string{"body", "can"}, Workers: *workers,
+		}, nil)
+		if err != nil {
+			fatal(fmt.Errorf("lock_arena: %w", err))
+		}
+		rep.Arena = &arenaBlock{WallSeconds: time.Since(start).Seconds(), Report: ar}
+		fmt.Fprintf(os.Stderr, "benchjson: arena  %8.2fs  (%d combinations, winner %s ocor=%v)\n",
+			rep.Arena.WallSeconds, len(ar.Leaderboard), ar.Leaderboard[0].Protocol, ar.Leaderboard[0].OCOR)
 	}
 
 	if pts, err := measureScaling(opt, *scaleWorkers); err != nil {

@@ -39,6 +39,7 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Perfetto trace of the Fig. 10 bodytrack OCOR run to this file")
 		noPool   = flag.Bool("nopool", false, "disable object freelists (heap-allocate packets/messages; results are identical)")
 		workers  = flag.Int("workers", 1, "intra-simulation worker count per run; composes with -j (0 jobs = GOMAXPROCS/workers)")
+		proto    = flag.String("protocol", "", "kernel lock protocol for every run (empty = default queue spinlock)")
 	)
 	flag.Parse()
 
@@ -74,10 +75,10 @@ func main() {
 		}
 	}()
 
-	if err := (&repro.Config{Threads: *threads, Workers: *workers}).Validate(); err != nil {
+	if err := (&repro.Config{Threads: *threads, Workers: *workers, Protocol: *proto}).Validate(); err != nil {
 		fatal(err)
 	}
-	opt := experiments.Options{Threads: *threads, Seed: *seed, Scale: *scale, Quick: *quick, Jobs: *jobs, NoPool: *noPool, Workers: *workers}
+	opt := experiments.Options{Threads: *threads, Seed: *seed, Scale: *scale, Quick: *quick, Jobs: *jobs, NoPool: *noPool, Workers: *workers, Protocol: *proto}
 	want := map[string]bool{}
 	for _, name := range strings.Split(*runList, ",") {
 		want[strings.TrimSpace(strings.ToLower(name))] = true

@@ -43,6 +43,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-run wall-clock bound (0 = none; expiry fails the run, not the sweep)")
 		jobs     = flag.Int("j", 0, "max concurrent runs (0 = GOMAXPROCS)")
 		workers  = flag.Int("workers", 1, "intra-simulation worker count per run")
+		proto    = flag.String("protocol", "", "kernel lock protocol for every run (empty = default queue spinlock)")
 		out      = flag.String("o", "", "write JSON here instead of stdout")
 		verbose  = flag.Bool("v", true, "print per-rate progress to stderr")
 	)
@@ -56,7 +57,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := (&repro.Config{Threads: *threads, Workers: *workers}).Validate(); err != nil {
+	if err := (&repro.Config{Threads: *threads, Workers: *workers, Protocol: *proto}).Validate(); err != nil {
 		fatal(err)
 	}
 
@@ -80,7 +81,7 @@ func main() {
 	sweep, err := experiments.RunFaultSweep(experiments.FaultOptions{
 		Bench: *bench, Threads: *threads, Seed: *seed, Scale: *scale,
 		Rates: rateList, Recovery: *recovery, Timeout: *timeout,
-		Jobs: *jobs, Workers: *workers, Stop: stop,
+		Jobs: *jobs, Workers: *workers, Protocol: *proto, Stop: stop,
 	}, progress)
 	if err != nil {
 		fatal(err)

@@ -38,6 +38,7 @@ func main() {
 		histo    = flag.Bool("histo", false, "print streaming latency histograms and arbitration counters")
 		noPool   = flag.Bool("nopool", false, "disable object freelists (heap-allocate packets/messages; results are identical)")
 		workers  = flag.Int("workers", 1, "intra-simulation worker count for the NoC tick (results are identical for every value)")
+		proto    = flag.String("protocol", "", "kernel lock protocol (empty = default queue spinlock; see internal/kernel/protocol)")
 	)
 	flag.Parse()
 
@@ -64,6 +65,7 @@ func main() {
 	runCfg := repro.Config{
 		Benchmark: p, Threads: *threads, PriorityLevels: *levels,
 		Seed: *seed, Trace: *trace, NoPool: *noPool, Workers: *workers,
+		Protocol: *proto,
 	}
 	if err := runCfg.Validate(); err != nil {
 		fatal(err)
@@ -103,11 +105,11 @@ func main() {
 			fmt.Print(sys.Timeline.RenderString(16, window, window/60+1))
 		}
 		if *locks {
-			fmt.Printf("\nper-lock statistics (ocor=%v):\n", enabled)
-			fmt.Printf("%6s %6s %12s %12s %8s %12s %10s\n", "lock", "home", "acquisitions", "failed tries", "wakes", "held cycles", "held frac")
+			fmt.Printf("\nper-lock statistics (ocor=%v, protocol=%s):\n", enabled, sys.Kernel.Protocol())
+			fmt.Printf("%6s %6s %12s %12s %8s %9s %9s %12s %10s\n", "lock", "home", "acquisitions", "failed tries", "wakes", "handoffs", "max queue", "held cycles", "held frac")
 			for _, st := range sys.Kernel.LockStats(sys.Engine.Now()) {
-				fmt.Printf("%6d %6d %12d %12d %8d %12d %9.1f%%\n",
-					st.Lock, st.Home, st.Acquisitions, st.FailedTries, st.Wakes, st.HeldCycles,
+				fmt.Printf("%6d %6d %12d %12d %8d %9d %9d %12d %9.1f%%\n",
+					st.Lock, st.Home, st.Acquisitions, st.FailedTries, st.Wakes, st.Handoffs, st.MaxQueueDepth, st.HeldCycles,
 					100*float64(st.HeldCycles)/float64(res.ROIFinish))
 			}
 		}

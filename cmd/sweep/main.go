@@ -48,6 +48,7 @@ func main() {
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		noPool  = flag.Bool("nopool", false, "disable object freelists (heap-allocate packets/messages; results are identical)")
 		workers = flag.Int("workers", 1, "intra-simulation worker count per run; composes with -j (0 jobs = GOMAXPROCS/workers)")
+		proto   = flag.String("protocol", "", "kernel lock protocol for every run (empty = default queue spinlock)")
 	)
 	flag.Parse()
 
@@ -77,7 +78,7 @@ func main() {
 	// Validate every grid cell before the first CSV byte goes out, so a
 	// bad flag is one clean stderr line instead of a die mid-stream.
 	for _, c := range grid {
-		cfg := repro.Config{Threads: c.threads, PriorityLevels: c.levels, Workers: *workers}
+		cfg := repro.Config{Threads: c.threads, PriorityLevels: c.levels, Workers: *workers, Protocol: *proto}
 		if err := cfg.Validate(); err != nil {
 			fatal(err)
 		}
@@ -122,6 +123,7 @@ func main() {
 		cfg := repro.Config{
 			Benchmark: p, Threads: c.threads, OCOR: i%2 == 1,
 			Seed: c.seed, NoPool: *noPool, Workers: *workers,
+			Protocol: *proto,
 		}
 		if cfg.OCOR {
 			cfg.PriorityLevels = c.levels

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/par"
 )
@@ -36,12 +37,15 @@ func main() {
 		top     = flag.Int("top", 10, "number of slowest acquisitions to print")
 		jobs    = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		noPool  = flag.Bool("nopool", false, "disable object freelists (heap-allocate packets/messages; results are identical)")
+		proto   = flag.String("protocol", "", "kernel lock protocol for in-process capture (empty = default queue spinlock)")
 	)
 	flag.Parse()
 
 	var (
 		acqs    []obs.Acquisition
 		dropped uint64
+		locks   []kernel.LockStat
+		protoN  string
 	)
 	if *in != "" {
 		f, err := os.Open(*in)
@@ -61,12 +65,14 @@ func main() {
 			fatal(err)
 		}
 		p = p.Scale(*scale)
-		if err := (&repro.Config{Threads: *threads, OCOR: *ocor}).Validate(); err != nil {
+		if err := (&repro.Config{Threads: *threads, OCOR: *ocor, Protocol: *proto}).Validate(); err != nil {
 			fatal(err)
 		}
 		type capture struct {
 			acqs    []obs.Acquisition
 			dropped uint64
+			locks   []kernel.LockStat
+			proto   string
 		}
 		// Seeds run concurrently but results are concatenated in seed
 		// order, so the report is identical for any -j width.
@@ -75,6 +81,7 @@ func main() {
 			sys, err := repro.New(repro.Config{
 				Benchmark: p, Threads: *threads, OCOR: *ocor,
 				Seed: *seed + uint64(i), Obs: rec, NoPool: *noPool,
+				Protocol: *proto,
 			})
 			if err != nil {
 				return capture{}, err
@@ -82,14 +89,46 @@ func main() {
 			if _, err := sys.Run(); err != nil {
 				return capture{}, err
 			}
-			return capture{obs.Acquisitions(rec.Events()), rec.Dropped()}, nil
+			return capture{
+				obs.Acquisitions(rec.Events()), rec.Dropped(),
+				sys.Kernel.LockStats(sys.Engine.Now()), sys.Kernel.Protocol(),
+			}, nil
 		}, nil)
 		if err != nil {
 			fatal(err)
 		}
+		// Lock stats aggregate across seeds: counters sum, high-water
+		// depths take the max, keyed by lock id (stats arrive sorted).
+		agg := map[int]*kernel.LockStat{}
 		for _, c := range caps {
 			acqs = append(acqs, c.acqs...)
 			dropped += c.dropped
+			protoN = c.proto
+			for _, st := range c.locks {
+				a, ok := agg[st.Lock]
+				if !ok {
+					cp := st
+					agg[st.Lock] = &cp
+					continue
+				}
+				a.Acquisitions += st.Acquisitions
+				a.FailedTries += st.FailedTries
+				a.Wakes += st.Wakes
+				a.Handoffs += st.Handoffs
+				a.HeldCycles += st.HeldCycles
+				if st.MaxQueueDepth > a.MaxQueueDepth {
+					a.MaxQueueDepth = st.MaxQueueDepth
+				}
+			}
+		}
+		for _, c := range caps {
+			for _, st := range c.locks {
+				if a := agg[st.Lock]; a != nil {
+					locks = append(locks, *a)
+					delete(agg, st.Lock)
+				}
+			}
+			break // first capture fixes the (sorted) lock order
 		}
 	}
 
@@ -107,6 +146,14 @@ func main() {
 	for i := range slow {
 		fmt.Printf("#%-2d ", i+1)
 		slow[i].WriteBreakdown(os.Stdout)
+	}
+	if len(locks) > 0 {
+		fmt.Printf("\nper-lock contention (protocol=%s, %d seed(s) aggregated):\n", protoN, *seeds)
+		fmt.Printf("%6s %12s %12s %8s %9s %9s\n", "lock", "acquisitions", "failed tries", "wakes", "handoffs", "max queue")
+		for _, st := range locks {
+			fmt.Printf("%6d %12d %12d %8d %9d %9d\n",
+				st.Lock, st.Acquisitions, st.FailedTries, st.Wakes, st.Handoffs, st.MaxQueueDepth)
+		}
 	}
 }
 

@@ -48,6 +48,9 @@ type Options struct {
 	// GOMAXPROCS / Workers (min 1) so the two levels together never
 	// oversubscribe the machine.
 	Workers int
+	// Protocol selects the kernel lock algorithm for every run ("" = the
+	// default queue spinlock). See internal/kernel/protocol.
+	Protocol string
 }
 
 // withDefaults normalises unset options.
@@ -89,14 +92,15 @@ func (o Options) profiles() []workload.Profile {
 // Runner abstracts the platform entry point so the experiments package
 // does not import the root package (which imports this one). The root
 // package installs its runner at init time. levels selects the number of
-// priority levels (0 = the paper default of 8); nopool disables object
-// recycling (Options.NoPool); workers is the intra-simulation
-// parallelism width (Options.Workers).
-type Runner func(p workload.Profile, threads int, ocor bool, levels int, seed uint64, nopool bool, workers int) (metrics.Results, error)
+// priority levels (0 = the paper default of 8); protocol the kernel lock
+// algorithm ("" = default); nopool disables object recycling
+// (Options.NoPool); workers is the intra-simulation parallelism width
+// (Options.Workers).
+type Runner func(p workload.Profile, threads int, ocor bool, levels int, seed uint64, protocol string, nopool bool, workers int) (metrics.Results, error)
 
 // TraceRunner additionally returns a rendered execution-profile timeline
 // (Fig. 10) covering the first `window` cycles of `traceThreads` threads.
-type TraceRunner func(p workload.Profile, threads int, ocor bool, seed uint64, traceThreads int, window uint64, nopool bool, workers int) (metrics.Results, string, error)
+type TraceRunner func(p workload.Profile, threads int, ocor bool, seed uint64, protocol string, traceThreads int, window uint64, nopool bool, workers int) (metrics.Results, string, error)
 
 var (
 	runner Runner
@@ -108,7 +112,7 @@ var (
 func SetRunner(r Runner, t TraceRunner) { runner, tracer = r, t }
 
 func (o Options) run(p workload.Profile, threads int, ocor bool, seed uint64) (metrics.Results, error) {
-	return runner(p, threads, ocor, 0, seed, o.NoPool, o.Workers)
+	return runner(p, threads, ocor, 0, seed, o.Protocol, o.NoPool, o.Workers)
 }
 
 // effectiveJobs resolves the outer concurrency bound passed to par.Map:

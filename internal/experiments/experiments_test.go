@@ -16,7 +16,7 @@ import (
 // fakeRunner produces deterministic synthetic results: OCOR halves COH and
 // takes 10% off the ROI; deeper-contention profiles (fewer locks) get
 // larger baselines.
-func fakeRunner(p workload.Profile, threads int, ocor bool, levels int, seed uint64, nopool bool, workers int) (metrics.Results, error) {
+func fakeRunner(p workload.Profile, threads int, ocor bool, levels int, seed uint64, protocol string, nopool bool, workers int) (metrics.Results, error) {
 	base := uint64(1000 * (16 - p.Locks))
 	r := metrics.Results{
 		Benchmark:    p.Name,
@@ -48,8 +48,8 @@ func fakeRunner(p workload.Profile, threads int, ocor bool, levels int, seed uin
 	return r, nil
 }
 
-func fakeTracer(p workload.Profile, threads int, ocor bool, seed uint64, traceThreads int, window uint64, nopool bool, workers int) (metrics.Results, string, error) {
-	r, err := fakeRunner(p, threads, ocor, 0, seed, nopool, workers)
+func fakeTracer(p workload.Profile, threads int, ocor bool, seed uint64, protocol string, traceThreads int, window uint64, nopool bool, workers int) (metrics.Results, string, error) {
+	r, err := fakeRunner(p, threads, ocor, 0, seed, protocol, nopool, workers)
 	return r, "t00 |...###CC...|\nbreakdown: parallel 60.0% blocked 35.0% critical-section 5.0%\n", err
 }
 
@@ -261,13 +261,13 @@ func TestNoRunnerInstalled(t *testing.T) {
 
 // slowFakeRunner adds a tiny index-dependent delay so parallel completions
 // arrive out of order, stressing the ordered reassembly.
-func slowFakeRunner(p workload.Profile, threads int, ocor bool, levels int, seed uint64, nopool bool, workers int) (metrics.Results, error) {
+func slowFakeRunner(p workload.Profile, threads int, ocor bool, levels int, seed uint64, protocol string, nopool bool, workers int) (metrics.Results, error) {
 	d := time.Duration(len(p.Name)%3) * time.Millisecond
 	if ocor {
 		d += time.Millisecond
 	}
 	time.Sleep(d)
-	return fakeRunner(p, threads, ocor, levels, seed, nopool, workers)
+	return fakeRunner(p, threads, ocor, levels, seed, protocol, nopool, workers)
 }
 
 // TestParallelMatchesSerial checks that RunSuite, Fig15 and Fig16 return the
@@ -314,11 +314,11 @@ func TestParallelMatchesSerial(t *testing.T) {
 // the same error regardless of parallelism.
 func TestRunSuiteErrorIsDeterministic(t *testing.T) {
 	oldR, oldT := runner, tracer
-	SetRunner(func(p workload.Profile, threads int, ocor bool, levels int, seed uint64, nopool bool, workers int) (metrics.Results, error) {
+	SetRunner(func(p workload.Profile, threads int, ocor bool, levels int, seed uint64, protocol string, nopool bool, workers int) (metrics.Results, error) {
 		if p.Name == "can" && ocor {
 			return metrics.Results{}, errForced
 		}
-		return fakeRunner(p, threads, ocor, levels, seed, nopool, workers)
+		return fakeRunner(p, threads, ocor, levels, seed, protocol, nopool, workers)
 	}, fakeTracer)
 	t.Cleanup(func() { SetRunner(oldR, oldT) })
 

@@ -22,12 +22,13 @@ import (
 type FaultOptions struct {
 	// Bench is the catalog benchmark name.
 	Bench string
-	// Threads, Seed, Scale, Jobs, Workers as in Options.
-	Threads int
-	Seed    uint64
-	Scale   float64
-	Jobs    int
-	Workers int
+	// Threads, Seed, Scale, Jobs, Workers, Protocol as in Options.
+	Threads  int
+	Seed     uint64
+	Scale    float64
+	Jobs     int
+	Workers  int
+	Protocol string
 	// Rates is the ladder of flit-drop rates applied to the locking
 	// classes (rate 0 is the healthy reference point).
 	Rates []float64
@@ -101,7 +102,7 @@ type FaultSweep struct {
 // failures (watchdog trips, timeouts, panics) in the outcome rather
 // than returning an error; an error aborts the whole sweep and is
 // reserved for configuration problems.
-type FaultRunner func(p workload.Profile, threads int, ocor bool, seed uint64,
+type FaultRunner func(p workload.Profile, threads int, ocor bool, seed uint64, protocol string,
 	plan fault.Plan, recovery bool, workers int, timeout time.Duration) (FaultOutcome, error)
 
 var faultRunner FaultRunner
@@ -140,7 +141,7 @@ func RunFaultSweep(o FaultOptions, progress io.Writer) (FaultSweep, error) {
 		}
 		rate := o.Rates[i/2]
 		plan := fault.Plan{Seed: o.Seed, DropRate: rate}
-		out, err := faultRunner(prof, o.Threads, i%2 == 1, o.Seed, plan, o.Recovery, o.Workers, o.Timeout)
+		out, err := faultRunner(prof, o.Threads, i%2 == 1, o.Seed, o.Protocol, plan, o.Recovery, o.Workers, o.Timeout)
 		if err != nil {
 			return FaultOutcome{}, fmt.Errorf("experiments: %s rate %g: %w", o.Bench, rate, err)
 		}

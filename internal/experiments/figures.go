@@ -67,11 +67,11 @@ func Fig10(o Options) (Fig10Result, error) {
 	}
 	p = p.Scale(o.Scale)
 	const traceThreads = 16
-	base, baseTrace, err := tracer(p, o.Threads, false, o.Seed, traceThreads, 0, o.NoPool, o.Workers)
+	base, baseTrace, err := tracer(p, o.Threads, false, o.Seed, o.Protocol, traceThreads, 0, o.NoPool, o.Workers)
 	if err != nil {
 		return Fig10Result{}, err
 	}
-	ocor, ocorTrace, err := tracer(p, o.Threads, true, o.Seed, traceThreads, 0, o.NoPool, o.Workers)
+	ocor, ocorTrace, err := tracer(p, o.Threads, true, o.Seed, o.Protocol, traceThreads, 0, o.NoPool, o.Workers)
 	if err != nil {
 		return Fig10Result{}, err
 	}
@@ -384,7 +384,7 @@ func Fig16(o Options, progress io.Writer) ([]Fig16Row, error) {
 		if i%stride == 0 {
 			return o.run(p, o.Threads, false, o.Seed)
 		}
-		return runner(p, o.Threads, true, Fig16Levels[i%stride-1], o.Seed, o.NoPool, o.Workers)
+		return runner(p, o.Threads, true, Fig16Levels[i%stride-1], o.Seed, o.Protocol, o.NoPool, o.Workers)
 	}, func(i int, v metrics.Results) {
 		if i%stride == 0 {
 			lastBase = v

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/kernel/protocol"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -122,6 +123,9 @@ type Client struct {
 	// measurement (simulator-level instrumentation, not protocol state).
 	cumHeld func(lock int, now uint64) uint64
 	nodes   int
+	// wp is the protocol's wait policy: the spin budget of each spinning
+	// phase and its adaptation to acquisition outcomes.
+	wp protocol.WaitPolicy
 
 	// Regs models the CPU's special local registers of Algorithm 1 line 6.
 	Regs core.RegisterFile
@@ -167,11 +171,12 @@ type Client struct {
 	StaleWakeups  uint64 // wakeups ignored (thread no longer sleeping)
 }
 
-func newClient(cfg *Config, node, nodes int, send func(now uint64, dst int, m Msg, prio core.Priority), cumHeld func(int, uint64) uint64, dq *sim.DelayQueue) *Client {
+func newClient(cfg *Config, node, nodes int, wp protocol.WaitPolicy, send func(now uint64, dst int, m Msg, prio core.Priority), cumHeld func(int, uint64) uint64, dq *sim.DelayQueue) *Client {
 	c := &Client{
 		cfg:      cfg,
 		node:     node,
 		nodes:    nodes,
+		wp:       wp,
 		send:     send,
 		cumHeld:  cumHeld,
 		delay:    dq,
@@ -224,7 +229,7 @@ func (c *Client) Lock(now uint64, lock int, cb func(now uint64)) {
 		lock:   lock,
 		start:  now,
 		h0:     c.cumHeld(lock, now),
-		budget: c.cfg.Policy.MaxSpin,
+		budget: c.wp.SpinBudget(),
 		cb:     cb,
 	}
 	if c.cfg.Recovery.Enabled {
@@ -418,6 +423,7 @@ func (c *Client) onGrant(now uint64, m *Msg) {
 	} else {
 		c.SleepAcquires++
 	}
+	c.wp.OnAcquired(ev.SpinPhase)
 	if c.obs != nil {
 		c.obs.Acquired(now, c.node, ctx.lock, bt, ev.COH, ev.SpinPhase, ctx.retries, ctx.sleeps, m.PktID, m.ReqPktID)
 	}
@@ -554,7 +560,7 @@ func (c *Client) beginWake(now uint64, ctx *acquireCtx) {
 			return
 		}
 		// Woken: retry with a fresh spinning phase (Fig. 4b).
-		ctx.budget = c.cfg.Policy.MaxSpin
+		ctx.budget = c.wp.SpinBudget()
 		ctx.outstanding = false
 		c.setState(t, StateSpinning)
 		c.sendTry(t)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/kernel/protocol"
 	"repro/internal/sim"
 )
 
@@ -19,8 +20,16 @@ type cliHarness struct {
 
 func newCliHarness(cfg Config) *cliHarness {
 	cfg.Validate()
+	p, err := protocol.New(cfg.Protocol, protocol.Params{
+		MeshW: 4, MeshH: 4,
+		MaxSpin:      cfg.Policy.MaxSpin,
+		QueueHandoff: !cfg.Policy.Enabled,
+	})
+	if err != nil {
+		panic(err)
+	}
 	h := &cliHarness{}
-	h.cli = newClient(&cfg, 0, 16,
+	h.cli = newClient(&cfg, 0, 16, p.NewWaitPolicy(),
 		func(now uint64, dst int, m Msg, prio core.Priority) { h.sent = append(h.sent, &m) },
 		func(lock int, now uint64) uint64 { return h.held },
 		&h.dq)

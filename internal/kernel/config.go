@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/kernel/protocol"
 )
 
 // Config holds the queue-spinlock timing model and the OCOR policy.
@@ -32,6 +33,17 @@ type Config struct {
 	// Policy is the OCOR configuration, including MaxSpin and the number
 	// of priority levels. Policy.Enabled false gives the paper's baseline.
 	Policy core.Policy
+	// Protocol selects the lock algorithm ("" = the default queue
+	// spinlock). See internal/kernel/protocol for the registry; the
+	// default is byte-identical to the hard-wired baseline.
+	Protocol string
+	// MutableSpinBudget is the Mutable Locks protocol's initial adaptive
+	// spin budget (0 = Policy.MaxSpin). Ignored by other protocols.
+	MutableSpinBudget int
+	// CNALocalCap bounds consecutive same-quadrant CNA handoffs before a
+	// fairness flush to the global queue head (0 = default). Ignored by
+	// other protocols.
+	CNALocalCap int
 	// NoPool disables the deterministic message freelist (every send heap-
 	// allocates); results are byte-identical either way.
 	NoPool bool
@@ -108,6 +120,18 @@ func (c *Config) Validate() error {
 	}
 	if c.WakeLatency == 0 {
 		c.WakeLatency = d.WakeLatency
+	}
+	if !protocol.Valid(c.Protocol) {
+		return &ConfigError{Field: "Protocol",
+			Reason: fmt.Sprintf("unknown lock protocol %q (known: %v)", c.Protocol, protocol.Known())}
+	}
+	if c.MutableSpinBudget < 0 {
+		return &ConfigError{Field: "MutableSpinBudget",
+			Reason: fmt.Sprintf("negative spin budget %d", c.MutableSpinBudget)}
+	}
+	if c.CNALocalCap < 0 {
+		return &ConfigError{Field: "CNALocalCap",
+			Reason: fmt.Sprintf("negative local cap %d", c.CNALocalCap)}
 	}
 	r := &c.Recovery
 	if r.RequestTimeout < 0 || r.MaxBackoff < 0 || r.SleepRecheck < 0 {

@@ -4,18 +4,19 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/kernel/protocol"
 	"repro/internal/obs"
 )
 
 // lockVar is the home-node state of one lock variable: the lock word, the
 // set of threads spinning on their cached copy (to be notified on release,
-// like the invalidation/update of Fig. 4), and the futex wait queue.
+// like the invalidation/update of Fig. 4), and the protocol's wait queue.
 type lockVar struct {
 	held   bool
 	holder int
-	// reserved is the thread the lock is promised to (baseline queue
-	// handoff: the queue spinlock hands the released lock to the head of
-	// the wait queue, which first has to wake up). -1 when unreserved.
+	// reserved is the thread the lock is promised to (queue handoff: the
+	// release hands the lock to the successor the protocol's discipline
+	// chose, which may first have to wake up). -1 when unreserved.
 	reserved int
 	// acquiredAt is the home-node cycle of the current acquisition.
 	acquiredAt uint64
@@ -26,14 +27,24 @@ type lockVar struct {
 	// (the cache-coherence notification of Fig. 4a). Cleared on each
 	// release; losers of the ensuing race re-register.
 	polling []int
-	// waitq holds sleeping threads in FIFO order (the lock queue).
-	waitq []int
+	// q is the protocol's wait-queue discipline. Futex-style protocols
+	// (the queue spinlock) keep only sleeping threads in it; explicit-
+	// queue protocols (MCS, CNA, Reciprocating) also enqueue spinners at
+	// their first failed try-lock.
+	q protocol.Queue
+	// asleep tracks which queued threads are sleeping. Maintained only
+	// for explicit-queue protocols — the futex-style queue holds sleepers
+	// by definition — so a handoff knows whether its successor needs a
+	// wake-up delivery or just a targeted notify.
+	asleep []int
 	// Stats.
 	acquisitions   uint64
 	fails          uint64
 	wakes          uint64
 	emptyWakes     uint64
 	immediateWakes uint64
+	handoffs       uint64
+	maxDepth       int
 }
 
 // ControllerStats aggregates per-node lock-controller activity.
@@ -46,6 +57,10 @@ type ControllerStats struct {
 	FutexWakes     uint64
 	EmptyWakes     uint64 // FUTEX_WAKE with nobody sleeping
 	ImmediateWakes uint64 // FUTEX_WAIT on a free lock: woken right back
+	// Handoffs counts releases that handed the lock to a successor chosen
+	// by the protocol's queue discipline (a reservation), as opposed to
+	// free-for-all releases.
+	Handoffs uint64
 	// Regrants counts idempotent re-grants to the current holder: a
 	// duplicated or timeout-reissued try-lock arriving after its grant.
 	// Always zero in a fault-free run.
@@ -55,26 +70,31 @@ type ControllerStats struct {
 // Controller owns the lock variables homed at one node. It serves atomic
 // try-lock requests in arrival order — the order the NoC delivers them,
 // which is exactly what OCOR's router prioritization shapes — and manages
-// the spinning-phase release notifications and the futex wait queue.
+// the spinning-phase release notifications and the protocol's wait queue.
 //
-// Handoff semantics differ between the two configurations, per the paper:
+// The handoff semantics come from the configured lock protocol:
 //
-//   - Baseline (queueHandoff=true): the unmodified queue spinlock. Once
-//     threads have queued, a release hands the lock to the head of the
-//     wait queue — a sleeping thread that must first pay the wake-up
-//     transition, during which the critical section sits idle (the slow
-//     scenario of Fig. 5). Spinning threads' try-locks fail while the
-//     lock is reserved.
+//   - HandoffOnRelease (baseline with OCOR off, and every explicit-queue
+//     lock): a release with waiters hands the lock to the successor the
+//     protocol's Queue chooses, under a reservation. A sleeping successor
+//     must first pay the wake-up transition, during which the critical
+//     section sits idle (the slow scenario of Fig. 5); a spinning
+//     successor (explicit-queue locks only) gets a targeted notify — the
+//     single cache-line handoff of MCS-style locks.
 //
-//   - OCOR (queueHandoff=false): the released lock is up for grabs; the
-//     NoC's Table 1 prioritization (least RTR first, wakeup last, slow
-//     progress first) decides which request secures it, opportunistically
-//     favouring threads still in their cheap spinning phase.
+//   - Free-for-all (baseline/mutable under OCOR): the released lock is up
+//     for grabs; every spinning sharer is notified and the NoC's Table 1
+//     prioritization (least RTR first, wakeup last, slow progress first)
+//     decides which request secures it, opportunistically favouring
+//     threads still in their cheap spinning phase.
 type Controller struct {
 	node int
 	send func(now uint64, dst int, m Msg)
-	// queueHandoff selects the baseline semantics described above.
-	queueHandoff bool
+	// proto is the lock protocol; handoffOnRelease and explicit cache its
+	// two dispatch-relevant properties.
+	proto            protocol.Protocol
+	handoffOnRelease bool
+	explicit         bool
 
 	locks map[int]*lockVar
 
@@ -87,14 +107,21 @@ type Controller struct {
 	faults *fault.Injector
 }
 
-func newController(node int, queueHandoff bool, send func(now uint64, dst int, m Msg)) *Controller {
-	return &Controller{node: node, queueHandoff: queueHandoff, send: send, locks: make(map[int]*lockVar)}
+func newController(node int, proto protocol.Protocol, send func(now uint64, dst int, m Msg)) *Controller {
+	return &Controller{
+		node:             node,
+		proto:            proto,
+		handoffOnRelease: proto.HandoffOnRelease(),
+		explicit:         proto.Explicit(),
+		send:             send,
+		locks:            make(map[int]*lockVar),
+	}
 }
 
 func (c *Controller) lock(id int) *lockVar {
 	lv, ok := c.locks[id]
 	if !ok {
-		lv = &lockVar{holder: -1, reserved: -1}
+		lv = &lockVar{holder: -1, reserved: -1, q: c.proto.NewQueue()}
 		c.locks[id] = lv
 	}
 	return lv
@@ -123,6 +150,12 @@ func (c *Controller) Deliver(now uint64, m *Msg) {
 			lv.acquiredAt = now
 			lv.acquisitions++
 			c.Stats.Grants++
+			if c.explicit {
+				// The winner may still sit in the explicit queue from an
+				// earlier failed try (e.g. it barged past a drained queue).
+				lv.q.Remove(m.Thread)
+				c.removeSleeper(lv, m.Thread)
+			}
 			if c.obs != nil {
 				c.obs.LockDecision(now, c.node, m.Lock, m.Thread, m.PktID, true)
 			}
@@ -136,6 +169,13 @@ func (c *Controller) Deliver(now uint64, m *Msg) {
 			// The failing thread keeps the lock variable cached and spins
 			// locally; remember to notify it on release.
 			c.addPoller(lv, m.Thread)
+			if c.explicit {
+				// Explicit-queue lock: the failed try-lock is the queue
+				// enqueue (the swap on the MCS tail); arrival order is
+				// first-fail order.
+				lv.q.Enqueue(m.Thread)
+				c.noteDepth(lv)
+			}
 			c.send(now, m.From, Msg{Type: MsgFail, To: ToClient, Lock: m.Lock, From: c.node, Thread: m.Thread, RTR: m.RTR, Prog: m.Prog, ReqPktID: m.PktID})
 		}
 	case MsgFutexWait:
@@ -148,20 +188,21 @@ func (c *Controller) Deliver(now uint64, m *Msg) {
 			// the slow scenario of Fig. 5a). A reservation for this very
 			// thread counts as free — that is the sleep-recheck recovery
 			// path after its wakeup delivery was lost.
-			c.removeWaiter(lv, m.Thread)
+			lv.q.Remove(m.Thread)
+			c.removeSleeper(lv, m.Thread)
 			lv.immediateWakes++
 			c.Stats.ImmediateWakes++
 			c.send(now, m.From, Msg{Type: MsgWakeup, To: ToClient, Lock: m.Lock, From: c.node, Thread: m.Thread})
 			return
 		}
-		for _, th := range lv.waitq {
-			if th == m.Thread {
-				// Already queued: a recovery re-registration must not
-				// produce a second wait-queue entry.
-				return
-			}
+		// Enqueue dedups: a recovery re-registration — or, for explicit
+		// protocols, the entry made at the failed try-lock — keeps its
+		// queue position.
+		lv.q.Enqueue(m.Thread)
+		c.noteDepth(lv)
+		if c.explicit {
+			c.addSleeper(lv, m.Thread)
 		}
-		lv.waitq = append(lv.waitq, m.Thread)
 	case MsgRelease:
 		if !lv.held || lv.holder != m.Thread {
 			panic(fmt.Sprintf("kernel: node %d release of lock %d by %d, holder %d held=%v",
@@ -170,12 +211,13 @@ func (c *Controller) Deliver(now uint64, m *Msg) {
 		lv.cumHeld += now - lv.acquiredAt
 		lv.held = false
 		lv.holder = -1
-		if c.queueHandoff && len(lv.waitq) > 0 {
-			// Baseline queue spinlock: hand the lock to the head of the
-			// wait queue. The critical section stays idle while the
-			// sleeper pays its wake-up transition, and spinning threads'
-			// try-locks keep failing (Fig. 5b slow scenario).
-			c.wakeHead(now, m.Lock, lv, true)
+		if c.handoffOnRelease && lv.q.Len() > 0 {
+			// Queue handoff: the lock goes to the successor the protocol's
+			// discipline picks. A sleeping successor keeps the critical
+			// section idle while it pays its wake-up transition, and
+			// spinning threads' try-locks keep failing against the
+			// reservation (Fig. 5b slow scenario).
+			c.handoff(now, m.Lock, lv, m.From)
 			return
 		}
 		// Lock becomes free for all: notify every spinning sharer that the
@@ -188,38 +230,47 @@ func (c *Controller) Deliver(now uint64, m *Msg) {
 		}
 		lv.polling = lv.polling[:0]
 	case MsgFutexWake:
-		if c.faults != nil && !c.queueHandoff && c.faults.DropWake(now, int32(m.Lock)) {
+		if c.faults != nil && !c.handoffOnRelease && c.faults.DropWake(now, int32(m.Lock)) {
 			// The FUTEX_WAKE packet is treated as lost in the NoC before
 			// reaching the home node: nothing here observes it, and any
 			// sleeper stays in the wait queue until its futex recheck.
 			return
 		}
 		c.Stats.FutexWakes++
-		if c.queueHandoff {
-			// Baseline: the wake (and handoff) already happened at release.
+		if c.handoffOnRelease {
+			// The wake (and handoff) already happened at release.
 			return
 		}
-		if len(lv.waitq) == 0 {
+		if lv.q.Len() == 0 {
 			lv.emptyWakes++
 			c.Stats.EmptyWakes++
 			return
 		}
-		c.wakeHead(now, m.Lock, lv, false)
+		c.wakeNext(now, m.Lock, lv, m.From)
 	default:
 		panic(fmt.Sprintf("kernel: controller %d cannot handle %s", c.node, m.Type))
 	}
 }
 
-// wakeHead pops the wait-queue head and wakes it; reserve additionally
-// promises it the lock (baseline queue handoff).
-func (c *Controller) wakeHead(now uint64, lock int, lv *lockVar, reserve bool) {
-	thread := lv.waitq[0]
-	lv.waitq = lv.waitq[:copy(lv.waitq, lv.waitq[1:])]
-	lv.wakes++
-	if reserve {
-		lv.reserved = thread
+// handoff asks the protocol's queue for the releasing holder's successor
+// and promises it the lock. A sleeping successor gets a wake-up delivery;
+// a spinning one (explicit-queue locks) a targeted notify — the successor
+// alone re-tries, modelling the single cache-line transfer of an MCS-style
+// handoff instead of an invalidation storm.
+func (c *Controller) handoff(now uint64, lock int, lv *lockVar, holder int) {
+	thread := lv.q.Next(holder)
+	lv.handoffs++
+	c.Stats.Handoffs++
+	lv.reserved = thread
+	if c.explicit && !c.isSleeper(lv, thread) {
+		c.removePoller(lv, thread)
+		c.Stats.Notifies++
+		c.send(now, thread, Msg{Type: MsgNotify, To: ToClient, Lock: lock, From: c.node, Thread: thread})
+		return
 	}
-	if reserve && c.faults != nil && c.faults.DropWake(now, int32(lock)) {
+	c.removeSleeper(lv, thread)
+	lv.wakes++
+	if c.faults != nil && c.faults.DropWake(now, int32(lock)) {
 		// The MsgWakeup delivery is lost in the NoC. The reservation
 		// stands, so the lock stays promised to a thread that will never
 		// hear about it — until its futex recheck finds the reservation
@@ -227,6 +278,21 @@ func (c *Controller) wakeHead(now uint64, lock int, lv *lockVar, reserve bool) {
 		return
 	}
 	c.send(now, thread, Msg{Type: MsgWakeup, To: ToClient, Lock: lock, From: c.node, Thread: thread})
+}
+
+// wakeNext pops the protocol queue's next sleeper and wakes it without a
+// reservation (free-for-all FUTEX_WAKE: the woken thread must re-contend).
+func (c *Controller) wakeNext(now uint64, lock int, lv *lockVar, holder int) {
+	thread := lv.q.Next(holder)
+	lv.wakes++
+	c.send(now, thread, Msg{Type: MsgWakeup, To: ToClient, Lock: lock, From: c.node, Thread: thread})
+}
+
+// noteDepth tracks the queue's high-water mark after an enqueue.
+func (c *Controller) noteDepth(lv *lockVar) {
+	if d := lv.q.Len(); d > lv.maxDepth {
+		lv.maxDepth = d
+	}
 }
 
 func (c *Controller) addPoller(lv *lockVar, thread int) {
@@ -238,15 +304,6 @@ func (c *Controller) addPoller(lv *lockVar, thread int) {
 	lv.polling = append(lv.polling, thread)
 }
 
-func (c *Controller) removeWaiter(lv *lockVar, thread int) {
-	for i, th := range lv.waitq {
-		if th == thread {
-			lv.waitq = append(lv.waitq[:i], lv.waitq[i+1:]...)
-			return
-		}
-	}
-}
-
 func (c *Controller) removePoller(lv *lockVar, thread int) {
 	for i, th := range lv.polling {
 		if th == thread {
@@ -254,6 +311,33 @@ func (c *Controller) removePoller(lv *lockVar, thread int) {
 			return
 		}
 	}
+}
+
+func (c *Controller) addSleeper(lv *lockVar, thread int) {
+	for _, th := range lv.asleep {
+		if th == thread {
+			return
+		}
+	}
+	lv.asleep = append(lv.asleep, thread)
+}
+
+func (c *Controller) removeSleeper(lv *lockVar, thread int) {
+	for i, th := range lv.asleep {
+		if th == thread {
+			lv.asleep = append(lv.asleep[:i], lv.asleep[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Controller) isSleeper(lv *lockVar, thread int) bool {
+	for _, th := range lv.asleep {
+		if th == thread {
+			return true
+		}
+	}
+	return false
 }
 
 // CumHeld returns the total cycles the lock has been held up to now
@@ -279,13 +363,18 @@ func (c *Controller) Held(id int) (bool, int) {
 	return lv.held, lv.holder
 }
 
-// Sleepers returns the number of threads in the wait queue of a lock.
+// Sleepers returns the number of sleeping threads of a lock. For futex-
+// style protocols that is the whole wait queue; explicit-queue protocols
+// also hold spinners in the queue, so sleepers are tracked separately.
 func (c *Controller) Sleepers(id int) int {
 	lv, ok := c.locks[id]
 	if !ok {
 		return 0
 	}
-	return len(lv.waitq)
+	if c.explicit {
+		return len(lv.asleep)
+	}
+	return lv.q.Len()
 }
 
 // Pollers returns the number of registered spinning threads of a lock.
@@ -297,6 +386,16 @@ func (c *Controller) Pollers(id int) int {
 	return len(lv.polling)
 }
 
+// QueueDepth returns the current wait-queue depth of a lock under the
+// protocol's discipline (spinners included for explicit-queue locks).
+func (c *Controller) QueueDepth(id int) int {
+	lv, ok := c.locks[id]
+	if !ok {
+		return 0
+	}
+	return lv.q.Len()
+}
+
 // LockStat summarises one lock variable's lifetime activity.
 type LockStat struct {
 	Lock           int
@@ -306,10 +405,16 @@ type LockStat struct {
 	Wakes          uint64
 	EmptyWakes     uint64
 	ImmediateWakes uint64
+	// Handoffs counts releases that handed this lock to a protocol-chosen
+	// successor under a reservation.
+	Handoffs uint64
 	// HeldCycles is the cumulative time the lock was held (home view).
 	HeldCycles uint64
-	// Sleepers and Pollers are the current queue lengths.
+	// Sleepers and Pollers are the current sleeping / spinning counts.
 	Sleepers, Pollers int
+	// QueueDepth and MaxQueueDepth are the current and high-water depths
+	// of the protocol's wait queue.
+	QueueDepth, MaxQueueDepth int
 }
 
 // LockStats returns the per-lock summaries of every lock homed at this
@@ -317,6 +422,10 @@ type LockStat struct {
 func (c *Controller) LockStats(now uint64) []LockStat {
 	out := make([]LockStat, 0, len(c.locks))
 	for id, lv := range c.locks {
+		sleepers := lv.q.Len()
+		if c.explicit {
+			sleepers = len(lv.asleep)
+		}
 		out = append(out, LockStat{
 			Lock:           id,
 			Home:           c.node,
@@ -325,9 +434,12 @@ func (c *Controller) LockStats(now uint64) []LockStat {
 			Wakes:          lv.wakes,
 			EmptyWakes:     lv.emptyWakes,
 			ImmediateWakes: lv.immediateWakes,
+			Handoffs:       lv.handoffs,
 			HeldCycles:     c.CumHeld(id, now),
-			Sleepers:       len(lv.waitq),
+			Sleepers:       sleepers,
 			Pollers:        len(lv.polling),
+			QueueDepth:     lv.q.Len(),
+			MaxQueueDepth:  lv.maxDepth,
 		})
 	}
 	return out

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/kernel/protocol"
 	"repro/internal/noc"
 	"repro/internal/sim"
 )
@@ -16,8 +17,18 @@ type ctlHarness struct {
 }
 
 func newCtlHarness(queueHandoff bool) *ctlHarness {
+	return newProtoHarness(protocol.Default, queueHandoff)
+}
+
+// newProtoHarness drives a controller under an arbitrary lock protocol
+// (4x4 mesh parameters, MaxSpin default).
+func newProtoHarness(proto string, queueHandoff bool) *ctlHarness {
+	p, err := protocol.New(proto, protocol.Params{MeshW: 4, MeshH: 4, QueueHandoff: queueHandoff})
+	if err != nil {
+		panic(err)
+	}
 	h := &ctlHarness{}
-	h.ctl = newController(0, queueHandoff, func(now uint64, dst int, m Msg) {
+	h.ctl = newController(0, p, func(now uint64, dst int, m Msg) {
 		h.sent = append(h.sent, &m)
 		h.dsts = append(h.dsts, dst)
 	})

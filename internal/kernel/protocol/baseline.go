@@ -1,0 +1,41 @@
+package protocol
+
+// baseline is the paper's Linux 4.2 queue spinlock, exactly as the kernel
+// model hard-wired it before the protocol interface existed: only futex
+// sleepers queue (spinners poll their cached copy and race on release),
+// the queue is FIFO, and a release hands the lock to the queue head only
+// in the unmodified-spinlock configuration (QueueHandoff, i.e. OCOR off).
+// Under OCOR the release is free-for-all and the NoC's Table 1
+// prioritization decides the winner. The reference reproduction runs this
+// protocol and is byte-identical to the pre-interface state machine.
+type baseline struct {
+	handoff bool
+	budget  int
+}
+
+func (b *baseline) Name() string           { return "baseline" }
+func (b *baseline) HandoffOnRelease() bool { return b.handoff }
+func (b *baseline) Explicit() bool         { return false }
+func (b *baseline) NewQueue() Queue        { return &fifoQueue{} }
+func (b *baseline) NewWaitPolicy() WaitPolicy {
+	return &fixedPolicy{budget: b.budget}
+}
+
+// mcs is an MCS/CLH-style explicit-queue lock. Every competitor enqueues
+// on its first failed try-lock — the software analogue of appending a
+// queue node and spinning on a local flag — and a release always hands
+// the lock to the oldest waiter under a reservation, notifying only that
+// successor (the single cache-line handoff that makes MCS scale: no
+// global invalidation storm, no re-acquisition race). Strict FIFO
+// fairness, at the cost of lockstep handoff latency on every transfer.
+type mcs struct {
+	budget int
+}
+
+func (m *mcs) Name() string           { return "mcs" }
+func (m *mcs) HandoffOnRelease() bool { return true }
+func (m *mcs) Explicit() bool         { return true }
+func (m *mcs) NewQueue() Queue        { return &fifoQueue{} }
+func (m *mcs) NewWaitPolicy() WaitPolicy {
+	return &fixedPolicy{budget: m.budget}
+}

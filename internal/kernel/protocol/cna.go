@@ -1,0 +1,106 @@
+package protocol
+
+// cna models Compact NUMA-aware Locks (CNA) on the mesh: an explicit-queue
+// lock whose handoff prefers waiters "close" to the releasing holder,
+// keeping the lock — and the cache lines it protects — inside one region
+// of the die instead of bouncing across it on every transfer.
+//
+// The locality model is two-level and NUMA-like, parameterized on mesh
+// quadrant distance: the W×H mesh is split into four quadrants, nodes in
+// the holder's quadrant are "local" (one hop-scale cache-to-cache
+// transfer) and everything else is "remote" (a cross-die transfer). CNA's
+// main/secondary queue split is realised as a locality-first scan of the
+// arrival-ordered queue: the oldest local waiter is preferred, and after
+// CNALocalCap consecutive local handoffs the global queue head is served
+// regardless — the threshold flush that bounds remote-waiter starvation
+// in the real algorithm.
+type cna struct {
+	meshW, meshH int
+	localCap     int
+	budget       int
+}
+
+func newCNA(p Params) *cna {
+	return &cna{meshW: p.MeshW, meshH: p.MeshH, localCap: p.CNALocalCap, budget: p.MaxSpin}
+}
+
+func (c *cna) Name() string           { return "cna" }
+func (c *cna) HandoffOnRelease() bool { return true }
+func (c *cna) Explicit() bool         { return true }
+func (c *cna) NewQueue() Queue {
+	return &cnaQueue{meshW: c.meshW, meshH: c.meshH, localCap: c.localCap}
+}
+func (c *cna) NewWaitPolicy() WaitPolicy {
+	return &fixedPolicy{budget: c.budget}
+}
+
+// Quadrant maps a node (thread i runs on node i) to its mesh quadrant:
+// bit 0 = east half, bit 1 = south half. Degenerate meshes (width or
+// height 1) collapse the missing axis.
+func Quadrant(node, meshW, meshH int) int {
+	if meshW < 1 {
+		meshW = 1
+	}
+	x, y := node%meshW, node/meshW
+	q := 0
+	if meshW > 1 && x >= (meshW+1)/2 {
+		q |= 1
+	}
+	if meshH > 1 && y >= (meshH+1)/2 {
+		q |= 2
+	}
+	return q
+}
+
+// cnaQueue is the locality-aware discipline: arrival-ordered storage with
+// a quadrant-first Next and a fairness cap on consecutive local handoffs.
+type cnaQueue struct {
+	meshW, meshH int
+	localCap     int
+	q            []int
+	localRun     int
+}
+
+func (c *cnaQueue) Enqueue(thread int) {
+	for _, th := range c.q {
+		if th == thread {
+			return
+		}
+	}
+	c.q = append(c.q, thread)
+}
+
+func (c *cnaQueue) Remove(thread int) {
+	for i, th := range c.q {
+		if th == thread {
+			c.q = append(c.q[:i], c.q[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *cnaQueue) Next(holder int) int {
+	if len(c.q) == 0 {
+		return -1
+	}
+	idx := 0
+	if holder >= 0 && c.localRun < c.localCap {
+		hq := Quadrant(holder, c.meshW, c.meshH)
+		for i, th := range c.q {
+			if Quadrant(th, c.meshW, c.meshH) == hq {
+				idx = i
+				break
+			}
+		}
+	}
+	t := c.q[idx]
+	c.q = append(c.q[:idx], c.q[idx+1:]...)
+	if holder >= 0 && Quadrant(t, c.meshW, c.meshH) == Quadrant(holder, c.meshW, c.meshH) {
+		c.localRun++
+	} else {
+		c.localRun = 0
+	}
+	return t
+}
+
+func (c *cnaQueue) Len() int { return len(c.q) }

@@ -1,0 +1,56 @@
+package protocol
+
+// mutable models Mutable Locks: the same futex-style wait queue as the
+// baseline spinlock, but with an adaptive spin/sleep policy on the client
+// side. Each thread tunes its own spin budget from acquisition outcomes —
+// an acquisition that required sleeping means the spinning phase was
+// wasted energy, so the budget halves (fail fast into the cheap blocking
+// wait); a spin-phase acquisition means spinning is paying off, so the
+// budget grows additively back toward the ceiling. The initial budget is
+// the protocol's tunable (Params.SpinBudget).
+type mutable struct {
+	initial int
+	max     int
+	handoff bool
+}
+
+func newMutable(p Params) *mutable {
+	return &mutable{initial: p.SpinBudget, max: p.MaxSpin, handoff: p.QueueHandoff}
+}
+
+func (m *mutable) Name() string           { return "mutable" }
+func (m *mutable) HandoffOnRelease() bool { return m.handoff }
+func (m *mutable) Explicit() bool         { return false }
+func (m *mutable) NewQueue() Queue        { return &fifoQueue{} }
+func (m *mutable) NewWaitPolicy() WaitPolicy {
+	step := m.max / 8
+	if step < 1 {
+		step = 1
+	}
+	return &adaptivePolicy{budget: m.initial, max: m.max, step: step}
+}
+
+// adaptivePolicy is the multiplicative-decrease / additive-increase spin
+// budget: halve on a slept acquisition (minimum 1 retry, so the thread
+// always probes once before blocking), grow by max/8 on a spin-phase one.
+type adaptivePolicy struct {
+	budget int
+	max    int
+	step   int
+}
+
+func (a *adaptivePolicy) SpinBudget() int { return a.budget }
+
+func (a *adaptivePolicy) OnAcquired(spinPhase bool) {
+	if spinPhase {
+		a.budget += a.step
+		if a.budget > a.max {
+			a.budget = a.max
+		}
+		return
+	}
+	a.budget /= 2
+	if a.budget < 1 {
+		a.budget = 1
+	}
+}

@@ -1,0 +1,208 @@
+// Package protocol defines the pluggable lock-protocol interface of the
+// kernel's critical-section machinery and implements the software lock
+// algorithms OCOR is raced against.
+//
+// A protocol has two halves, mirroring the split of the simulated kernel:
+//
+//   - the controller-side queue discipline (Queue): the per-lock order in
+//     which waiting threads are admitted to the critical section, and
+//     whether a release hands the lock directly to a chosen successor
+//     (reserved handoff) or frees it for all competitors to race over the
+//     NoC;
+//
+//   - the client-side wait policy (WaitPolicy): how long a thread spins
+//     before falling back to the futex sleeping phase, and how that budget
+//     adapts to observed acquisitions.
+//
+// Both halves are driven entirely by the kernel's existing Msg vocabulary
+// (try-lock / grant / fail / futex-wait / release / futex-wake / wakeup /
+// notify); a protocol never adds message types, it only reorders and
+// retargets them. Every implementation is deterministic and allocation-free
+// in steady state, so swapping protocols preserves the simulator's
+// byte-identical replay guarantees.
+//
+// The "baseline" protocol reproduces the paper's Linux 4.2 queue spinlock
+// exactly — the reference reproduction is byte-identical to the pre-refactor
+// hard-wired state machine — while the alternatives model the strongest
+// modern software opponents: an MCS/CLH-style explicit-queue lock,
+// Reciprocating Locks, Mutable Locks (adaptive spin/sleep), and CNA with a
+// two-level NUMA-like locality model parameterized on mesh quadrants.
+package protocol
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Params carries the platform parameters a protocol may depend on.
+type Params struct {
+	// MeshW, MeshH are the mesh dimensions; CNA derives its two-level
+	// (NUMA-like) locality model from mesh quadrants.
+	MeshW, MeshH int
+	// MaxSpin is the spinning-phase retry budget of the enhanced queue
+	// spinlock (the paper's MAX_SPIN_COUNT); fixed-budget protocols use it
+	// directly and Mutable Locks use it as the adaptation ceiling.
+	MaxSpin int
+	// SpinBudget is the Mutable Locks protocol's initial adaptive spin
+	// budget (0 = MaxSpin). The tunable of the adaptive spin/sleep policy.
+	SpinBudget int
+	// CNALocalCap bounds consecutive same-quadrant handoffs before CNA
+	// falls back to the global queue head for fairness (0 = default 4).
+	CNALocalCap int
+	// QueueHandoff selects the baseline's reserved-handoff semantics: the
+	// paper's unmodified queue spinlock hands a released lock to the head
+	// of the wait queue, while under OCOR the release is free-for-all and
+	// the NoC's prioritization picks the winner. Only the futex-style
+	// protocols (baseline, mutable) honour it; the explicit-queue locks
+	// always hand off.
+	QueueHandoff bool
+}
+
+// withDefaults normalises unset parameters.
+func (p Params) withDefaults() Params {
+	if p.MaxSpin <= 0 {
+		p.MaxSpin = 128
+	}
+	if p.SpinBudget <= 0 || p.SpinBudget > p.MaxSpin {
+		p.SpinBudget = p.MaxSpin
+	}
+	if p.CNALocalCap <= 0 {
+		p.CNALocalCap = 4
+	}
+	return p
+}
+
+// Queue is the controller-side queue discipline of one lock variable: the
+// ordered set of threads waiting for it. The kernel controller owns the
+// protocol-independent state (holder, reservation, who is spinning vs
+// sleeping); the Queue decides only admission order.
+type Queue interface {
+	// Enqueue admits a waiting thread. Idempotent: re-admitting a queued
+	// thread (a re-sent try-lock, a sleep transition) keeps its position.
+	Enqueue(thread int)
+	// Remove withdraws a thread (it acquired the lock through another
+	// path, or a recovery re-registration is being deduplicated).
+	Remove(thread int)
+	// Next removes and returns the thread the discipline admits next,
+	// given the node of the releasing holder (-1 when unknown). Returns
+	// -1 when the queue is empty.
+	Next(holder int) int
+	// Len returns the current queue depth.
+	Len() int
+}
+
+// WaitPolicy is the client-side wait policy of one thread: the spin budget
+// of each spinning phase and its adaptation to acquisition outcomes.
+type WaitPolicy interface {
+	// SpinBudget returns the retry budget for a fresh spinning phase (at
+	// lock entry and after each wakeup).
+	SpinBudget() int
+	// OnAcquired reports a completed acquisition; spinPhase is true when
+	// the thread never slept for it. Adaptive policies tune the next
+	// budget from this signal.
+	OnAcquired(spinPhase bool)
+}
+
+// Protocol builds the per-lock queues and per-thread wait policies of one
+// lock algorithm and fixes the controller's handoff discipline.
+type Protocol interface {
+	// Name returns the registry name.
+	Name() string
+	// HandoffOnRelease reports whether a release with waiters hands the
+	// lock to Queue.Next under a reservation (true) or frees it for all
+	// competitors and notifies every spinning sharer (false).
+	HandoffOnRelease() bool
+	// Explicit reports whether failed try-locks enqueue the spinning
+	// thread in the wait queue (an explicit-queue lock: MCS/CLH, CNA,
+	// Reciprocating). False restricts the queue to futex sleepers, as the
+	// Linux queue spinlock does.
+	Explicit() bool
+	// NewQueue returns a fresh per-lock queue.
+	NewQueue() Queue
+	// NewWaitPolicy returns a fresh per-thread wait policy.
+	NewWaitPolicy() WaitPolicy
+}
+
+// Default is the name of the default protocol — the paper's queue spinlock.
+const Default = "baseline"
+
+// builders registers the protocol constructors by name.
+var builders = map[string]func(Params) Protocol{
+	"baseline":      func(p Params) Protocol { return &baseline{handoff: p.QueueHandoff, budget: p.MaxSpin} },
+	"mcs":           func(p Params) Protocol { return &mcs{budget: p.MaxSpin} },
+	"reciprocating": func(p Params) Protocol { return &reciprocating{budget: p.MaxSpin} },
+	"mutable":       func(p Params) Protocol { return newMutable(p) },
+	"cna":           func(p Params) Protocol { return newCNA(p) },
+}
+
+// Known returns the registered protocol names, sorted.
+func Known() []string {
+	names := make([]string, 0, len(builders))
+	for name := range builders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Valid reports whether name is a registered protocol ("" = Default).
+func Valid(name string) bool {
+	if name == "" {
+		return true
+	}
+	_, ok := builders[name]
+	return ok
+}
+
+// New builds the named protocol ("" = Default) with the given parameters.
+func New(name string, p Params) (Protocol, error) {
+	if name == "" {
+		name = Default
+	}
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("protocol: unknown lock protocol %q (known: %v)", name, Known())
+	}
+	return b(p.withDefaults()), nil
+}
+
+// fixedPolicy is the constant-budget wait policy of the non-adaptive
+// protocols: every spinning phase gets the full MAX_SPIN_COUNT budget.
+type fixedPolicy struct{ budget int }
+
+func (f *fixedPolicy) SpinBudget() int { return f.budget }
+func (f *fixedPolicy) OnAcquired(bool) {}
+
+// fifoQueue is the arrival-ordered wait queue shared by the baseline,
+// mutable and MCS protocols. Enqueue deduplicates, Next pops the head, and
+// both reuse the backing array so steady state never allocates.
+type fifoQueue struct{ q []int }
+
+func (f *fifoQueue) Enqueue(thread int) {
+	for _, th := range f.q {
+		if th == thread {
+			return
+		}
+	}
+	f.q = append(f.q, thread)
+}
+
+func (f *fifoQueue) Remove(thread int) {
+	for i, th := range f.q {
+		if th == thread {
+			f.q = append(f.q[:i], f.q[i+1:]...)
+			return
+		}
+	}
+}
+
+func (f *fifoQueue) Next(holder int) int {
+	if len(f.q) == 0 {
+		return -1
+	}
+	t := f.q[0]
+	f.q = f.q[:copy(f.q, f.q[1:])]
+	return t
+}
+
+func (f *fifoQueue) Len() int { return len(f.q) }

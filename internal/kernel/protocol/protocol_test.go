@@ -1,0 +1,255 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	want := []string{"baseline", "cna", "mcs", "mutable", "reciprocating"}
+	got := Known()
+	if len(got) != len(want) {
+		t.Fatalf("Known() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Known() = %v, want %v", got, want)
+		}
+	}
+	for _, name := range want {
+		if !Valid(name) {
+			t.Fatalf("Valid(%q) = false", name)
+		}
+		p, err := New(name, Params{MeshW: 4, MeshH: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if !Valid("") {
+		t.Fatal("empty name must be valid (default)")
+	}
+	p, err := New("", Params{})
+	if err != nil || p.Name() != Default {
+		t.Fatalf("New(\"\") = %v, %v; want default", p, err)
+	}
+	if _, err := New("bogus", Params{}); err == nil {
+		t.Fatal("unknown protocol must error")
+	} else if !strings.Contains(err.Error(), "baseline") {
+		t.Fatalf("error should list known protocols: %v", err)
+	}
+}
+
+func TestFIFOQueueDiscipline(t *testing.T) {
+	q := &fifoQueue{}
+	q.Enqueue(3)
+	q.Enqueue(1)
+	q.Enqueue(3) // idempotent: keeps position
+	q.Enqueue(2)
+	if q.Len() != 3 {
+		t.Fatalf("len = %d, want 3", q.Len())
+	}
+	q.Remove(1)
+	for i, want := range []int{3, 2, -1} {
+		if got := q.Next(0); got != want {
+			t.Fatalf("Next #%d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestReciprocatingWaves(t *testing.T) {
+	q := &recipQueue{}
+	// First wave: 1, 2, 3 arrive; service is most-recent-first.
+	for _, th := range []int{1, 2, 3} {
+		q.Enqueue(th)
+	}
+	if got := q.Next(0); got != 3 {
+		t.Fatalf("first of wave = %d, want 3", got)
+	}
+	// 4 and 5 arrive mid-wave: they must wait for the next wave, behind
+	// the rest of the current one.
+	q.Enqueue(4)
+	q.Enqueue(5)
+	if got := q.Next(0); got != 2 {
+		t.Fatalf("second of wave = %d, want 2", got)
+	}
+	if got := q.Next(0); got != 1 {
+		t.Fatalf("third of wave = %d, want 1", got)
+	}
+	// Wave exhausted: the arrivals stack detaches, most recent first.
+	if got := q.Next(0); got != 5 {
+		t.Fatalf("first of second wave = %d, want 5", got)
+	}
+	if got := q.Next(0); got != 4 {
+		t.Fatalf("second of second wave = %d, want 4", got)
+	}
+	if got := q.Next(0); got != -1 {
+		t.Fatalf("drained queue = %d, want -1", got)
+	}
+}
+
+func TestCNALocalPreferenceAndFairness(t *testing.T) {
+	// 4x4 mesh: quadrants are 2x2 blocks. Node 0 (quadrant 0) holds the
+	// lock; waiters 12 (quadrant 2), 1 and 4 (quadrant 0) are queued in
+	// arrival order.
+	q := &cnaQueue{meshW: 4, meshH: 4, localCap: 2}
+	for _, th := range []int{12, 1, 4} {
+		q.Enqueue(th)
+	}
+	if got := q.Next(0); got != 1 {
+		t.Fatalf("local preference: Next(0) = %d, want 1 (oldest quadrant-0 waiter)", got)
+	}
+	if got := q.Next(0); got != 4 {
+		t.Fatalf("local preference: Next(0) = %d, want 4", got)
+	}
+	// localCap reached: fairness forces the global head even though a
+	// local waiter exists.
+	q.Enqueue(5)
+	if got := q.Next(0); got != 12 {
+		t.Fatalf("fairness flush: Next(0) = %d, want 12 (global head)", got)
+	}
+	// The remote handoff reset the run; locality applies again.
+	q.Enqueue(13)
+	if got := q.Next(12); got != 13 {
+		t.Fatalf("after flush: Next(12) = %d, want 13 (quadrant of holder 12)", got)
+	}
+}
+
+func TestQuadrantDegenerateMeshes(t *testing.T) {
+	// 1xN and Nx1 meshes collapse the missing axis instead of panicking.
+	if got := Quadrant(3, 1, 4); got != 2 {
+		t.Fatalf("Quadrant(3, 1x4) = %d, want 2", got)
+	}
+	if got := Quadrant(3, 4, 1); got != 1 {
+		t.Fatalf("Quadrant(3, 4x1) = %d, want 1", got)
+	}
+	if got := Quadrant(0, 2, 2); got != 0 {
+		t.Fatalf("Quadrant(0, 2x2) = %d, want 0", got)
+	}
+	if got := Quadrant(3, 2, 2); got != 3 {
+		t.Fatalf("Quadrant(3, 2x2) = %d, want 3", got)
+	}
+}
+
+func TestMutableAdaptation(t *testing.T) {
+	m := newMutable(Params{MaxSpin: 128, SpinBudget: 64}.withDefaults())
+	wp := m.NewWaitPolicy()
+	if got := wp.SpinBudget(); got != 64 {
+		t.Fatalf("initial budget = %d, want 64", got)
+	}
+	// Sleeping acquisitions halve the budget down to the floor of 1.
+	for i := 0; i < 10; i++ {
+		wp.OnAcquired(false)
+	}
+	if got := wp.SpinBudget(); got != 1 {
+		t.Fatalf("budget after sleeps = %d, want 1", got)
+	}
+	// Spin acquisitions grow it additively (step = 128/8 = 16) up to the
+	// MaxSpin ceiling.
+	wp.OnAcquired(true)
+	if got := wp.SpinBudget(); got != 17 {
+		t.Fatalf("budget after one spin acquire = %d, want 17", got)
+	}
+	for i := 0; i < 20; i++ {
+		wp.OnAcquired(true)
+	}
+	if got := wp.SpinBudget(); got != 128 {
+		t.Fatalf("budget must cap at MaxSpin: %d", got)
+	}
+	// A second policy from the same protocol adapts independently.
+	if got := m.NewWaitPolicy().SpinBudget(); got != 64 {
+		t.Fatalf("fresh policy budget = %d, want 64", got)
+	}
+}
+
+func TestFixedPolicyIsConstant(t *testing.T) {
+	for _, name := range []string{"baseline", "mcs", "reciprocating", "cna"} {
+		p, err := New(name, Params{MeshW: 4, MeshH: 4, MaxSpin: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wp := p.NewWaitPolicy()
+		wp.OnAcquired(false)
+		wp.OnAcquired(true)
+		if got := wp.SpinBudget(); got != 128 {
+			t.Fatalf("%s: budget = %d, want 128 (constant)", name, got)
+		}
+	}
+}
+
+func TestHandoffFlags(t *testing.T) {
+	cases := []struct {
+		name              string
+		handoff, explicit bool
+	}{
+		{"baseline", true, false}, // QueueHandoff=true below
+		{"mcs", true, true},
+		{"reciprocating", true, true},
+		{"mutable", true, false},
+		{"cna", true, true},
+	}
+	for _, c := range cases {
+		p, err := New(c.name, Params{MeshW: 4, MeshH: 4, QueueHandoff: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.HandoffOnRelease() != c.handoff || p.Explicit() != c.explicit {
+			t.Fatalf("%s: handoff=%v explicit=%v, want %v/%v",
+				c.name, p.HandoffOnRelease(), p.Explicit(), c.handoff, c.explicit)
+		}
+	}
+	// The futex-style protocols drop handoff under OCOR (QueueHandoff
+	// false); the explicit-queue locks always hand off.
+	for _, name := range Known() {
+		p, err := New(name, Params{MeshW: 4, MeshH: 4, QueueHandoff: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p.Explicit()
+		if p.HandoffOnRelease() != want {
+			t.Fatalf("%s under OCOR: handoff=%v, want %v", name, p.HandoffOnRelease(), want)
+		}
+	}
+}
+
+// BenchmarkProtocolDispatch is the CI allocation gate of the protocol
+// subsystem (make bench-smoke, .github/protocol-alloc-threshold): a
+// steady-state churn of enqueue/next/remove plus wait-policy adaptation
+// across every registered protocol must not allocate at all — the queues
+// recycle their backing arrays, so plugging a protocol into the kernel
+// adds zero allocations to the simulator's hot path.
+func BenchmarkProtocolDispatch(b *testing.B) {
+	for _, name := range Known() {
+		b.Run("proto="+name, func(b *testing.B) {
+			p, err := New(name, Params{MeshW: 8, MeshH: 8, MaxSpin: 128, QueueHandoff: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := p.NewQueue()
+			wp := p.NewWaitPolicy()
+			// Warm the queue's backing arrays past the working set.
+			for th := 0; th < 16; th++ {
+				q.Enqueue(th)
+			}
+			for q.Len() > 0 {
+				q.Next(0)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				holder := i % 64
+				for th := 0; th < 8; th++ {
+					q.Enqueue((holder + th*7) % 64)
+				}
+				q.Remove((holder + 7) % 64)
+				for q.Len() > 0 {
+					q.Next(holder)
+				}
+				wp.OnAcquired(i%3 == 0)
+				_ = wp.SpinBudget()
+			}
+		})
+	}
+}

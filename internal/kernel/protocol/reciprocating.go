@@ -1,0 +1,75 @@
+package protocol
+
+// reciprocating models Reciprocating Locks: arriving waiters push onto an
+// arrivals stack, and the lock is served in alternating "waves" — when the
+// current wave drains, the arrivals stack detaches wholesale and is served
+// most-recent-first, while threads arriving during a wave accumulate for
+// the next one. Recency keeps the handoff working set hot (the successor
+// is the thread whose lock probe is freshest in the caches) and the wave
+// alternation bounds bypass: no thread waits more than two waves, which is
+// the algorithm's fairness argument.
+type reciprocating struct {
+	budget int
+}
+
+func (r *reciprocating) Name() string           { return "reciprocating" }
+func (r *reciprocating) HandoffOnRelease() bool { return true }
+func (r *reciprocating) Explicit() bool         { return true }
+func (r *reciprocating) NewQueue() Queue        { return &recipQueue{} }
+func (r *reciprocating) NewWaitPolicy() WaitPolicy {
+	return &fixedPolicy{budget: r.budget}
+}
+
+// recipQueue is the two-stack wave discipline. wave is the detached
+// segment currently being served (popped from the back: most recent
+// arrival first); arrivals collects threads for the next wave. The swap
+// on wave exhaustion reuses the drained slice's backing array, so steady
+// state never allocates.
+type recipQueue struct {
+	wave     []int
+	arrivals []int
+}
+
+func (r *recipQueue) Enqueue(thread int) {
+	for _, th := range r.wave {
+		if th == thread {
+			return
+		}
+	}
+	for _, th := range r.arrivals {
+		if th == thread {
+			return
+		}
+	}
+	r.arrivals = append(r.arrivals, thread)
+}
+
+func (r *recipQueue) Remove(thread int) {
+	for i, th := range r.wave {
+		if th == thread {
+			r.wave = append(r.wave[:i], r.wave[i+1:]...)
+			return
+		}
+	}
+	for i, th := range r.arrivals {
+		if th == thread {
+			r.arrivals = append(r.arrivals[:i], r.arrivals[i+1:]...)
+			return
+		}
+	}
+}
+
+func (r *recipQueue) Next(holder int) int {
+	if len(r.wave) == 0 {
+		r.wave, r.arrivals = r.arrivals, r.wave
+	}
+	n := len(r.wave)
+	if n == 0 {
+		return -1
+	}
+	t := r.wave[n-1]
+	r.wave = r.wave[:n-1]
+	return t
+}
+
+func (r *recipQueue) Len() int { return len(r.wave) + len(r.arrivals) }

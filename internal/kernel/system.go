@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/kernel/protocol"
 	"repro/internal/noc"
 	"repro/internal/obs"
 	"repro/internal/pool"
@@ -23,6 +24,9 @@ type System struct {
 	Clients     []*Client
 	Controllers []*Controller
 
+	// proto is the configured lock protocol (Cfg.Protocol resolved).
+	proto protocol.Protocol
+
 	delay sim.DelayQueue
 	// msgs recycles protocol messages: sendMsg draws a slot, the carrying
 	// packet holds its ref, and Deliver frees it once the handler returns
@@ -36,6 +40,18 @@ func NewSystem(cfg Config, net *noc.Network) (*System, error) {
 		return nil, err
 	}
 	s := &System{Cfg: cfg, Net: net}
+	proto, err := protocol.New(cfg.Protocol, protocol.Params{
+		MeshW:        net.Cfg.Width,
+		MeshH:        net.Cfg.Height,
+		MaxSpin:      cfg.Policy.MaxSpin,
+		SpinBudget:   cfg.MutableSpinBudget,
+		CNALocalCap:  cfg.CNALocalCap,
+		QueueHandoff: !cfg.Policy.Enabled,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.proto = proto
 	s.msgs.Disabled = cfg.NoPool
 	s.msgs.Debug = cfg.PoolDebug
 	nodes := net.Cfg.Nodes()
@@ -44,12 +60,15 @@ func NewSystem(cfg Config, net *noc.Network) (*System, error) {
 	for i := 0; i < nodes; i++ {
 		node := i
 		ctlSend := func(now uint64, dst int, m Msg) { s.sendMsg(now, node, dst, m, core.Normal) }
-		s.Controllers[i] = newController(node, !s.Cfg.Policy.Enabled, ctlSend)
+		s.Controllers[i] = newController(node, proto, ctlSend)
 		cliSend := func(now uint64, dst int, m Msg, prio core.Priority) { s.sendMsg(now, node, dst, m, prio) }
-		s.Clients[i] = newClient(&s.Cfg, node, nodes, cliSend, s.CumHeld, &s.delay)
+		s.Clients[i] = newClient(&s.Cfg, node, nodes, proto.NewWaitPolicy(), cliSend, s.CumHeld, &s.delay)
 	}
 	return s, nil
 }
+
+// Protocol returns the name of the configured lock protocol.
+func (s *System) Protocol() string { return s.proto.Name() }
 
 // MustSystem is NewSystem for configurations known valid; it panics on a
 // validation error (tests and fixed internal configs).

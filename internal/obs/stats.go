@@ -32,6 +32,20 @@ func (h *LogHist) Observe(v uint64) {
 	}
 }
 
+// Merge folds another histogram into h: buckets and moments sum, the
+// max is the max of maxes. Quantiles of the merge are exact at bucket
+// precision, the same guarantee Observe gives.
+func (h *LogHist) Merge(o *LogHist) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // Count returns the number of samples.
 func (h *LogHist) Count() uint64 { return h.count }
 

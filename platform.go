@@ -25,6 +25,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/fault"
 	"repro/internal/kernel"
+	"repro/internal/kernel/protocol"
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/noc"
@@ -55,6 +56,11 @@ type Config struct {
 	// PriorityLevels is the number of priority levels for locking
 	// requests (paper default 8; Fig. 16 sweeps it).
 	PriorityLevels int
+	// Protocol selects the kernel lock algorithm ("" = the default queue
+	// spinlock, byte-identical to the hard-wired baseline). See
+	// internal/kernel/protocol for the registry: mcs, cna, mutable,
+	// reciprocating. Overridden by an explicit Kernel config's Protocol.
+	Protocol string
 	// Seed makes runs reproducible; runs with the same seed and
 	// configuration are cycle-identical.
 	Seed uint64
@@ -182,6 +188,10 @@ func (c *Config) Validate() error {
 			return err
 		}
 	}
+	if !protocol.Valid(c.Protocol) {
+		return &ConfigError{Field: "Protocol",
+			Reason: fmt.Sprintf("unknown lock protocol %q (known: %v)", c.Protocol, protocol.Known())}
+	}
 	if c.Kernel != nil {
 		kc := *c.Kernel
 		if err := kc.Validate(); err != nil {
@@ -287,6 +297,9 @@ func New(cfg Config) (*System, error) {
 	}
 	kcfg.NoPool = cfg.NoPool
 	kcfg.PoolDebug = cfg.PoolDebug
+	if kcfg.Protocol == "" {
+		kcfg.Protocol = cfg.Protocol
+	}
 	kcfg.Policy.Enabled = cfg.OCOR
 	if kcfg.Policy.MaxSpin == 0 {
 		kcfg.Policy.MaxSpin = core.MaxSpinCount

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -17,11 +18,12 @@ import (
 func init() {
 	experiments.SetRunner(experimentRun, experimentTrace)
 	experiments.SetFaultRunner(experimentFaultRun)
+	experiments.SetArenaRunner(experimentArenaRun)
 }
 
 // experimentRun is the experiments.Runner backed by the full platform.
-func experimentRun(p workload.Profile, threads int, ocor bool, levels int, seed uint64, nopool bool, workers int) (metrics.Results, error) {
-	cfg := Config{Benchmark: p, Threads: threads, OCOR: ocor, Seed: seed, NoPool: nopool, Workers: workers}
+func experimentRun(p workload.Profile, threads int, ocor bool, levels int, seed uint64, protocol string, nopool bool, workers int) (metrics.Results, error) {
+	cfg := Config{Benchmark: p, Threads: threads, OCOR: ocor, Seed: seed, Protocol: protocol, NoPool: nopool, Workers: workers}
 	if levels > 0 {
 		cfg.PriorityLevels = levels
 	}
@@ -36,8 +38,8 @@ func experimentRun(p workload.Profile, threads int, ocor bool, levels int, seed 
 // recording enabled and renders the first window cycles of the first
 // traceThreads threads (window 0 selects 1/8 of the run, mirroring the
 // paper's 3000-cycle excerpt).
-func experimentTrace(p workload.Profile, threads int, ocor bool, seed uint64, traceThreads int, window uint64, nopool bool, workers int) (metrics.Results, string, error) {
-	sys, err := New(Config{Benchmark: p, Threads: threads, OCOR: ocor, Seed: seed, Trace: true, NoPool: nopool, Workers: workers})
+func experimentTrace(p workload.Profile, threads int, ocor bool, seed uint64, protocol string, traceThreads int, window uint64, nopool bool, workers int) (metrics.Results, string, error) {
+	sys, err := New(Config{Benchmark: p, Threads: threads, OCOR: ocor, Seed: seed, Protocol: protocol, Trace: true, NoPool: nopool, Workers: workers})
 	if err != nil {
 		return metrics.Results{}, "", err
 	}
@@ -58,16 +60,43 @@ func experimentTrace(p workload.Profile, threads int, ocor bool, seed uint64, tr
 	return res, sys.Timeline.RenderString(traceThreads, window, col), nil
 }
 
+// experimentArenaRun is the experiments.ArenaRunner: one tournament cell
+// with a streaming observer attached, so the arena gets per-acquisition
+// blocking-time and COH histograms plus the kernel's handoff and
+// queue-depth counters alongside the standard results.
+func experimentArenaRun(p workload.Profile, threads int, ocor bool, seed uint64, protocol string, workers int) (experiments.ArenaRun, error) {
+	rec := obs.NewRecorder(0)
+	sys, err := New(Config{
+		Benchmark: p, Threads: threads, OCOR: ocor, Seed: seed,
+		Protocol: protocol, Workers: workers, Obs: rec,
+	})
+	if err != nil {
+		return experiments.ArenaRun{}, err
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return experiments.ArenaRun{}, err
+	}
+	run := experiments.ArenaRun{Results: res, BT: rec.Stats.BT, COH: rec.Stats.COH}
+	for _, st := range sys.Kernel.LockStats(sys.Engine.Now()) {
+		run.Handoffs += st.Handoffs
+		if st.MaxQueueDepth > run.MaxQueueDepth {
+			run.MaxQueueDepth = st.MaxQueueDepth
+		}
+	}
+	return run, nil
+}
+
 // experimentFaultRun is the experiments.FaultRunner: one fault-injected
 // run under a watchdog (so a fault-induced deadlock becomes a prompt
 // typed failure, in deterministic cycles, instead of burning the
 // MaxCycles budget) and an optional wall-clock timeout with panic
 // capture. Run failures are folded into the outcome — a degraded run is
 // a data point of the sweep, not an error.
-func experimentFaultRun(p workload.Profile, threads int, ocor bool, seed uint64,
+func experimentFaultRun(p workload.Profile, threads int, ocor bool, seed uint64, protocol string,
 	plan fault.Plan, recovery bool, workers int, timeout time.Duration) (experiments.FaultOutcome, error) {
 	cfg := Config{
-		Benchmark: p, Threads: threads, OCOR: ocor, Seed: seed, Workers: workers,
+		Benchmark: p, Threads: threads, OCOR: ocor, Seed: seed, Protocol: protocol, Workers: workers,
 		Recovery: &kernel.RecoveryConfig{Enabled: recovery},
 		Watchdog: &sim.WatchdogConfig{},
 	}
