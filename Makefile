@@ -37,21 +37,29 @@ check: build vet fmt-check test race
 # fuzz-smoke gives each native fuzz target a short budget: enough to catch
 # a codec or parser regression in CI without a real fuzzing campaign
 # (-fuzz accepts one target per invocation, hence one line per target).
+# The actSet target fuzzes the two-level activity bitmap every tick phase
+# iterates — set/clear/iterate against a reference full scan.
 fuzz-smoke:
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz '^FuzzPriorityCodec$$' -fuzztime 10s
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz '^FuzzReadTrace$$' -fuzztime 10s
+	$(GO) test ./internal/noc/ -run '^$$' -fuzz '^FuzzActSet$$' -fuzztime 10s
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/noc/ .
 
 # bench-json regenerates the Fig. 2/10/11 experiments under the benchmark
-# harness and writes wall-clock + allocs/op plus per-mesh tick-cost and
-# intra-run tick scaling blocks to BENCH_5.json (pass -tickbase reference
-# points by hand when recording a before/after comparison; see
-# EXPERIMENTS.md "Dispatch floor").
+# harness and writes wall-clock + allocs/op plus per-mesh tick-cost,
+# sparse mesh-scaling and intra-run tick scaling blocks to BENCH_6.json
+# (pass -tickbase/-sparsebase reference points by hand when recording a
+# before/after comparison; see EXPERIMENTS.md "Dispatch floor" and "Giant
+# meshes"). The committed BENCH_6.json carries the BENCH_5 network_tick
+# numbers as -tickbase and the predecessor commit's fused tick measured
+# on the sparse workload as -sparsebase.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_5.json
+	$(GO) run ./cmd/benchjson -o BENCH_6.json \
+		-tickbase 8x8=26440,16x16=106074,32x32=880137 \
+		-sparsebase 8x8=43700,16x16=77300,32x32=159100,64x64=364600
 
 # bench-smoke is the CI performance gate: the steady-state step benchmark
 # and the sequential (workers=1) NoC tick hot loop must not allocate more
@@ -59,7 +67,11 @@ bench-json:
 # the committed ns/op ceiling (set with generous headroom over the
 # BENCH_5 dispatch-floor numbers, so it catches order-of-magnitude
 # regressions — a dropped active-set bitmap, an accidental allocation per
-# flit — not CI-runner jitter).
+# flit — not CI-runner jitter). The sparse 32x32 gate guards the
+# O(active) regime the same way: its threshold sits roughly 2x over the
+# fast-forward number but well *below* the tick-every-busy-cycle cost, so
+# losing idle-window fast-forward (or the hierarchical active sets) trips
+# it even on a noisy runner.
 bench-smoke:
 	@$(GO) test -run '^$$' -bench '^BenchmarkSteadyStateStep$$' -benchmem -benchtime 20000x . | tee /tmp/bench-smoke.out
 	@max=$$(cat .github/alloc-threshold); \
@@ -86,6 +98,23 @@ bench-smoke:
 		echo "bench-smoke: tick $$ns ns/op exceeds threshold $$max"; exit 1; \
 	else \
 		echo "bench-smoke: tick $$ns ns/op within threshold $$max"; \
+	fi
+	@$(GO) test -run '^$$' -bench '^BenchmarkNetworkTickSparse/mesh=32x32$$' -benchmem -benchtime 3000x ./internal/noc/ | tee /tmp/bench-smoke-sparse.out
+	@max=$$(cat .github/giant-tick-threshold); \
+	ns=$$(awk '/^BenchmarkNetworkTickSparse/ {for (i=1; i<=NF; i++) if ($$i == "ns/op") printf "%d", $$(i-1)}' /tmp/bench-smoke-sparse.out); \
+	if [ -z "$$ns" ]; then echo "bench-smoke: no ns/op in sparse tick output"; exit 1; fi; \
+	if [ "$$ns" -gt "$$max" ]; then \
+		echo "bench-smoke: sparse 32x32 $$ns ns/op exceeds threshold $$max (idle-window fast-forward regressed?)"; exit 1; \
+	else \
+		echo "bench-smoke: sparse 32x32 $$ns ns/op within threshold $$max"; \
+	fi
+	@max=$$(cat .github/tick-alloc-threshold); \
+	allocs=$$(awk '/^BenchmarkNetworkTickSparse/ {for (i=1; i<=NF; i++) if ($$i == "allocs/op") print $$(i-1)}' /tmp/bench-smoke-sparse.out); \
+	if [ -z "$$allocs" ]; then echo "bench-smoke: no allocs/op in sparse tick output"; exit 1; fi; \
+	if [ "$$allocs" -gt "$$max" ]; then \
+		echo "bench-smoke: sparse 32x32 $$allocs allocs/op exceeds threshold $$max"; exit 1; \
+	else \
+		echo "bench-smoke: sparse 32x32 $$allocs allocs/op within threshold $$max"; \
 	fi
 	@$(GO) test -run '^$$' -bench '^BenchmarkProtocolDispatch$$' -benchmem -benchtime 20000x ./internal/kernel/protocol/ | tee /tmp/bench-smoke-proto.out
 	@max=$$(cat .github/protocol-alloc-threshold); \

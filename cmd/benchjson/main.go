@@ -8,7 +8,11 @@
 // Besides the per-figure records, the report carries a network_tick block
 // — the sequential per-cycle cost of the saturated NoC tick loop per mesh
 // size, optionally annotated with -tickbase reference points from an
-// earlier commit — and an intra-run scaling block: the same Fig. 11
+// earlier commit — a mesh_scaling block — the sparse-traffic cost of
+// eight deliveries on meshes up to 64x64, with and without idle-window
+// fast-forward, optionally annotated with -sparsebase reference points
+// measured against the predecessor commit's fused tick — and an intra-run
+// scaling block: the same Fig. 11
 // regeneration timed once per -scaleworkers value, so the record shows
 // how the sharded tick executor behaves on this host (together with the
 // host's CPU count, without which a scaling curve is meaningless; when
@@ -16,7 +20,7 @@
 //
 // Usage:
 //
-//	benchjson                       # writes BENCH_5.json
+//	benchjson                       # writes BENCH_6.json
 //	benchjson -o perf.json -scale 0.5 -workers 4
 package main
 
@@ -72,6 +76,26 @@ type tickRecord struct {
 	SpeedupVs   float64 `json:"speedup_vs_baseline,omitempty"`
 }
 
+// meshScalingRecord is one cell of the mesh_scaling block: the
+// low-utilization sparse-traffic cost of advancing the network by eight
+// deliveries (the BenchmarkNetworkTickSparse workload — one single-flit
+// lock-token flow ping-ponging across three quarters of an otherwise idle
+// mesh). FastForwardNs is the default engine-driven path (idle-window
+// fast-forward plus hierarchical active sets); NoFastForwardNs disables
+// the fast-forward escape hatch, i.e. every busy cycle executes.
+// BaselineNs, when -sparsebase supplies it, is the same workload measured
+// on the same host against the predecessor commit's fused tick, so the
+// speedup column documents the O(active) win directly.
+type meshScalingRecord struct {
+	Mesh            string  `json:"mesh"`
+	Iterations      int     `json:"iterations"`
+	FastForwardNs   float64 `json:"fast_forward_ns_per_op"`
+	NoFastForwardNs float64 `json:"no_fast_forward_ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BaselineNs      float64 `json:"baseline_ns_per_op,omitempty"`
+	SpeedupVs       float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
 // report is the top-level JSON document.
 type report struct {
 	GoVersion string  `json:"go_version"`
@@ -85,11 +109,12 @@ type report struct {
 	// Caveat is set when any measured worker count exceeds the host's
 	// CPUs: the scaling numbers then reflect time-slicing, not
 	// parallelism, and must not be compared across hosts.
-	Caveat  string         `json:"caveat,omitempty"`
-	Records []record       `json:"benchmarks"`
-	Tick    []tickRecord   `json:"network_tick,omitempty"`
-	Scaling []scalingPoint `json:"tick_scaling,omitempty"`
-	Arena   *arenaBlock    `json:"lock_arena,omitempty"`
+	Caveat      string              `json:"caveat,omitempty"`
+	Records     []record            `json:"benchmarks"`
+	Tick        []tickRecord        `json:"network_tick,omitempty"`
+	MeshScaling []meshScalingRecord `json:"mesh_scaling,omitempty"`
+	Scaling     []scalingPoint      `json:"tick_scaling,omitempty"`
+	Arena       *arenaBlock         `json:"lock_arena,omitempty"`
 }
 
 // arenaBlock is the lock-protocol tournament record: a small deterministic
@@ -102,15 +127,17 @@ type arenaBlock struct {
 
 func main() {
 	var (
-		out          = flag.String("o", "BENCH_5.json", "output JSON file")
+		out          = flag.String("o", "BENCH_6.json", "output JSON file")
 		threads      = flag.Int("threads", 64, "thread/core count")
 		scale        = flag.Float64("scale", 0.25, "iteration scale factor")
 		seed         = flag.Uint64("seed", 1, "simulation seed")
 		quick        = flag.Bool("quick", true, "use the representative benchmark subset")
 		workers      = flag.Int("workers", 1, "intra-simulation tick worker count for the per-figure benchmarks")
 		scaleWorkers = flag.String("scaleworkers", "1,2,4", "comma-separated worker counts for the tick_scaling block (empty disables it)")
-		tickMeshes   = flag.String("tickmeshes", "8,16,32", "comma-separated square mesh widths for the network_tick block (empty disables it)")
+		tickMeshes   = flag.String("tickmeshes", "8,16,32,64", "comma-separated square mesh widths for the network_tick block (empty disables it)")
 		tickBase     = flag.String("tickbase", "", "comma-separated mesh=ns_per_op reference points recorded into the network_tick block (e.g. 8x8=30128,16x16=144082)")
+		sparseMeshes = flag.String("sparsemeshes", "8,16,32,64", "comma-separated square mesh widths for the mesh_scaling block (empty disables it)")
+		sparseBase   = flag.String("sparsebase", "", "comma-separated mesh=ns_per_op reference points for the mesh_scaling block, measured against the predecessor commit's fused tick")
 		arena        = flag.Bool("arena", true, "include the lock_arena block (small deterministic protocol tournament)")
 	)
 	flag.Parse()
@@ -169,6 +196,11 @@ func main() {
 		fatal(err)
 	} else {
 		rep.Tick = recs
+	}
+	if recs, err := measureMeshScaling(*sparseMeshes, *sparseBase); err != nil {
+		fatal(err)
+	} else {
+		rep.MeshScaling = recs
 	}
 
 	for _, c := range cases {
@@ -282,21 +314,9 @@ func measureScaling(opt experiments.Options, spec string) ([]scalingPoint, error
 // each requested square mesh width, attaching reference ns/op points
 // from the base spec ("mesh=ns" pairs) when given.
 func measureTicks(meshSpec, baseSpec string) ([]tickRecord, error) {
-	base := map[string]float64{}
-	for _, field := range strings.Split(baseSpec, ",") {
-		field = strings.TrimSpace(field)
-		if field == "" {
-			continue
-		}
-		mesh, nsText, ok := strings.Cut(field, "=")
-		if !ok {
-			return nil, fmt.Errorf("bad -tickbase entry %q", field)
-		}
-		ns, err := strconv.ParseFloat(nsText, 64)
-		if err != nil || ns <= 0 {
-			return nil, fmt.Errorf("bad -tickbase entry %q", field)
-		}
-		base[mesh] = ns
+	base, err := parseBaseSpec("-tickbase", baseSpec)
+	if err != nil {
+		return nil, err
 	}
 	var recs []tickRecord
 	for _, field := range strings.Split(meshSpec, ",") {
@@ -371,6 +391,168 @@ func measureTicks(meshSpec, baseSpec string) ([]tickRecord, error) {
 		fmt.Fprintf(os.Stderr, "benchjson: tick %-7s %10.0f ns/op  %3d allocs/op", rec.Mesh, rec.NsPerOp, rec.AllocsPerOp)
 		if rec.SpeedupVs != 0 {
 			fmt.Fprintf(os.Stderr, "  (%.2fx vs baseline %0.f)", rec.SpeedupVs, rec.BaselineNs)
+		}
+		fmt.Fprintln(os.Stderr)
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// parseBaseSpec parses a comma-separated "mesh=ns_per_op" reference-point
+// spec (shared by -tickbase and -sparsebase).
+func parseBaseSpec(flagName, spec string) (map[string]float64, error) {
+	base := map[string]float64{}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		mesh, nsText, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad %s entry %q", flagName, field)
+		}
+		ns, err := strconv.ParseFloat(nsText, 64)
+		if err != nil || ns <= 0 {
+			return nil, fmt.Errorf("bad %s entry %q", flagName, field)
+		}
+		base[mesh] = ns
+	}
+	return base, nil
+}
+
+// sparseRelease / sparseGen mirror the BenchmarkNetworkTickSparse fixture
+// in internal/noc (test code, so not importable here): a FIFO ring of
+// pending ping-pong releases exposed as an event-driven component, so the
+// engine can fast-forward across think-time windows. All pushes share one
+// constant think time, so release times arrive nondecreasing and the ring
+// head is always the earliest entry.
+type sparseRelease struct {
+	at       uint64
+	src, dst int
+}
+
+type sparseGen struct {
+	net        *noc.Network
+	waker      sim.Waker
+	ring       []sparseRelease
+	head, tail int
+}
+
+func (g *sparseGen) push(at uint64, src, dst int) {
+	g.ring[g.tail] = sparseRelease{at: at, src: src, dst: dst}
+	g.tail = (g.tail + 1) % len(g.ring)
+	if g.waker != nil {
+		g.waker.Wake(at)
+	}
+}
+
+func (g *sparseGen) Tick(now uint64) {
+	for g.head != g.tail && g.ring[g.head].at <= now {
+		ev := g.ring[g.head]
+		g.head = (g.head + 1) % len(g.ring)
+		g.net.Send(now, g.net.NewPacket(ev.src, ev.dst, noc.ClassCtrl, noc.VNetRequest, nil))
+	}
+}
+
+func (g *sparseGen) NextWake(now uint64) uint64 {
+	if g.head == g.tail {
+		return sim.Never
+	}
+	if at := g.ring[g.head].at; at > now {
+		return at
+	}
+	return now + 1
+}
+
+func (g *sparseGen) SetWaker(w sim.Waker) { g.waker = w }
+
+// measureSparse times the sparse-traffic fixture on one mesh: a single
+// single-flit lock-token flow ping-ponging across three quarters of a
+// LinkLatency-8 mesh with 200 think cycles between a delivery and the
+// reverse send. One op advances the run by eight deliveries. Returns the
+// minimum of several timed runs (as measureTicks; noise only inflates).
+func measureSparse(mesh int, noFF bool) testing.BenchmarkResult {
+	const think = 200
+	cfg := noc.DefaultConfig()
+	cfg.Width, cfg.Height = mesh, mesh
+	cfg.Priority = true
+	cfg.LinkLatency = 8
+	cfg.NoFastForward = noFF
+	n := noc.MustNetwork(cfg)
+	delivered := 0
+	g := &sparseGen{net: n, ring: make([]sparseRelease, 2)}
+	resend := func(now uint64, pkt *noc.Packet) {
+		delivered++
+		src, dst := pkt.Dst, pkt.Src
+		n.FreePacket(pkt)
+		g.push(now+think, src, dst)
+	}
+	for j := 0; j < cfg.Nodes(); j++ {
+		n.SetSink(j, resend)
+	}
+	e := sim.NewEngine()
+	e.Register(n)
+	e.Register(g)
+	rng := sim.NewRNG(42)
+	span := 3 * mesh / 4
+	x, y := rng.Intn(mesh-span), rng.Intn(mesh-span)
+	g.push(0, cfg.Node(x, y), cfg.Node(x+span, y+span))
+	e.MaxCycles = 1 << 62
+	e.RunUntil(func() bool { return delivered >= 40 })
+	runtime.GC()
+	var best testing.BenchmarkResult
+	for rep := 0; rep < 3; rep++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				target := delivered + 8
+				e.RunUntil(func() bool { return delivered >= target })
+			}
+		})
+		if rep == 0 || r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return best
+}
+
+// measureMeshScaling builds the mesh_scaling block: for each requested
+// square mesh width, the sparse workload with idle-window fast-forward on
+// (the default engine path) and off (the escape hatch — every busy cycle
+// executes, the predecessor ticking discipline), plus optional -sparsebase
+// reference points measured against the predecessor commit's fused tick.
+func measureMeshScaling(meshSpec, baseSpec string) ([]meshScalingRecord, error) {
+	base, err := parseBaseSpec("-sparsebase", baseSpec)
+	if err != nil {
+		return nil, err
+	}
+	var recs []meshScalingRecord
+	for _, field := range strings.Split(meshSpec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		mesh, err := strconv.Atoi(field)
+		if err != nil || mesh < 4 {
+			return nil, fmt.Errorf("bad -sparsemeshes entry %q", field)
+		}
+		ff := measureSparse(mesh, false)
+		noff := measureSparse(mesh, true)
+		rec := meshScalingRecord{
+			Mesh:            fmt.Sprintf("%dx%d", mesh, mesh),
+			Iterations:      ff.N,
+			FastForwardNs:   float64(ff.T.Nanoseconds()) / float64(ff.N),
+			NoFastForwardNs: float64(noff.T.Nanoseconds()) / float64(noff.N),
+			AllocsPerOp:     ff.AllocsPerOp(),
+		}
+		if ns, ok := base[rec.Mesh]; ok {
+			rec.BaselineNs = ns
+			rec.SpeedupVs = ns / rec.FastForwardNs
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: sparse %-7s %10.0f ns/op ff  %10.0f ns/op noff  %3d allocs/op",
+			rec.Mesh, rec.FastForwardNs, rec.NoFastForwardNs, rec.AllocsPerOp)
+		if rec.SpeedupVs != 0 {
+			fmt.Fprintf(os.Stderr, "  (%.2fx vs baseline %.0f)", rec.SpeedupVs, rec.BaselineNs)
 		}
 		fmt.Fprintln(os.Stderr)
 		recs = append(recs, rec)

@@ -11,6 +11,8 @@
 //	noctrace -pattern transpose -mesh 8x8
 //	noctrace -pattern hotspot -priority -csv          # machine-readable rows
 //	noctrace -pattern hotspot -trace out.json         # Perfetto trace
+//	noctrace -mesh 32x32 -workers 4                   # sharded fused tick
+//	noctrace -priority -protocol reciprocating        # protocol spin budgets
 package main
 
 import (
@@ -20,8 +22,10 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/kernel/protocol"
 	"repro/internal/noc"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -37,6 +41,8 @@ func main() {
 		csv      = flag.Bool("csv", false, "print machine-readable per-class CSV rows instead of the table")
 		traceOut = flag.String("trace", "", "write a Perfetto trace-event JSON file of the run")
 		noPool   = flag.Bool("nopool", false, "disable the packet freelist (heap-allocate packets; results are identical)")
+		workers  = flag.Int("workers", 1, "intra-tick worker count (>1 runs the sharded fused tick; results are identical)")
+		proto    = flag.String("protocol", "", "lock protocol whose wait policy sets the spin budget behind lock-packet priorities (\"\" = baseline)")
 	)
 	flag.Parse()
 
@@ -53,9 +59,31 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
+	// -workers and -protocol get the same validation the platform config
+	// applies: worker counts are bounded by the shardable node count, and
+	// an unknown protocol name reports the registry's known list.
+	if *workers < 0 {
+		fatal(fmt.Errorf("bad -workers: negative count %d", *workers))
+	}
+	if *workers > cfg.Nodes() {
+		fatal(fmt.Errorf("bad -workers: %d tick workers exceed the %dx%d mesh's %d nodes (shards would be empty)",
+			*workers, w, h, cfg.Nodes()))
+	}
+	if !protocol.Valid(*proto) {
+		fatal(fmt.Errorf("unknown lock protocol %q (known: %v)", *proto, protocol.Known()))
+	}
+	prot, err := protocol.New(*proto, protocol.Params{MeshW: w, MeshH: h})
+	if err != nil {
+		fatal(err)
+	}
 	net, err := noc.NewNetwork(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *workers > 1 {
+		pool := par.NewPool(*workers)
+		defer pool.Close()
+		net.SetTickPool(pool)
 	}
 	for i := 0; i < cfg.Nodes(); i++ {
 		net.SetSink(i, func(now uint64, pkt *noc.Packet) {})
@@ -68,6 +96,14 @@ func main() {
 
 	rng := sim.NewRNG(*seed)
 	pol := core.DefaultPolicy()
+	// The protocol's client-side wait policy bounds how long a thread
+	// spins before sleeping, which is exactly the spin-progress component
+	// of the OCOR priority — so the chosen protocol sets the ceiling the
+	// synthetic lock packets draw their spin counts from.
+	spinCap := prot.NewWaitPolicy().SpinBudget()
+	if spinCap < 2 {
+		spinCap = 2
+	}
 	dst := func(src int) int {
 		switch *pattern {
 		case "hotspot":
@@ -101,7 +137,7 @@ func main() {
 				}
 				if rng.Bool(*lockfrac) {
 					pkt := net.NewPacket(s, d, noc.ClassLock, noc.VNetRequest, nil)
-					pkt.Prio = pol.LockPriority(rng.Range(1, pol.MaxSpin), rng.Intn(8))
+					pkt.Prio = pol.LockPriority(rng.Range(1, spinCap), rng.Intn(8))
 					net.Send(now, pkt)
 				} else {
 					net.Send(now, net.NewPacket(s, d, noc.ClassData, noc.VNetResponse, nil))
@@ -138,7 +174,8 @@ func main() {
 				net.Stats.InjectedPkts[c], net.Stats.DeliveredPkts[c], nl.Mean(), tl.Mean(), nl.Max())
 		}
 	} else {
-		fmt.Printf("mesh %dx%d, pattern %s, load %.3f, priority=%v\n", w, h, *pattern, *load, *priority)
+		fmt.Printf("mesh %dx%d, pattern %s, load %.3f, priority=%v, workers=%d, protocol=%s\n",
+			w, h, *pattern, *load, *priority, *workers, prot.Name())
 		fmt.Printf("drained at cycle %d (injection window %d)\n\n", e.Now(), *cycles)
 		fmt.Printf("%-8s %10s %10s %12s %12s %12s\n", "class", "injected", "delivered", "avg net lat", "avg tot lat", "max net lat")
 		for _, c := range classes {

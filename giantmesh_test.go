@@ -3,6 +3,7 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/noc"
 	"repro/internal/sim"
 )
 
@@ -68,5 +69,69 @@ func TestGiantMeshSmoke(t *testing.T) {
 	}
 	if seqRes != res {
 		t.Fatalf("32x32 workers=4 diverged from sequential:\n%+v\n%+v", res, seqRes)
+	}
+}
+
+// TestGiantMeshSmoke64 pushes the smoke one size up: 64 threads on a
+// 64x64 mesh — 4096 nodes, of which 98% never host a thread, exactly the
+// regime the O(active) ticking targets. The fused four-worker
+// fast-forward run must complete, stay coherent, and be byte-identical to
+// a sequential run with fast-forward disabled (the conservative
+// tick-every-busy-cycle discipline), closing the {workers} x
+// {fast-forward} matrix at the platform level on a giant mesh.
+func TestGiantMeshSmoke64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64x64 platform smoke skipped in -short")
+	}
+	p := smallProfile()
+	p.Iterations = 2
+	sys, err := New(Config{
+		Benchmark:  p,
+		Threads:    64,
+		MeshWidth:  64,
+		MeshHeight: 64,
+		OCOR:       true,
+		Seed:       11,
+		Workers:    4,
+		Watchdog:   &sim.WatchdogConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatalf("64x64 run failed: %v", err)
+	}
+	if res.Acquisitions != 64*2 {
+		t.Fatalf("acquisitions = %d, want %d", res.Acquisitions, 64*2)
+	}
+	if sys.Net.Busy() {
+		t.Fatal("network still busy after completion")
+	}
+	if err := sys.Mem.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+
+	ncfg := noc.DefaultConfig()
+	ncfg.NoFastForward = true
+	seq, err := New(Config{
+		Benchmark:  p,
+		Threads:    64,
+		MeshWidth:  64,
+		MeshHeight: 64,
+		OCOR:       true,
+		Seed:       11,
+		NoC:        &ncfg,
+		Watchdog:   &sim.WatchdogConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRes, err := seq.Run()
+	if err != nil {
+		t.Fatalf("sequential conservative 64x64 run failed: %v", err)
+	}
+	if seqRes != res {
+		t.Fatalf("64x64 workers=4 fast-forward diverged from conservative sequential:\n%+v\n%+v", res, seqRes)
 	}
 }

@@ -1,0 +1,77 @@
+package noc
+
+import "math/bits"
+
+// actSet is a two-level activity bitmap over node ids: bit i of
+// words[i>>6] marks node i active, and bit w of sum[w>>6] marks words[w]
+// non-zero. The summary level is what makes giant meshes cheap: a 64x64
+// mesh has 64 activity words, and a per-cycle phase that previously read
+// all of them to find the handful holding bits now reads one summary word
+// and jumps straight to the live ones — per-cycle cost proportional to
+// *active* state, not node count.
+//
+// set and clear maintain the summary incrementally, so membership updates
+// stay O(1). Iteration is written out at the call sites (nested
+// summary-word-over-words bit loops) rather than behind a callback, which
+// keeps the tick phases closure- and allocation-free; forEach exists as
+// the readable reference form and is what the property test holds the
+// open-coded loops to.
+type actSet struct {
+	words []uint64
+	sum   []uint64
+}
+
+// newActSet returns an actSet sized for ids [0, n).
+func newActSet(n int) actSet {
+	w := (n + 63) >> 6
+	return actSet{
+		words: make([]uint64, w),
+		sum:   make([]uint64, (w+63)>>6),
+	}
+}
+
+// set marks id active.
+func (s *actSet) set(id int) {
+	w := id >> 6
+	s.words[w] |= 1 << uint(id&63)
+	s.sum[w>>6] |= 1 << uint(w&63)
+}
+
+// clear unmarks id, dropping the word's summary bit when it empties.
+func (s *actSet) clear(id int) {
+	w := id >> 6
+	if s.words[w] &^= 1 << uint(id&63); s.words[w] == 0 {
+		s.sum[w>>6] &^= 1 << uint(w&63)
+	}
+}
+
+// test reports whether id is marked.
+func (s *actSet) test(id int) bool {
+	return s.words[id>>6]&(1<<uint(id&63)) != 0
+}
+
+// count returns the number of marked ids, visiting only live words.
+func (s *actSet) count() int {
+	n := 0
+	for sw, sword := range s.sum {
+		for ; sword != 0; sword &= sword - 1 {
+			n += bits.OnesCount64(s.words[sw<<6|bits.TrailingZeros64(sword)])
+		}
+	}
+	return n
+}
+
+// forEach calls fn for every marked id in ascending order — the reference
+// iteration the open-coded tick loops must match. fn may clear any id
+// (including the current one) but must not set new ones mid-iteration;
+// both levels are iterated from snapshots, exactly like the hot loops.
+func (s *actSet) forEach(fn func(id int)) {
+	for sw, sword := range s.sum {
+		for ; sword != 0; sword &= sword - 1 {
+			w := sw<<6 | bits.TrailingZeros64(sword)
+			for word := s.words[w]; word != 0; word &= word - 1 {
+				fn(w<<6 | bits.TrailingZeros64(word))
+			}
+		}
+	}
+}

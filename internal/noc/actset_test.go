@@ -1,0 +1,109 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// actSetRef checks the two-level bitmap against a reference full scan: the
+// summary invariant (a summary bit is set iff its word is non-zero — no
+// stale or missing summary bits), membership, count, and forEach order.
+// This is the actSet counterpart of the Busy()/scanBusy() cross-check: the
+// hot loops iterate summary-then-word, so any incremental-maintenance bug
+// shows up as a divergence from the flat scan.
+func actSetRef(t *testing.T, s *actSet, want []bool) {
+	t.Helper()
+	for w, word := range s.words {
+		sumBit := s.sum[w>>6]&(1<<uint(w&63)) != 0
+		if (word != 0) != sumBit {
+			t.Fatalf("summary invariant broken: words[%d]=%#x sum bit %v", w, word, sumBit)
+		}
+	}
+	n := 0
+	for id, m := range want {
+		if s.test(id) != m {
+			t.Fatalf("test(%d) = %v, want %v", id, s.test(id), m)
+		}
+		if m {
+			n++
+		}
+	}
+	if got := s.count(); got != n {
+		t.Fatalf("count() = %d, full scan says %d", got, n)
+	}
+	prev := -1
+	seen := 0
+	s.forEach(func(id int) {
+		if id <= prev {
+			t.Fatalf("forEach out of order: %d after %d", id, prev)
+		}
+		if !want[id] {
+			t.Fatalf("forEach visited unmarked id %d", id)
+		}
+		prev = id
+		seen++
+	})
+	if seen != n {
+		t.Fatalf("forEach visited %d ids, full scan says %d", seen, n)
+	}
+}
+
+// TestActSetProperty drives random set/clear sequences over several sizes
+// (including word- and summary-boundary sizes) and holds the summary
+// iteration to the reference full scan after every batch.
+func TestActSetProperty(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 1024, 4096, 64*64 + 17} {
+		s := newActSet(n)
+		want := make([]bool, n)
+		rng := sim.NewRNG(uint64(n))
+		for batch := 0; batch < 50; batch++ {
+			for op := 0; op < 40; op++ {
+				id := rng.Intn(n)
+				if rng.Bool(0.45) {
+					s.clear(id)
+					want[id] = false
+				} else {
+					s.set(id)
+					want[id] = true
+				}
+			}
+			actSetRef(t, &s, want)
+		}
+		// Drain through forEach's clear-during-iteration allowance: the
+		// tick phases clear the node they just processed mid-loop.
+		s.forEach(func(id int) {
+			s.clear(id)
+			want[id] = false
+		})
+		actSetRef(t, &s, want)
+		if s.count() != 0 {
+			t.Fatalf("n=%d: set not empty after forEach drain", n)
+		}
+	}
+}
+
+// FuzzActSet interprets the fuzz input as an op stream over a 4096-id set
+// (a 64x64 mesh): each byte pair is (op, id) with set/clear/re-set ops,
+// checking the summary invariant, membership, count and iteration against
+// a reference full scan after every op.
+func FuzzActSet(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x80, 0x01, 0x00, 0xff})
+	f.Add([]byte{0x3f, 0x00, 0x40, 0x00, 0x3f, 0x01})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const n = 4096
+		s := newActSet(n)
+		want := make([]bool, n)
+		for i := 0; i+1 < len(ops); i += 2 {
+			id := (int(ops[i]&0x0f)<<8 | int(ops[i+1])) % n
+			if ops[i]&0x80 != 0 {
+				s.clear(id)
+				want[id] = false
+			} else {
+				s.set(id)
+				want[id] = true
+			}
+			actSetRef(t, &s, want)
+		}
+	})
+}

@@ -118,6 +118,133 @@ func BenchmarkNetworkTick(b *testing.B) {
 	}
 }
 
+// sparseRelease is one pending packet release of the sparse-traffic
+// generator: flow src->dst fires at cycle at.
+type sparseRelease struct {
+	at       uint64
+	src, dst int
+}
+
+// sparseGen drives the low-utilization workload: a fixed set of ping-pong
+// flows where every delivery schedules the reverse packet thinkTime cycles
+// later, modelling the lock-dominated phases of the source paper (a
+// handful of control messages crossing an otherwise idle mesh). It is an
+// event-driven component — NextWake reports the next release exactly — so
+// the engine can fast-forward across both the link-flight gaps and the
+// think-time windows instead of ticking thousands of idle routers.
+//
+// The release ring is FIFO and relies on all pushes sharing one constant
+// think time: deliveries happen in cycle order, so release times arrive
+// nondecreasing and the head is always the earliest entry.
+type sparseGen struct {
+	net        *Network
+	waker      sim.Waker
+	ring       []sparseRelease
+	head, tail int
+}
+
+func (g *sparseGen) push(at uint64, src, dst int) {
+	g.ring[g.tail] = sparseRelease{at: at, src: src, dst: dst}
+	g.tail = (g.tail + 1) % len(g.ring)
+	if g.waker != nil {
+		g.waker.Wake(at)
+	}
+}
+
+// Tick implements sim.Component.
+func (g *sparseGen) Tick(now uint64) {
+	for g.head != g.tail && g.ring[g.head].at <= now {
+		ev := g.ring[g.head]
+		g.head = (g.head + 1) % len(g.ring)
+		g.net.Send(now, g.net.NewPacket(ev.src, ev.dst, ClassCtrl, VNetRequest, nil))
+	}
+}
+
+// NextWake implements sim.Component.
+func (g *sparseGen) NextWake(now uint64) uint64 {
+	if g.head == g.tail {
+		return sim.Never
+	}
+	if at := g.ring[g.head].at; at > now {
+		return at
+	}
+	return now + 1
+}
+
+// SetWaker implements sim.WakeSetter.
+func (g *sparseGen) SetWaker(w sim.Waker) { g.waker = w }
+
+// runSparseTick builds the sparse-traffic fixture: flows single-flit
+// ping-pong pairs crossing three quarters of the mesh in each dimension
+// (the cross-mesh distances lock and directory traffic actually covers on
+// a giant mesh — the uniform-random mean is already 2/3 of the width per
+// axis) on a LinkLatency-8 mesh, with think cycles between a delivery and
+// the reverse send. One "op" of the benchmark advances the run by eight
+// deliveries.
+func runSparseTick(b *testing.B, mesh int, noFF bool) {
+	const (
+		flows = 1
+		think = 200
+	)
+	cfg := testConfig(mesh, mesh, true)
+	cfg.LinkLatency = 8
+	cfg.NoFastForward = noFF
+	n := MustNetwork(cfg)
+	delivered := 0
+	g := &sparseGen{net: n, ring: make([]sparseRelease, flows+1)}
+	resend := func(now uint64, pkt *Packet) {
+		delivered++
+		src, dst := pkt.Dst, pkt.Src
+		n.FreePacket(pkt)
+		g.push(now+think, src, dst)
+	}
+	for j := 0; j < cfg.Nodes(); j++ {
+		n.SetSink(j, resend)
+	}
+	e := sim.NewEngine()
+	e.Register(n)
+	e.Register(g)
+	rng := sim.NewRNG(42)
+	span := 3 * mesh / 4
+	for k := 0; k < flows; k++ {
+		// Stagger the flows so their flight windows interleave instead of
+		// marching in lockstep — the sparse regime is a few isolated control
+		// packets crossing the mesh at any instant, not a synchronized burst.
+		x, y := rng.Intn(mesh-span), rng.Intn(mesh-span)
+		g.push(uint64(k*(think/flows)), cfg.Node(x, y), cfg.Node(x+span, y+span))
+	}
+	e.MaxCycles = 1 << 62
+	e.RunUntil(func() bool { return delivered >= 40 })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := delivered + 8
+		e.RunUntil(func() bool { return delivered >= target })
+	}
+}
+
+// BenchmarkNetworkTickSparse measures the low-utilization regime the
+// O(active) work targets: a handful of in-flight control packets — and
+// long think-time gaps with nothing in flight at all — on meshes up to
+// 64x64. Per-op cost should be near-flat in mesh size (the hierarchical
+// active sets touch only live state) and far below the dense
+// BenchmarkNetworkTick (idle-window fast-forward skips the cycles where
+// nothing is due). The noff variant pins the fast-forward escape hatch:
+// it is the PR 6 ticking discipline (every busy cycle executes) and is
+// what cmd/benchjson captures as the mesh_scaling baseline.
+func BenchmarkNetworkTickSparse(b *testing.B) {
+	for _, mesh := range []int{8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("mesh=%dx%d", mesh, mesh), func(b *testing.B) {
+			runSparseTick(b, mesh, false)
+		})
+	}
+	for _, mesh := range []int{8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("noff/mesh=%dx%d", mesh, mesh), func(b *testing.B) {
+			runSparseTick(b, mesh, true)
+		})
+	}
+}
+
 // BenchmarkSingleFlitLatency measures the uncontended end-to-end cost of a
 // corner-to-corner control packet.
 func BenchmarkSingleFlitLatency(b *testing.B) {

@@ -117,6 +117,21 @@ type Config struct {
 	// meshes). Both paths produce byte-identical state, so the threshold
 	// only affects speed, never results.
 	ParThreshold int
+	// NoFastForward makes NextWake answer the conservative now+1 whenever
+	// the network is busy instead of the exact NextEventCycle horizon, so
+	// an event-driven engine ticks the network every cycle it holds any
+	// in-flight work. It is the idle-window-skipping escape hatch — both
+	// modes are byte-identical (regression-tested); the flag exists to
+	// isolate fast-forward bugs and to measure its effect.
+	NoFastForward bool
+	// RebalanceEpoch is the period, in fused parallel cycles, at which the
+	// sharded tick executor repartitions the node range by measured
+	// activity (each shard gets an equal share of the active-node weight
+	// instead of an equal share of nodes). 0 uses the built-in default
+	// (512); a negative value disables rebalancing and keeps the fixed
+	// uniform split. Shards stay contiguous and commit in ascending order,
+	// so the partition never affects results, only load balance.
+	RebalanceEpoch int
 }
 
 // DefaultConfig returns the paper's 8x8 configuration.

@@ -112,7 +112,7 @@ func (l *link) sendFlit(f flit, vc int, at uint64) {
 		}
 	} else {
 		l.net.niEvents += n
-		l.net.niActive[l.niIdx>>6] |= 1 << uint(l.niIdx&63)
+		l.net.niActive.set(l.niIdx)
 	}
 }
 
@@ -126,7 +126,7 @@ func (l *link) sendCredit(vc int, freeVC bool, at uint64) {
 		}
 	} else {
 		l.net.niEvents++
-		l.net.niActive[l.niIdx>>6] |= 1 << uint(l.niIdx&63)
+		l.net.niActive.set(l.niIdx)
 	}
 }
 

@@ -59,9 +59,11 @@ type Network struct {
 	// Routers every cycle. Routers maintain their own bit as flitCount
 	// crosses zero. niActive and niInject do the same for the NI phases:
 	// bit i means NI i holds undelivered link events / queued packets.
-	routerActive []uint64
-	niActive     []uint64
-	niInject     []uint64
+	// All three are hierarchical (see actSet): a summary word over the
+	// activity words lets giant meshes skip idle 64-node blocks wholesale.
+	routerActive actSet
+	niActive     actSet
+	niInject     actSet
 	// waker, when set, is notified on Send so an event-driven engine learns
 	// the network has work without polling it.
 	waker sim.Waker
@@ -115,10 +117,9 @@ func NewNetwork(cfg Config) (*Network, error) {
 	n.Routers = make([]*Router, nodes)
 	n.NIs = make([]*NI, nodes)
 	act := &n.activity
-	words := (nodes + 63) / 64
-	n.routerActive = make([]uint64, words)
-	n.niActive = make([]uint64, words)
-	n.niInject = make([]uint64, words)
+	n.routerActive = newActSet(nodes)
+	n.niActive = newActSet(nodes)
+	n.niInject = newActSet(nodes)
 	// Structure-of-arrays state: routers, NIs, links and every hot per-VC
 	// array live in node-major arenas instead of per-object allocations, so
 	// the bytes one tick phase sweeps — and the bytes one shard owns — are
@@ -134,11 +135,11 @@ func NewNetwork(cfg Config) (*Network, error) {
 	niCreditArena := make([]int32, nodes*cfg.VCs)
 	niAllocArena := make([]bool, nodes*cfg.VCs)
 	for i := 0; i < nodes; i++ {
-		initRouter(&routerSlab[i], &n.Cfg, i, act, &n.routerFlits, n.routerActive,
+		initRouter(&routerSlab[i], &n.Cfg, i, act, &n.routerFlits, &n.routerActive,
 			inArena[i*perRouter:], ringArena[i*perRouter*cfg.VCDepth:],
 			creditArena[i*perRouter:], allocArena[i*perRouter:])
 		n.Routers[i] = &routerSlab[i]
-		initNI(&niSlab[i], &n.Cfg, i, act, &n.queuedPkts, n.niInject,
+		initNI(&niSlab[i], &n.Cfg, i, act, &n.queuedPkts, &n.niInject,
 			niCreditArena[i*cfg.VCs:], niAllocArena[i*cfg.VCs:])
 		n.NIs[i] = &niSlab[i]
 	}
@@ -417,16 +418,19 @@ func (n *Network) Tick(now uint64) {
 	}
 	// Phase 3: loopback deliveries.
 	n.deliverLoopback(now)
-	// Phase 4: router allocation and traversal. Bit iteration visits the
-	// flit-holding routers in ascending id order — the same order as a
-	// full scan (tick order is invisible anyway: routers only interact
-	// through link events committed in later cycles). A ticking router can
-	// only clear its own bit, never set another's, so iterating word
-	// snapshots is safe.
+	// Phase 4: router allocation and traversal. Summary-then-word bit
+	// iteration visits the flit-holding routers in ascending id order — the
+	// same order as a full scan (tick order is invisible anyway: routers
+	// only interact through link events committed in later cycles). A
+	// ticking router can only clear its own bit, never set another's, so
+	// iterating summary and word snapshots is safe.
 	if n.routerFlits > 0 {
-		for w, word := range n.routerActive {
-			for ; word != 0; word &= word - 1 {
-				n.Routers[w<<6|bits.TrailingZeros64(word)].tick(now, nil, &n.alloc)
+		for sw, sword := range n.routerActive.sum {
+			for ; sword != 0; sword &= sword - 1 {
+				w := sw<<6 | bits.TrailingZeros64(sword)
+				for word := n.routerActive.words[w]; word != 0; word &= word - 1 {
+					n.Routers[w<<6|bits.TrailingZeros64(word)].tick(now, nil, &n.alloc)
+				}
 			}
 		}
 	}
@@ -435,9 +439,12 @@ func (n *Network) Tick(now uint64) {
 	// iteration visits exactly the NIs the full scan would, in the same
 	// ascending order. inject never enqueues on another NI.
 	if n.queuedPkts > 0 {
-		for w, word := range n.niInject {
-			for ; word != 0; word &= word - 1 {
-				n.NIs[w<<6|bits.TrailingZeros64(word)].inject(now, nil)
+		for sw, sword := range n.niInject.sum {
+			for ; sword != 0; sword &= sword - 1 {
+				w := sw<<6 | bits.TrailingZeros64(sword)
+				for word := n.niInject.words[w]; word != 0; word &= word - 1 {
+					n.NIs[w<<6|bits.TrailingZeros64(word)].inject(now, nil)
+				}
 			}
 		}
 	}
@@ -450,18 +457,21 @@ func (n *Network) Tick(now uint64) {
 // — and is cleared only here, once both queues drain; sends during this
 // phase go to router-consumed links, so no bit is set mid-iteration.
 func (n *Network) drainNIs(now uint64) {
-	for w, word := range n.niActive {
-		for ; word != 0; word &= word - 1 {
-			i := w<<6 | bits.TrailingZeros64(word)
-			ni := n.NIs[i]
-			if len(ni.fromRouter.flits) > 0 {
-				ni.eject(now)
-			}
-			if len(ni.toRouter.credits) > 0 {
-				ni.commitCredits(now)
-			}
-			if len(ni.fromRouter.flits) == 0 && len(ni.toRouter.credits) == 0 {
-				n.niActive[w] &^= 1 << uint(i&63)
+	for sw, sword := range n.niActive.sum {
+		for ; sword != 0; sword &= sword - 1 {
+			w := sw<<6 | bits.TrailingZeros64(sword)
+			for word := n.niActive.words[w]; word != 0; word &= word - 1 {
+				i := w<<6 | bits.TrailingZeros64(word)
+				ni := n.NIs[i]
+				if len(ni.fromRouter.flits) > 0 {
+					ni.eject(now)
+				}
+				if len(ni.toRouter.credits) > 0 {
+					ni.commitCredits(now)
+				}
+				if len(ni.fromRouter.flits) == 0 && len(ni.toRouter.credits) == 0 {
+					n.niActive.clear(i)
+				}
 			}
 		}
 	}
@@ -498,12 +508,117 @@ func (n *Network) recordDelivery(pkt *Packet) {
 }
 
 // NextWake implements sim.Component: the network needs ticking while any
-// flit, credit or queued packet exists anywhere.
+// flit, credit or queued packet exists anywhere. Unless the escape hatch
+// Config.NoFastForward is set, the answer is the exact next event cycle,
+// which lets the engine's min-heap jump the clock across idle windows —
+// e.g. the LinkLatency-1 dead cycles of every hop of a lone packet
+// crossing a giant, otherwise-quiet mesh — instead of ticking the network
+// through provable no-ops.
 func (n *Network) NextWake(now uint64) uint64 {
-	if n.Busy() {
+	if !n.Busy() {
+		return sim.Never
+	}
+	if n.Cfg.NoFastForward {
 		return now + 1
 	}
-	return sim.Never
+	return n.NextEventCycle(now)
+}
+
+// NextEventCycle returns the earliest cycle > now at which the network has
+// due work, or sim.Never when it is fully quiescent. It is exact, which is
+// what makes skipping safe: a Tick at any cycle before the returned one is
+// a provable no-op, so the skipped and unskipped simulations are
+// byte-identical (the signature matrix holds both engines to that).
+//
+// Case analysis over the activity the counter tracks:
+//   - buffered router flits or queued NI packets: the router/injection
+//     phases may act every cycle (allocation depends on credit state that
+//     is expensive to predict), so answer conservatively with now+1 —
+//     these phases are also the busy case where skipping buys nothing.
+//   - router-consumed link events: senders append in increasing `at`
+//     order and drains consume due-prefixes, so the head's `at` bounds
+//     when work exists — and the wake is head.at + 1, a deliberate
+//     one-cycle-lazy drain. Committing a router-bound event one cycle
+//     late is invisible: arrival state is stamped from ev.at (commit), so
+//     the flit's staging eligibility is unchanged; an eligible flit could
+//     anyway act no earlier than at+1 (allocation requires now > arrival);
+//     and a credit committed at at+1 instead of at can only be read by
+//     the allocators of a router holding flits, which forces the now+1
+//     answer above and so excludes any deferral. Folding the arrival
+//     commit into the cycle the flit first acts halves the executed
+//     cycles of an uncontended hop.
+//   - credit events (router- or NI-consumed): fully shadowed. Credit
+//     state is only ever read by the VA/SA allocators of a router holding
+//     flits and by an NI with queued packets, and either reader forces
+//     the per-cycle now+1 answer above — so while credits alone remain,
+//     nothing can observe when they commit. Pending credits therefore
+//     contribute a single deferred horizon, the latest credit's `at`
+//     (per-link queues are nondecreasing in `at`, so that is the last
+//     element's), letting one wake commit every credit at once instead of
+//     one wake per batch. Any earlier flit-driven tick still commits the
+//     due prefix first (Tick phase 1 precedes the router phase), so a
+//     reader that does appear sees exactly the eager-drain credit state.
+//   - NI-consumed flit events (found through the niActive hierarchy):
+//     exact head `at`. Ejection timing is externally visible (delivery
+//     callbacks, DeliveredAt), so these are never deferred.
+//   - loopback deliveries: the queue is appended in increasing `at` order,
+//     so its head is the next delivery; delivery timing is visible, so it
+//     is exact as well.
+//
+// New external work always arrives through Send, which pushes a Wake
+// notification, so a returned horizon can only be invalidated in the
+// engine-visible way the Waker contract already handles.
+func (n *Network) NextEventCycle(now uint64) uint64 {
+	if !n.Busy() {
+		return sim.Never
+	}
+	floor := now + 1
+	if n.routerFlits > 0 || n.queuedPkts > 0 {
+		return floor
+	}
+	next := uint64(sim.Never)
+	if len(n.loopback) > 0 {
+		next = n.loopback[0].at
+	}
+	for _, l := range n.pendFlits {
+		if at := l.flits[0].at + 1; at < next {
+			if at <= floor {
+				return floor
+			}
+			next = at
+		}
+	}
+	var creditHorizon uint64
+	for _, l := range n.pendCredits {
+		if at := l.credits[len(l.credits)-1].at; at > creditHorizon {
+			creditHorizon = at
+		}
+	}
+	if n.niEvents > 0 {
+		for sw, sword := range n.niActive.sum {
+			for ; sword != 0; sword &= sword - 1 {
+				w := sw<<6 | bits.TrailingZeros64(sword)
+				for word := n.niActive.words[w]; word != 0; word &= word - 1 {
+					ni := n.NIs[w<<6|bits.TrailingZeros64(word)]
+					if fs := ni.fromRouter.flits; len(fs) > 0 && fs[0].at < next {
+						next = fs[0].at
+					}
+					if cs := ni.toRouter.credits; len(cs) > 0 && cs[len(cs)-1].at > creditHorizon {
+						creditHorizon = cs[len(cs)-1].at
+					}
+				}
+			}
+		}
+	}
+	if next == sim.Never && creditHorizon > 0 {
+		// Only shadowed credits remain: one wake, at the horizon, drains
+		// them all and lets Busy go quiescent.
+		next = creditHorizon
+	}
+	if next < floor {
+		next = floor
+	}
+	return next
 }
 
 // Busy reports whether any traffic is in flight. It reads the maintained

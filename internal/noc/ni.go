@@ -53,7 +53,7 @@ type NI struct {
 	// QueuedPkts > 0 so the injection phase skips idle interfaces.
 	act    *int
 	qp     *int
-	injSet []uint64
+	injSet *actSet
 
 	// Stats
 	Injected   [NumClasses]uint64
@@ -67,7 +67,7 @@ type NI struct {
 
 // initNI initialises a slab-allocated NI in place; credits and allocs are
 // VCs-sized subslices of the caller's network-wide node-major arenas.
-func initNI(ni *NI, cfg *Config, node int, act, qp *int, injSet []uint64, credits []int32, allocs []bool) {
+func initNI(ni *NI, cfg *Config, node int, act, qp *int, injSet *actSet, credits []int32, allocs []bool) {
 	*ni = NI{cfg: cfg, node: node, act: act, qp: qp, injSet: injSet}
 	ni.outCredits = credits[:cfg.VCs:cfg.VCs]
 	ni.outAlloc = allocs[:cfg.VCs:cfg.VCs]
@@ -85,7 +85,7 @@ func (ni *NI) enqueue(now uint64, pkt *Packet) {
 	pkt.EnqueuedAt = now
 	ni.queues[pkt.VNet] = append(ni.queues[pkt.VNet], pkt)
 	if ni.QueuedPkts == 0 {
-		ni.injSet[ni.node>>6] |= 1 << uint(ni.node&63)
+		ni.injSet.set(ni.node)
 	}
 	ni.QueuedPkts++
 	*ni.act++
@@ -226,7 +226,7 @@ func (ni *NI) inject(now uint64, sh *tickShard) {
 			*ni.act--
 			*ni.qp--
 			if ni.QueuedPkts == 0 {
-				ni.injSet[ni.node>>6] &^= 1 << uint(ni.node&63)
+				ni.injSet.clear(ni.node)
 			}
 		} else {
 			sh.actDelta--

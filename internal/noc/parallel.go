@@ -38,11 +38,15 @@ package noc
 // neither order can consume this cycle.
 //
 // A worker that skips the router phase is also byte-identical even when
-// its own drain buffers new flits: an arrival enqueued at `now` fails
-// every allocator's staging test (now > headEnq), and vcRouted implies a
-// buffered head, so a router whose flits all arrived this cycle provably
-// does nothing when ticked. The dispatcher therefore evaluates the
-// router-phase gate after the central pre-drain without loss.
+// its own drain buffers new flits: an arrival stamped with the current
+// cycle fails every allocator's staging test (now > headEnq), and
+// vcRouted implies a buffered head, so a router whose flits all arrived
+// this cycle provably does nothing when ticked. The dispatcher therefore
+// evaluates the router-phase gate after the central pre-drain — with one
+// addition for fast-forward's one-cycle-lazy drains: a pending head due
+// strictly before now commits with its original arrival stamp and IS
+// allocation-eligible this very cycle, so the classification pass flags
+// such links and forces the router phase on.
 //
 // Workers compute against cycle-start state and apply all *node-local*
 // effects immediately. Every *shared* side effect is recorded in the
@@ -168,6 +172,12 @@ type tickExec struct {
 	now       uint64
 	doR, doNI bool
 
+	// fusedTicks counts fused dispatches toward the next activity-balanced
+	// repartition; every rebalanceEvery of them (0 = disabled) the shard
+	// boundaries are recut from the current active bitmaps.
+	fusedTicks     int
+	rebalanceEvery int
+
 	drainFn func(worker int)
 	fusedFn func(worker int)
 }
@@ -204,6 +214,12 @@ func (n *Network) SetTickPool(p *par.Pool) {
 	e.drainFn = e.drainLinks
 	e.fusedFn = e.fusedShard
 	switch {
+	case n.Cfg.RebalanceEpoch > 0:
+		e.rebalanceEvery = n.Cfg.RebalanceEpoch
+	case n.Cfg.RebalanceEpoch == 0:
+		e.rebalanceEvery = 512
+	}
+	switch {
 	case n.Cfg.ParThreshold < 0:
 		n.parMinLinks, n.parMinFlits, n.parMinPkts = 0, 0, 0
 	case n.Cfg.ParThreshold > 0:
@@ -217,6 +233,71 @@ func (n *Network) SetTickPool(p *par.Pool) {
 		n.parMinLinks, n.parMinFlits, n.parMinPkts = 24, 48, 24
 	}
 	n.exec = e
+}
+
+// rebalance recuts the contiguous shard ranges so each holds roughly an
+// equal share of the current active-node weight (a node scores one point
+// per activity bitmap naming it: buffered flits, NI link events, queued
+// packets). A uniform node split leaves workers idle when traffic
+// clusters — a hotspot corner of a 64x64 mesh lands entirely in one
+// shard — so the executor periodically recuts along the same node order.
+//
+// Every determinism argument in the package comment depends only on the
+// properties rebalance preserves: the shards remain a contiguous,
+// exhaustive, non-empty partition of the node range; commits still fold
+// in ascending shard order; and shardOf is rewritten to match before the
+// next classification. The cut itself reads only simulation state, so it
+// is identical across runs and worker counts never affect results.
+func (e *tickExec) rebalance() {
+	n := e.net
+	nodes := len(e.shardOf)
+	S := len(e.shards)
+	total := 0
+	for w := range n.routerActive.words {
+		total += bits.OnesCount64(n.routerActive.words[w]) +
+			bits.OnesCount64(n.niActive.words[w]) +
+			bits.OnesCount64(n.niInject.words[w])
+	}
+	if total == 0 {
+		// A quiescent network has no weight to balance; keep the cut.
+		return
+	}
+	sh, lo, acc := 0, 0, 0
+	for i := 0; i < nodes && sh < S-1; i++ {
+		w, b := i>>6, uint64(1)<<uint(i&63)
+		if n.routerActive.words[w]&b != 0 {
+			acc++
+		}
+		if n.niActive.words[w]&b != 0 {
+			acc++
+		}
+		if n.niInject.words[w]&b != 0 {
+			acc++
+		}
+		// Close shard sh after node i once it holds its proportional share,
+		// as long as enough nodes remain to keep every later shard
+		// non-empty.
+		if acc*S >= total*(sh+1) && nodes-(i+1) >= S-(sh+1) {
+			e.shards[sh].lo, e.shards[sh].hi = lo, i+1
+			sh++
+			lo = i + 1
+		}
+	}
+	// Close the still-open shards: trailing ones take one node each off the
+	// tail (weight can concentrate so late that the greedy pass never cut),
+	// and shard sh absorbs everything in between.
+	hi := nodes
+	for j := S - 1; j > sh; j-- {
+		e.shards[j].lo, e.shards[j].hi = hi-1, hi
+		hi--
+	}
+	e.shards[sh].lo, e.shards[sh].hi = lo, hi
+	for i := range e.shards {
+		s := &e.shards[i]
+		for node := s.lo; node < s.hi; node++ {
+			e.shardOf[node] = int32(i)
+		}
+	}
 }
 
 // shardLocal reports whether l's two endpoints map to the same shard —
@@ -238,6 +319,17 @@ func (e *tickExec) shardLocal(l *link) (int32, bool) {
 func (n *Network) tickFused(now uint64) {
 	e := n.exec
 	e.now = now
+	// Deterministic epoch repartition: recut the shard boundaries from the
+	// activity bitmaps every rebalanceEvery fused cycles. The epoch counter
+	// depends only on the simulated cycle sequence, and the cut is a pure
+	// function of network state, so every run of a configuration sees the
+	// same partitions at the same cycles regardless of worker scheduling.
+	if e.rebalanceEvery > 0 {
+		if e.fusedTicks++; e.fusedTicks >= e.rebalanceEvery {
+			e.fusedTicks = 0
+			e.rebalance()
+		}
+	}
 	// Swap the pending lists aside: the snapshot below must stay stable
 	// while cross-shard pre-drain sends (drop-credit returns) re-register
 	// links on the live lists through the usual queued guards.
@@ -263,10 +355,18 @@ func (n *Network) tickFused(now uint64) {
 			l.creditQueued = false
 		}
 	}
+	staleF := false
 	for _, l := range pf {
 		if s, local := e.shardLocal(l); local {
 			sh := &e.shards[s]
 			sh.localF = append(sh.localF, l)
+			if !staleF && l.flits[0].at < now {
+				// A lazily drained arrival (committed one cycle after its
+				// due cycle, see Network.NextEventCycle) is staging-eligible
+				// immediately, so its router must tick this cycle even if no
+				// router held flits when the gate below is evaluated.
+				staleF = true
+			}
 			continue
 		}
 		if l.flits[0].at <= now {
@@ -283,7 +383,7 @@ func (n *Network) tickFused(now uint64) {
 	// the in-shard drains can still activate routers, but a router whose
 	// flits all arrived this cycle ticks to a provable no-op, so the gate
 	// needs no second look.
-	e.doR = n.routerFlits > 0
+	e.doR = n.routerFlits > 0 || staleF
 	e.doNI = n.queuedPkts > 0
 	e.pool.Run(e.fusedFn)
 	// Ordered commit: fold every shard's deferred shared effects in
@@ -297,15 +397,15 @@ func (n *Network) tickFused(now uint64) {
 		n.queuedPkts += sh.qpDelta
 		sh.actDelta, sh.rfDelta, sh.qpDelta = 0, 0, 0
 		for _, id := range sh.nowActive {
-			n.routerActive[id>>6] |= 1 << uint(id&63)
+			n.routerActive.set(int(id))
 		}
 		sh.nowActive = sh.nowActive[:0]
 		for _, id := range sh.cleared {
-			n.routerActive[id>>6] &^= 1 << uint(id&63)
+			n.routerActive.clear(int(id))
 		}
 		sh.cleared = sh.cleared[:0]
 		for _, id := range sh.idleNI {
-			n.niInject[id>>6] &^= 1 << uint(id&63)
+			n.niInject.clear(int(id))
 		}
 		sh.idleNI = sh.idleNI[:0]
 		n.pendFlits = append(n.pendFlits, sh.keepF...)
@@ -330,7 +430,7 @@ func (n *Network) tickFused(now uint64) {
 				}
 			} else {
 				n.niEvents++
-				n.niActive[l.niIdx>>6] |= 1 << uint(l.niIdx&63)
+				n.niActive.set(l.niIdx)
 			}
 		}
 		sh.sentF = sh.sentF[:0]
@@ -342,7 +442,7 @@ func (n *Network) tickFused(now uint64) {
 				}
 			} else {
 				n.niEvents++
-				n.niActive[l.niIdx>>6] |= 1 << uint(l.niIdx&63)
+				n.niActive.set(l.niIdx)
 			}
 		}
 		sh.sentC = sh.sentC[:0]
@@ -395,7 +495,7 @@ func (e *tickExec) fusedShard(worker int) {
 		// iteration reproduces the sequential visit order.
 		w0 := sh.lo >> 6
 		w1 := (sh.hi + 63) >> 6
-		words := append(sh.actWords[:0], n.routerActive[w0:w1]...)
+		words := append(sh.actWords[:0], n.routerActive.words[w0:w1]...)
 		sh.actWords = words
 		for _, id := range sh.nowActive {
 			words[int(id)>>6-w0] |= 1 << uint(id&63)
@@ -408,10 +508,17 @@ func (e *tickExec) fusedShard(worker int) {
 		}
 	}
 	if e.doNI {
-		for w := sh.lo >> 6; w<<6 < sh.hi; w++ {
-			word := maskToRange(n.niInject[w], w<<6, sh.lo, sh.hi)
-			for ; word != 0; word &= word - 1 {
-				n.NIs[w<<6|bits.TrailingZeros64(word)].inject(now, sh)
+		// The shared niInject words are frozen for the barrier (idle
+		// transitions are deferred via sh.idleNI), so the summary level can
+		// skip idle 64-node blocks of the shard range wholesale.
+		for sw := sh.lo >> 12; sw<<12 < sh.hi; sw++ {
+			sword := maskToRange(n.niInject.sum[sw], sw<<6, sh.lo>>6, (sh.hi+63)>>6)
+			for ; sword != 0; sword &= sword - 1 {
+				w := sw<<6 | bits.TrailingZeros64(sword)
+				word := maskToRange(n.niInject.words[w], w<<6, sh.lo, sh.hi)
+				for ; word != 0; word &= word - 1 {
+					n.NIs[w<<6|bits.TrailingZeros64(word)].inject(now, sh)
+				}
 			}
 		}
 	}
@@ -442,7 +549,7 @@ func (n *Network) drainLinksPar(now uint64) {
 		n.routerFlits += sh.rfDelta
 		sh.actDelta, sh.rfDelta = 0, 0
 		for _, id := range sh.nowActive {
-			n.routerActive[id>>6] |= 1 << uint(id&63)
+			n.routerActive.set(int(id))
 		}
 		sh.nowActive = sh.nowActive[:0]
 		n.pendFlits = append(n.pendFlits, sh.keepF...)

@@ -19,6 +19,10 @@ type sigParams struct {
 	parThreshold int
 	flows        int // injection flows opened per node
 	generations  int // ping-pong bounces per delivered packet
+	stride       int // open flows on every stride-th node only (0 = 1 = all)
+	linkLat      int // Config.LinkLatency override (0 keeps the default)
+	noFF         bool
+	rebalance    int // Config.RebalanceEpoch (0 keeps the default)
 	rec          *obs.Recorder
 }
 
@@ -36,6 +40,11 @@ func runSignature(t *testing.T, p sigParams) string {
 	t.Helper()
 	cfg := testConfig(p.w, p.h, p.prio)
 	cfg.ParThreshold = p.parThreshold
+	cfg.NoFastForward = p.noFF
+	cfg.RebalanceEpoch = p.rebalance
+	if p.linkLat > 0 {
+		cfg.LinkLatency = p.linkLat
+	}
 	n := MustNetwork(cfg)
 	if p.rec != nil {
 		n.SetObserver(p.rec)
@@ -69,9 +78,16 @@ func runSignature(t *testing.T, p sigParams) string {
 		defer e.SetTickPool(nil)
 	}
 
-	// Seed-driven all-to-some traffic: every node opens several flows.
+	// Seed-driven all-to-some traffic: every stride-th node opens several
+	// flows (stride 1 — the default — loads every node; a large stride
+	// leaves most of a giant mesh idle so idle-window fast-forward has
+	// real windows to skip).
+	stride := p.stride
+	if stride <= 0 {
+		stride = 1
+	}
 	rng := sim.NewRNG(23)
-	for s := 0; s < cfg.Nodes(); s++ {
+	for s := 0; s < cfg.Nodes(); s += stride {
 		for k := 0; k < p.flows; k++ {
 			d := rng.Intn(cfg.Nodes())
 			if d == s {
@@ -157,6 +173,87 @@ func TestParallelTickMatchesSequentialLarge(t *testing.T) {
 			if got != ref {
 				t.Fatalf("32x32 workers=%d thr=%d diverged from sequential:\nref %d bytes, got %d bytes",
 					workers, thr, len(ref), len(got))
+			}
+		}
+	}
+}
+
+// TestFastForwardMatchesSequential is the idle-window fast-forward
+// identity: with NoFastForward unset the engine asks NextEventCycle and
+// jumps straight to the next cycle where the network has work, and the
+// simulation must still be byte-identical to the conservative
+// tick-every-busy-cycle discipline, for every worker count and both
+// arbitration policies. LinkLatency 4 opens multi-cycle flight gaps so
+// the skip path is actually taken.
+func TestFastForwardMatchesSequential(t *testing.T) {
+	for _, prio := range []bool{false, true} {
+		ref := runSignature(t, sigParams{w: 8, h: 8, prio: prio, workers: 1,
+			flows: 4, generations: 3, linkLat: 4, noFF: true})
+		for _, workers := range []int{1, 2, 4} {
+			for _, noFF := range []bool{false, true} {
+				if noFF && workers == 1 {
+					continue // that cell is the reference itself
+				}
+				got := runSignature(t, sigParams{w: 8, h: 8, prio: prio, workers: workers,
+					parThreshold: -1, flows: 4, generations: 3, linkLat: 4, noFF: noFF})
+				if got != ref {
+					t.Fatalf("prio=%v workers=%d noFF=%v diverged from conservative sequential:\nref %d bytes, got %d bytes",
+						prio, workers, noFF, len(ref), len(got))
+				}
+			}
+		}
+	}
+}
+
+// TestFastForwardMatchesSequentialGiant repeats the fast-forward identity
+// on giant meshes in the sparse regime fast-forward exists for: only
+// every 64th node opens flows, so a handful of packets cross a mostly
+// idle 32x32 / 64x64 mesh and NextEventCycle routinely reports windows
+// many cycles wide. Every {workers} x {fast-forward, conservative} cell
+// must match the conservative sequential reference byte-for-byte.
+func TestFastForwardMatchesSequentialGiant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("giant-mesh fast-forward matrix skipped in -short")
+	}
+	for _, mesh := range []int{32, 64} {
+		for _, prio := range []bool{false, true} {
+			ref := runSignature(t, sigParams{w: mesh, h: mesh, prio: prio, workers: 1,
+				flows: 2, generations: 2, stride: 64, linkLat: 4, noFF: true})
+			for _, workers := range []int{2, 4} {
+				for _, noFF := range []bool{false, true} {
+					got := runSignature(t, sigParams{w: mesh, h: mesh, prio: prio, workers: workers,
+						parThreshold: -1, flows: 2, generations: 2, stride: 64, linkLat: 4, noFF: noFF})
+					if got != ref {
+						t.Fatalf("%dx%d prio=%v workers=%d noFF=%v diverged:\nref %d bytes, got %d bytes",
+							mesh, mesh, prio, workers, noFF, len(ref), len(got))
+					}
+				}
+			}
+			// Fast-forward sequential (no pool at all) closes the matrix.
+			got := runSignature(t, sigParams{w: mesh, h: mesh, prio: prio, workers: 1,
+				flows: 2, generations: 2, stride: 64, linkLat: 4})
+			if got != ref {
+				t.Fatalf("%dx%d prio=%v sequential fast-forward diverged from conservative", mesh, mesh, prio)
+			}
+		}
+	}
+}
+
+// TestRebalanceDeterminism pins the activity-balanced sharding: shard
+// boundaries move at every rebalance epoch, but a re-cut partition only
+// changes which worker executes a node, never the result. Aggressively
+// small epochs (re-cut every fused cycle / every 7th) across worker
+// counts must stay byte-identical to the sequential reference, and a
+// negative epoch (rebalancing disabled) must too.
+func TestRebalanceDeterminism(t *testing.T) {
+	ref := runSignature(t, sigParams{w: 8, h: 8, prio: true, workers: 1, flows: 6, generations: 3})
+	for _, workers := range []int{2, 4} {
+		for _, epoch := range []int{-1, 1, 7} {
+			got := runSignature(t, sigParams{w: 8, h: 8, prio: true, workers: workers,
+				parThreshold: -1, flows: 6, generations: 3, rebalance: epoch})
+			if got != ref {
+				t.Fatalf("workers=%d rebalance=%d diverged from sequential:\nref %d bytes, got %d bytes",
+					workers, epoch, len(ref), len(got))
 			}
 		}
 	}

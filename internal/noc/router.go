@@ -167,7 +167,7 @@ type Router struct {
 	// activeSet is the network's flit-holding-router bitmap; the router
 	// keeps its bit (id) in sync as flitCount crosses zero so the router
 	// phase of Network.Tick iterates only live routers.
-	activeSet []uint64
+	activeSet *actSet
 
 	Stats RouterStats
 
@@ -209,7 +209,7 @@ type allocScratch struct {
 // arenas, so consecutive routers' working sets are contiguous in memory:
 // in has NumDirs*VCs entries, rings NumDirs*VCs*VCDepth, credits and
 // allocs NumDirs*VCs each.
-func initRouter(r *Router, cfg *Config, id int, act, rf *int, activeSet []uint64,
+func initRouter(r *Router, cfg *Config, id int, act, rf *int, activeSet *actSet,
 	in []vcBuf, rings []flit, credits []int32, allocs []bool) {
 	*r = Router{cfg: cfg, id: id, act: act, rf: rf, activeSet: activeSet, vcs: cfg.VCs, prio: cfg.Priority}
 	r.x, r.y = cfg.XY(id)
@@ -272,7 +272,20 @@ func (r *Router) route(dst int) Dir {
 // accumulated in the shard and applied by the commit phase in shard order.
 // Everything else commit touches is owned by this router alone.
 func (r *Router) commit(now uint64, fs []flitEvent, dir Dir, sh *tickShard) {
+	// eff is the event's effective arrival cycle: the cycle a per-cycle
+	// drain would first have committed it. Queues are FIFO but not sorted
+	// by `at` — a fault-delayed event can sit ahead of earlier-due ones and
+	// block them in the queue — so the effective arrival is the running
+	// maximum of `at` over the batch, not the event's own stamp. On every
+	// eager drain eff == now for the whole batch; it differs only when
+	// fast-forward commits a router-bound head lazily (one cycle past its
+	// due cycle, see NextEventCycle), and then the arrival-relative stamp
+	// is exactly what keeps the lazy drain byte-identical.
+	eff := uint64(0)
 	for _, ev := range fs {
+		if ev.at > eff {
+			eff = ev.at
+		}
 		if ev.dup {
 			// Injected duplicate: discard before touching the packet (the
 			// original may have been delivered and recycled already). The
@@ -287,8 +300,10 @@ func (r *Router) commit(now uint64, fs []flitEvent, dir Dir, sh *tickShard) {
 			// whole packet shares the fate on this link, so the input VC
 			// never sees a partial train. In a parallel drain the upstream
 			// side of this very link may be concurrently draining its
-			// credit queue, so the send is deferred into the shard.
-			at := now + uint64(r.cfg.LinkLatency)
+			// credit queue, so the send is deferred into the shard. The
+			// return is timed from the effective arrival cycle, not the
+			// drain cycle (see eff above).
+			at := eff + uint64(r.cfg.LinkLatency)
 			if sh == nil {
 				r.inLink[dir].sendCredit(ev.vc, ev.f.isTail(), at)
 			} else {
@@ -303,7 +318,11 @@ func (r *Router) commit(now uint64, fs []flitEvent, dir Dir, sh *tickShard) {
 			panic(fmt.Sprintf("noc: router %d dir %s vc %d buffer overflow", r.id, dir, ev.vc))
 		}
 		f := ev.f
-		f.enqueuedAt = now
+		// Stamp the effective arrival cycle (== now on every eager drain):
+		// the allocators' staging test is relative to when the flit reached
+		// the buffer, so a lazy drain leaves the flit's allocation
+		// eligibility, and with it every downstream decision, unchanged.
+		f.enqueuedAt = eff
 		if f.isHead() {
 			if vc.state != vcIdle {
 				panic(fmt.Sprintf("noc: router %d dir %s vc %d head flit into busy VC", r.id, dir, ev.vc))
@@ -317,7 +336,7 @@ func (r *Router) commit(now uint64, fs []flitEvent, dir Dir, sh *tickShard) {
 		vc.push(f)
 		if sh == nil {
 			if r.flitCount == 0 {
-				r.activeSet[r.id>>6] |= 1 << uint(r.id&63)
+				r.activeSet.set(r.id)
 			}
 			*r.act++
 			*r.rf++
@@ -375,6 +394,29 @@ func (r *Router) tick(now uint64, sh *tickShard, sc *allocScratch) {
 func (r *Router) allocateVCs(now uint64, sc *allocScratch) {
 	if r.routedCount == 0 {
 		return
+	}
+	if r.routedCount == 1 {
+		// One routed VC in the whole router — the dominant case at low
+		// utilization, where a lone packet hops across otherwise idle
+		// routers. A single request needs no grouping and no arbitration:
+		// both arbiters reduce to tryAssignVC plus the pointer landing back
+		// on 0 on success ((best+1) mod 1), so the scratch machinery below
+		// is bypassed wholesale.
+		for inDir := Dir(0); inDir < NumDirs; inDir++ {
+			m := r.routedMask[inDir]
+			if m == 0 {
+				continue
+			}
+			v := bits.TrailingZeros64(m)
+			vc := &r.in[int(inDir)*r.vcs+v]
+			if vc.n != 0 && now > vc.headEnq && vc.outDir != inDir {
+				op := &r.out[vc.outDir]
+				if r.tryAssignVC(now, op, vaReq{dir: inDir, vc: v}) {
+					op.vaPtr = 0
+				}
+			}
+			return
+		}
 	}
 	// Single pass over the input VCs, grouping requests by output
 	// direction. Requests land in each group in (inDir, vc) order —
@@ -729,7 +771,7 @@ func (r *Router) traverse(now uint64, inDir Dir, vcIdx int, sh *tickShard) {
 	at := now + uint64(r.cfg.LinkLatency)
 	if sh == nil {
 		if r.flitCount == 0 {
-			r.activeSet[r.id>>6] &^= 1 << uint(r.id&63)
+			r.activeSet.clear(r.id)
 		}
 		*r.act--
 		*r.rf--
