@@ -29,8 +29,8 @@ test:
 # determinism matrix — every lock protocol × both engines × worker
 # widths — under -race.
 race:
-	$(GO) test -race ./internal/par/... ./internal/experiments/... ./internal/sim/... ./internal/obs/... ./internal/pool/... ./internal/noc/... ./internal/kernel/... ./internal/kernel/protocol/... ./internal/fault/...
-	$(GO) test -race -run 'TestFault|TestWatchdog|TestRecovery|TestRunWithTimeout|TestProtocolDeterminismMatrix' .
+	$(GO) test -race ./internal/par/... ./internal/experiments/... ./internal/sim/... ./internal/obs/... ./internal/pool/... ./internal/noc/... ./internal/kernel/... ./internal/kernel/protocol/... ./internal/fault/... ./internal/checkpoint/...
+	$(GO) test -race -run 'TestFault|TestWatchdog|TestRecovery|TestRunWithTimeout|TestProtocolDeterminismMatrix|TestCheckpoint|TestWarmGrid' .
 
 check: build vet fmt-check test race
 
@@ -50,14 +50,15 @@ bench:
 
 # bench-json regenerates the Fig. 2/10/11 experiments under the benchmark
 # harness and writes wall-clock + allocs/op plus per-mesh tick-cost,
-# sparse mesh-scaling and intra-run tick scaling blocks to BENCH_6.json
-# (pass -tickbase/-sparsebase reference points by hand when recording a
-# before/after comparison; see EXPERIMENTS.md "Dispatch floor" and "Giant
-# meshes"). The committed BENCH_6.json carries the BENCH_5 network_tick
-# numbers as -tickbase and the predecessor commit's fused tick measured
-# on the sparse workload as -sparsebase.
+# sparse mesh-scaling, intra-run tick scaling and checkpoint_sweep blocks
+# to BENCH_7.json (pass -tickbase/-sparsebase reference points by hand
+# when recording a before/after comparison; see EXPERIMENTS.md "Dispatch
+# floor" and "Giant meshes"). The committed BENCH_7.json carries the
+# BENCH_5 network_tick numbers as -tickbase and the fused tick measured
+# on the sparse workload two commits back as -sparsebase, both inherited
+# from the BENCH_6 record for cross-commit continuity.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_6.json \
+	$(GO) run ./cmd/benchjson -o BENCH_7.json \
 		-tickbase 8x8=26440,16x16=106074,32x32=880137 \
 		-sparsebase 8x8=43700,16x16=77300,32x32=159100,64x64=364600
 
@@ -115,6 +116,15 @@ bench-smoke:
 		echo "bench-smoke: sparse 32x32 $$allocs allocs/op exceeds threshold $$max"; exit 1; \
 	else \
 		echo "bench-smoke: sparse 32x32 $$allocs allocs/op within threshold $$max"; \
+	fi
+	@$(GO) test -run '^$$' -bench '^BenchmarkCheckpointRoundTrip$$' -benchmem -benchtime 100x . | tee /tmp/bench-smoke-ckpt.out
+	@max=$$(cat .github/checkpoint-alloc-threshold); \
+	allocs=$$(awk '/^BenchmarkCheckpointRoundTrip/ {for (i=1; i<=NF; i++) if ($$i == "allocs/op") print $$(i-1)}' /tmp/bench-smoke-ckpt.out); \
+	if [ -z "$$allocs" ]; then echo "bench-smoke: no allocs/op in checkpoint output"; exit 1; fi; \
+	if [ "$$allocs" -gt "$$max" ]; then \
+		echo "bench-smoke: checkpoint round trip $$allocs allocs/op exceeds threshold $$max"; exit 1; \
+	else \
+		echo "bench-smoke: checkpoint round trip $$allocs allocs/op within threshold $$max"; \
 	fi
 	@$(GO) test -run '^$$' -bench '^BenchmarkProtocolDispatch$$' -benchmem -benchtime 20000x ./internal/kernel/protocol/ | tee /tmp/bench-smoke-proto.out
 	@max=$$(cat .github/protocol-alloc-threshold); \

@@ -1,0 +1,331 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/fault"
+	"repro/internal/kernel"
+	"repro/internal/noc"
+)
+
+// runToJSON finishes sys and returns the canonical byte serialization of
+// its consolidated results.
+func runToJSON(t *testing.T, sys *System) []byte {
+	t.Helper()
+	r, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestCheckpointRoundTripMatrix is the checkpoint subsystem's end-to-end
+// guarantee: for every lock protocol, both OCOR modes, both engine
+// schedulers and both executor widths, snapshotting a run half-way,
+// restoring the snapshot into a freshly built platform and running to
+// completion produces results byte-identical to the uninterrupted run.
+// Restored platforms are also immediately re-snapshotted and the two
+// snapshots compared byte-for-byte: a restore must lose nothing a second
+// save could miss.
+func TestCheckpointRoundTripMatrix(t *testing.T) {
+	for _, proto := range []string{"", "mcs", "cna", "mutable", "reciprocating"} {
+		for _, ocor := range []bool{false, true} {
+			base := Config{
+				Benchmark: detProfile(), Threads: 16, OCOR: ocor,
+				Seed: 7, Protocol: proto,
+			}
+			refSys, err := New(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := runToJSON(t, refSys)
+			mid := refSys.Engine.Now() / 2
+
+			for _, poll := range []bool{false, true} {
+				for _, workers := range []int{1, 4} {
+					cfg := base
+					cfg.PollEngine = poll
+					cfg.Workers = workers
+					if workers > 1 {
+						// Force the sharded tick path (the 4x4 mesh is
+						// below the default parallelism thresholds).
+						ncfg := noc.DefaultConfig()
+						ncfg.ParThreshold = -1
+						cfg.NoC = &ncfg
+					}
+					sys, err := New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := sys.RunTo(mid); err != nil {
+						t.Fatalf("proto=%q ocor=%v poll=%v workers=%d: RunTo: %v",
+							proto, ocor, poll, workers, err)
+					}
+					snap, err := sys.Snapshot()
+					if err != nil {
+						t.Fatalf("proto=%q ocor=%v poll=%v workers=%d: snapshot: %v",
+							proto, ocor, poll, workers, err)
+					}
+					restored, err := Restore(cfg, snap)
+					if err != nil {
+						t.Fatalf("proto=%q ocor=%v poll=%v workers=%d: restore: %v",
+							proto, ocor, poll, workers, err)
+					}
+					snap2, err := restored.Snapshot()
+					if err != nil {
+						t.Fatalf("proto=%q ocor=%v poll=%v workers=%d: re-snapshot: %v",
+							proto, ocor, poll, workers, err)
+					}
+					if !bytes.Equal(snap.Data, snap2.Data) {
+						t.Fatalf("proto=%q ocor=%v poll=%v workers=%d: re-snapshot of restored platform differs (%d vs %d bytes)",
+							proto, ocor, poll, workers, len(snap.Data), len(snap2.Data))
+					}
+					if got := runToJSON(t, restored); !bytes.Equal(ref, got) {
+						t.Fatalf("proto=%q ocor=%v poll=%v workers=%d: restored run diverged from uninterrupted:\nref: %s\ngot: %s",
+							proto, ocor, poll, workers, ref, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointMidFaultWindow snapshots inside an active fault-injection
+// run — seeded drops plus delayed flits parked on link queues, with the
+// recovery machinery armed — and requires the restored continuation to
+// reproduce the uninterrupted faulted run byte-for-byte. This pins the
+// hairiest state: fault counters, per-lock wake ordinals, out-of-order
+// link event queues and recovery backoff timers all cross the snapshot.
+func TestCheckpointMidFaultWindow(t *testing.T) {
+	for _, ocor := range []bool{false, true} {
+		cfg := faultyConfig(ocor)
+		refSys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := runToJSON(t, refSys)
+		mid := refSys.Engine.Now() / 2
+
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.RunTo(mid); err != nil {
+			t.Fatal(err)
+		}
+		if sys.Faults.Stats.DelayedFlits.Load()+sys.Faults.Stats.DroppedFlits.Load() == 0 {
+			t.Fatalf("ocor=%v: no fault fired before cycle %d; snapshot would not cover the injection window", ocor, mid)
+		}
+		snap, err := sys.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := Restore(cfg, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := runToJSON(t, restored); !bytes.Equal(ref, got) {
+			t.Fatalf("ocor=%v: restored faulted run diverged:\nref: %s\ngot: %s", ocor, ref, got)
+		}
+	}
+}
+
+// TestCheckpointFileRoundTrip pushes a mid-run snapshot through the file
+// container (atomic write, magic/version/CRC header) and restores from the
+// re-read copy, covering the persistence path resumable sweeps use.
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	cfg := Config{Benchmark: detProfile(), Threads: 16, OCOR: true, Seed: 7}
+	refSys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := runToJSON(t, refSys)
+	mid := refSys.Engine.Now() / 2
+
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunTo(mid); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "mid.ckpt")
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := checkpoint.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(cfg, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runToJSON(t, restored); !bytes.Equal(ref, got) {
+		t.Fatalf("file round-tripped restore diverged:\nref: %s\ngot: %s", ref, got)
+	}
+}
+
+// TestCheckpointInertKernelForksProtocols is the warm-start fork contract:
+// a snapshot taken before any thread's first lock acquisition omits the
+// kernel section entirely, so it restores into platforms running a
+// different lock protocol — and the forked continuation must match that
+// protocol's uninterrupted run byte-for-byte.
+func TestCheckpointInertKernelForksProtocols(t *testing.T) {
+	base := Config{Benchmark: detProfile(), Threads: 16, OCOR: true, Seed: 7}
+
+	// Advance the prefix platform in small steps while the kernel is
+	// still inert, keeping the last pre-first-lock snapshot point.
+	prefix, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at uint64
+	for prefix.Kernel.Inert() {
+		at = prefix.Engine.Now() + 50
+		if _, err := prefix.RunTo(at); err != nil {
+			t.Fatal(err)
+		}
+		if prefix.CPU.AllDone() {
+			t.Fatal("workload finished without a single lock acquisition")
+		}
+	}
+	// The kernel woke inside the last step; rebuild and stop one step
+	// earlier, at the last cycle known inert.
+	last := at - 50
+	if last == 0 {
+		t.Fatal("first lock acquisition landed before the first step")
+	}
+	prefix, err = New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prefix.RunTo(last); err != nil {
+		t.Fatal(err)
+	}
+	if !prefix.Kernel.Inert() {
+		t.Fatalf("kernel not inert at cycle %d on the rebuilt prefix", last)
+	}
+	snap, err := prefix.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, proto := range []string{"", "mcs", "cna", "mutable", "reciprocating"} {
+		cfg := base
+		cfg.Protocol = proto
+		refSys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := runToJSON(t, refSys)
+
+		forked, err := Restore(cfg, snap)
+		if err != nil {
+			t.Fatalf("proto=%q: fork restore: %v", proto, err)
+		}
+		if got := runToJSON(t, forked); !bytes.Equal(ref, got) {
+			t.Fatalf("proto=%q: forked run diverged from uninterrupted:\nref: %s\ngot: %s", proto, ref, got)
+		}
+	}
+}
+
+// TestCheckpointRejects covers the guarded failure modes: snapshotting a
+// -nopool platform, restoring into a mismatched configuration, and
+// restoring a non-inert kernel snapshot into a different protocol.
+func TestCheckpointRejects(t *testing.T) {
+	// NoPool platforms hold boxed payloads the codec cannot serialize.
+	nsys, err := New(Config{Benchmark: detProfile(), Threads: 16, Seed: 7, NoPool: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nsys.RunTo(500); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nsys.Snapshot(); err == nil {
+		t.Fatal("snapshot of a NoPool platform succeeded; want pooled-mode error")
+	}
+
+	cfg := Config{Benchmark: detProfile(), Threads: 16, OCOR: true, Seed: 7}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := uint64(20_000)
+	if _, err := sys.RunTo(mid); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Kernel.Inert() {
+		t.Fatalf("kernel still inert at cycle %d; test needs lock traffic", mid)
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := cfg
+	bad.Seed = 8
+	if _, err := Restore(bad, snap); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("restore under different seed: got %v, want config mismatch", err)
+	}
+	bad = cfg
+	bad.OCOR = false
+	if _, err := Restore(bad, snap); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("restore under different OCOR mode: got %v, want config mismatch", err)
+	}
+	bad = cfg
+	bad.Protocol = "mcs"
+	if _, err := Restore(bad, snap); err == nil || !strings.Contains(err.Error(), "protocol") {
+		t.Fatalf("cross-protocol restore of non-inert kernel: got %v, want protocol mismatch", err)
+	}
+	bad = cfg
+	bad.Faults = &fault.Plan{Seed: 41, DropRate: 0.01}
+	bad.Recovery = &kernel.RecoveryConfig{Enabled: true}
+	if _, err := Restore(bad, snap); err == nil || !strings.Contains(err.Error(), "fault") {
+		t.Fatalf("restore with fault injection added: got %v, want fault mismatch", err)
+	}
+}
+
+// BenchmarkCheckpointRoundTrip measures the full checkpoint round trip —
+// snapshot a mid-run platform, then restore it into a freshly built one —
+// and reports the snapshot size alongside ns/op and allocs/op. CI's
+// bench-smoke gate holds allocs/op to .github/checkpoint-alloc-threshold.
+func BenchmarkCheckpointRoundTrip(b *testing.B) {
+	cfg := Config{Benchmark: detProfile(), Threads: 16, OCOR: true, Seed: 7}
+	src, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := src.RunTo(45000); err != nil {
+		b.Fatal(err)
+	}
+	warm, err := src.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(warm.Size()), "snapshot-bytes")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := src.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Restore(cfg, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -109,12 +109,13 @@ type report struct {
 	// Caveat is set when any measured worker count exceeds the host's
 	// CPUs: the scaling numbers then reflect time-slicing, not
 	// parallelism, and must not be compared across hosts.
-	Caveat      string              `json:"caveat,omitempty"`
-	Records     []record            `json:"benchmarks"`
-	Tick        []tickRecord        `json:"network_tick,omitempty"`
-	MeshScaling []meshScalingRecord `json:"mesh_scaling,omitempty"`
-	Scaling     []scalingPoint      `json:"tick_scaling,omitempty"`
-	Arena       *arenaBlock         `json:"lock_arena,omitempty"`
+	Caveat      string                `json:"caveat,omitempty"`
+	Records     []record              `json:"benchmarks"`
+	Tick        []tickRecord          `json:"network_tick,omitempty"`
+	MeshScaling []meshScalingRecord   `json:"mesh_scaling,omitempty"`
+	Scaling     []scalingPoint        `json:"tick_scaling,omitempty"`
+	Arena       *arenaBlock           `json:"lock_arena,omitempty"`
+	Checkpoint  *checkpointSweepBlock `json:"checkpoint_sweep,omitempty"`
 }
 
 // arenaBlock is the lock-protocol tournament record: a small deterministic
@@ -123,6 +124,29 @@ type report struct {
 type arenaBlock struct {
 	WallSeconds float64                 `json:"wall_seconds"`
 	Report      experiments.ArenaReport `json:"report"`
+}
+
+// checkpointSweepBlock records the warm-start sweep economics: the same
+// priority-level grid timed the pre-checkpoint way (every cell simulated
+// from cycle zero, including the identical baseline cells) and through
+// the deduplicating warm-start grid, plus the cost of the checkpoint
+// primitive itself on a mid-run platform. WarmupFraction is the measured
+// share of a run the shared pre-first-lock prefix covers — the honest
+// ceiling on what prefix forking alone can save; the rest of the speedup
+// is deduplication of identical cells.
+type checkpointSweepBlock struct {
+	GridCells           int     `json:"grid_cells"`
+	UniqueCells         int     `json:"unique_cells"`
+	PrefixesBuilt       int     `json:"prefixes_built"`
+	PrefixCyclesSkipped uint64  `json:"prefix_cycles_skipped"`
+	WarmupFraction      float64 `json:"measured_warmup_fraction"`
+	ColdCellsPerSec     float64 `json:"cold_cells_per_sec"`
+	WarmCellsPerSec     float64 `json:"warm_cells_per_sec"`
+	Speedup             float64 `json:"speedup_warm_vs_cold"`
+	SnapshotBytes       int     `json:"snapshot_bytes"`
+	SnapshotNs          float64 `json:"snapshot_ns_per_op"`
+	RestoreNs           float64 `json:"restore_ns_per_op"`
+	RoundTripAllocs     int64   `json:"round_trip_allocs_per_op"`
 }
 
 func main() {
@@ -139,6 +163,7 @@ func main() {
 		sparseMeshes = flag.String("sparsemeshes", "8,16,32,64", "comma-separated square mesh widths for the mesh_scaling block (empty disables it)")
 		sparseBase   = flag.String("sparsebase", "", "comma-separated mesh=ns_per_op reference points for the mesh_scaling block, measured against the predecessor commit's fused tick")
 		arena        = flag.Bool("arena", true, "include the lock_arena block (small deterministic protocol tournament)")
+		ckptLevels   = flag.String("checkpointlevels", "2,4,8,16,32", "comma-separated priority-level counts for the checkpoint_sweep block (empty disables it)")
 	)
 	flag.Parse()
 
@@ -244,6 +269,14 @@ func main() {
 		rep.Arena = &arenaBlock{WallSeconds: time.Since(start).Seconds(), Report: ar}
 		fmt.Fprintf(os.Stderr, "benchjson: arena  %8.2fs  (%d combinations, winner %s ocor=%v)\n",
 			rep.Arena.WallSeconds, len(ar.Leaderboard), ar.Leaderboard[0].Protocol, ar.Leaderboard[0].OCOR)
+	}
+
+	if blk, err := measureCheckpointSweep(*threads, *scale, *seed, *ckptLevels); err != nil {
+		fatal(fmt.Errorf("checkpoint_sweep: %w", err))
+	} else if blk != nil {
+		rep.Checkpoint = blk
+		fmt.Fprintf(os.Stderr, "benchjson: ckpt   %8.2f cold cells/s  %8.2f warm cells/s  (%.2fx, warmup fraction %.4f)\n",
+			blk.ColdCellsPerSec, blk.WarmCellsPerSec, blk.Speedup, blk.WarmupFraction)
 	}
 
 	if pts, err := measureScaling(opt, *scaleWorkers); err != nil {
@@ -558,6 +591,119 @@ func measureMeshScaling(meshSpec, baseSpec string) ([]meshScalingRecord, error) 
 		recs = append(recs, rec)
 	}
 	return recs, nil
+}
+
+// measureCheckpointSweep times the body priority-level sweep grid two
+// ways: the pre-checkpoint path (every cell simulated from cycle zero,
+// including the identical baseline cells — what cmd/sweep did before the
+// warm-start grid) and through experiments.RunGrid with warm-start
+// forking. Both run with Jobs=1 so the ratio reflects simulation work
+// avoided, not parallelism. It then measures the checkpoint primitive on
+// a mid-run platform: snapshot size, snapshot and restore wall cost, and
+// combined round-trip allocations (the number CI's bench-smoke gate
+// bounds via BenchmarkCheckpointRoundTrip).
+func measureCheckpointSweep(threads int, scale float64, seed uint64, levelSpec string) (*checkpointSweepBlock, error) {
+	if levelSpec == "" {
+		return nil, nil
+	}
+	var levels []int
+	for _, f := range strings.Split(levelSpec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("-checkpointlevels: bad list %q: %v", levelSpec, err)
+		}
+		levels = append(levels, v)
+	}
+	p, err := repro.Benchmark("body")
+	if err != nil {
+		return nil, err
+	}
+	p = p.Scale(scale)
+	var cells []experiments.Cell
+	for _, lv := range levels {
+		base := experiments.Cell{Profile: p, Threads: threads, Seed: seed}
+		ocor := base
+		ocor.OCOR = true
+		ocor.Levels = lv
+		cells = append(cells, base, ocor)
+	}
+
+	coldStart := time.Now()
+	for _, c := range cells {
+		cfg := repro.Config{Benchmark: c.Profile, Threads: c.Threads, OCOR: c.OCOR, Seed: c.Seed}
+		if c.Levels > 0 {
+			cfg.PriorityLevels = c.Levels
+		}
+		sys, err := repro.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sys.Run(); err != nil {
+			return nil, err
+		}
+	}
+	coldSec := time.Since(coldStart).Seconds()
+
+	warmStart := time.Now()
+	results, stats, err := experiments.RunGrid(cells, experiments.GridOptions{Warm: true, Jobs: 1}, nil)
+	if err != nil {
+		return nil, err
+	}
+	warmSec := time.Since(warmStart).Seconds()
+
+	blk := &checkpointSweepBlock{
+		GridCells:           len(cells),
+		UniqueCells:         stats.Unique,
+		PrefixesBuilt:       stats.PrefixesBuilt,
+		PrefixCyclesSkipped: stats.PrefixCycles,
+		ColdCellsPerSec:     float64(len(cells)) / coldSec,
+		WarmCellsPerSec:     float64(len(cells)) / warmSec,
+	}
+	blk.Speedup = blk.WarmCellsPerSec / blk.ColdCellsPerSec
+	if stats.Forked > 0 && results[0].ROIFinish > 0 {
+		perRun := stats.PrefixCycles / uint64(stats.Forked)
+		blk.WarmupFraction = float64(perRun) / float64(results[0].ROIFinish)
+	}
+
+	cfg := repro.Config{Benchmark: p, Threads: threads, OCOR: true, Seed: seed}
+	src, err := repro.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := src.RunTo(results[1].ROIFinish / 2); err != nil {
+		return nil, err
+	}
+	snap, err := src.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	blk.SnapshotBytes = snap.Size()
+	var benchErr error
+	sres := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := src.Snapshot(); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	rres := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := repro.Restore(cfg, snap); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	blk.SnapshotNs = float64(sres.T.Nanoseconds()) / float64(sres.N)
+	blk.RestoreNs = float64(rres.T.Nanoseconds()) / float64(rres.N)
+	blk.RoundTripAllocs = sres.AllocsPerOp() + rres.AllocsPerOp()
+	return blk, nil
 }
 
 func fatal(err error) {

@@ -2,38 +2,64 @@
 // priority levels, or seeds — and emits one CSV row per run, for
 // calibration and sensitivity studies beyond the paper's figures.
 //
+// Identical grid cells (e.g. the baseline rows of a priority-level sweep,
+// which never read the level) are simulated once, and cells sharing a
+// protocol-independent prefix warm-start from one shared snapshot of that
+// prefix (disable with -warm=false). With -checkpoint-dir the grid is
+// resumable: completed rows and prefix snapshots persist, SIGINT flushes
+// the frontier, and a rerun continues where the interrupted run stopped.
+//
 // Usage:
 //
 //	sweep -bench botss -threads 4,16,32,64
 //	sweep -bench can -levels 1,2,4,8,16 -threads 64
-//	sweep -bench body -seeds 5 -j 4 > body.csv
+//	sweep -bench body -seeds 5 -j 4 -checkpoint-dir body.ckpt > body.csv
 package main
 
 import (
+	"bufio"
+	"crypto/sha256"
 	"encoding/csv"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"repro"
+	"repro/internal/checkpoint"
+	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/par"
 	"repro/internal/profiling"
+	"repro/internal/workload"
 )
 
-// errInterrupted marks grid cells skipped after a SIGINT; the completed
-// prefix of rows is still flushed and the process exits 130.
-var errInterrupted = errors.New("interrupted")
-
-// cell is one grid point of the sweep.
+// cell is one grid point of the sweep; each expands to a baseline and an
+// OCOR simulation.
 type cell struct {
 	threads int
 	levels  int
 	seed    uint64
+}
+
+// sweepConfig is everything sweepRun needs; main fills it from flags.
+type sweepConfig struct {
+	prof     workload.Profile
+	grid     []cell
+	scale    float64
+	jobs     int
+	workers  int
+	protocol string
+	noPool   bool
+	warm     bool
+	ckptDir  string
+	stop     <-chan struct{}
 }
 
 func main() {
@@ -49,6 +75,8 @@ func main() {
 		noPool  = flag.Bool("nopool", false, "disable object freelists (heap-allocate packets/messages; results are identical)")
 		workers = flag.Int("workers", 1, "intra-simulation worker count per run; composes with -j (0 jobs = GOMAXPROCS/workers)")
 		proto   = flag.String("protocol", "", "kernel lock protocol for every run (empty = default queue spinlock)")
+		warm    = flag.Bool("warm", true, "warm-start cells from a shared pre-first-lock prefix snapshot")
+		ckptDir = flag.String("checkpoint-dir", "", "persist completed rows and prefix snapshots here; a rerun resumes the grid")
 	)
 	flag.Parse()
 
@@ -85,8 +113,9 @@ func main() {
 	}
 
 	// SIGINT truncates: no new simulations are claimed, the completed
-	// prefix of rows is flushed, a trailing comment line marks the output
-	// as partial, and the exit code is 130.
+	// prefix of rows is flushed (and, with -checkpoint-dir, persisted
+	// alongside the frontier's prefix snapshots), a trailing comment line
+	// marks the output as partial, and the exit code is 130.
 	stop := make(chan struct{})
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt)
@@ -97,54 +126,19 @@ func main() {
 		signal.Stop(sigc)
 	}()
 
-	w := csv.NewWriter(os.Stdout)
-	_ = w.Write([]string{
-		"benchmark", "threads", "levels", "seed", "config",
-		"roi_finish", "total_coh", "spin_fraction", "sleeps",
-		"coh_improvement", "roi_improvement",
-	})
-
-	// Two independent simulations per grid cell: even index = baseline,
-	// odd = OCOR. The ordered emitter writes both CSV rows once the OCOR
-	// half completes, so row order matches the serial grid walk exactly
-	// regardless of -j.
-	// -workers and -j compose through the shared core budget: with -j left
-	// at its default, the outer job count shrinks so jobs x workers never
-	// oversubscribes the machine (and never drops below one job).
-	effJobs := par.SharedCoreBudget(*jobs, *workers)
-	var lastBase metrics.Results
-	_, err = par.Map(2*len(grid), effJobs, func(i int) (metrics.Results, error) {
-		select {
-		case <-stop:
-			return metrics.Results{}, errInterrupted
-		default:
-		}
-		c := grid[i/2]
-		cfg := repro.Config{
-			Benchmark: p, Threads: c.threads, OCOR: i%2 == 1,
-			Seed: c.seed, NoPool: *noPool, Workers: *workers,
-			Protocol: *proto,
-		}
-		if cfg.OCOR {
-			cfg.PriorityLevels = c.levels
-		}
-		sys, err := repro.New(cfg)
-		if err != nil {
-			return metrics.Results{}, err
-		}
-		return sys.Run()
-	}, func(i int, r metrics.Results) {
-		if i%2 == 0 {
-			lastBase = r
-			return
-		}
-		c := grid[i/2]
-		emit(w, p.Name, c.threads, c.levels, c.seed, "baseline", lastBase, 0, 0)
-		emit(w, p.Name, c.threads, c.levels, c.seed, "ocor", r,
-			metrics.COHImprovement(lastBase, r), metrics.ROIImprovement(lastBase, r))
-	})
-	w.Flush()
-	if errors.Is(err, errInterrupted) {
+	sc := sweepConfig{
+		prof: p, grid: grid, scale: *scale, jobs: *jobs, workers: *workers,
+		protocol: *proto, noPool: *noPool, warm: *warm, ckptDir: *ckptDir,
+		stop: stop,
+	}
+	stats, cached, err := sweepRun(sc, os.Stdout)
+	if cached > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d rows restored from %s\n", cached, 2*len(grid), *ckptDir)
+	}
+	if stats.Forked > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d simulations warm-started, skipping %d prefix cycles\n", stats.Forked, stats.PrefixCycles)
+	}
+	if errors.Is(err, experiments.ErrInterrupted) {
 		fmt.Println("# truncated: interrupted before the grid completed")
 		os.Exit(130)
 	}
@@ -158,9 +152,112 @@ func main() {
 	}
 }
 
-func emit(w *csv.Writer, name string, th, lv int, seed uint64, cfg string, r metrics.Results, cohImp, roiImp float64) {
+// sweepRun expands the grid into baseline/OCOR cell pairs, restores any
+// rows already recorded in the checkpoint directory, simulates the rest
+// through the deduplicating warm-start grid, and streams CSV rows to out
+// in grid-walk order. It returns the grid stats of the simulated portion
+// and the number of cells restored from the row cache.
+func sweepRun(sc sweepConfig, out io.Writer) (experiments.GridStats, int, error) {
+	// Two cells per grid point: even index = baseline, odd = OCOR.
+	cells := make([]experiments.Cell, 0, 2*len(sc.grid))
+	for _, c := range sc.grid {
+		base := experiments.Cell{
+			Profile: sc.prof, Threads: c.threads, Seed: c.seed,
+			Protocol: sc.protocol, NoPool: sc.noPool, Workers: sc.workers,
+		}
+		ocor := base
+		ocor.OCOR = true
+		ocor.Levels = c.levels
+		cells = append(cells, base, ocor)
+	}
+
+	var rows *rowCache
+	opts := experiments.GridOptions{Jobs: sc.jobs, Warm: sc.warm, Stop: sc.stop}
+	if sc.ckptDir != "" {
+		if err := os.MkdirAll(sc.ckptDir, 0o755); err != nil {
+			return experiments.GridStats{}, 0, err
+		}
+		var err error
+		if rows, err = openRowCache(filepath.Join(sc.ckptDir, "rows.jsonl")); err != nil {
+			return experiments.GridStats{}, 0, err
+		}
+		defer rows.Close()
+		opts.Cache = prefixDir{dir: sc.ckptDir}
+	}
+
+	results := make([]metrics.Results, len(cells))
+	resolved := make([]bool, len(cells))
+	cached := 0
+	var sub []experiments.Cell // cells still to simulate (full-index parallel slice)
+	var subIdx []int
+	for i, c := range cells {
+		if rows != nil {
+			if r, ok := rows.load(c.Key()); ok {
+				results[i], resolved[i] = r, true
+				cached++
+				continue
+			}
+		}
+		sub = append(sub, c)
+		subIdx = append(subIdx, i)
+	}
+
+	w := csv.NewWriter(out)
+	defer w.Flush()
 	_ = w.Write([]string{
-		name, strconv.Itoa(th), strconv.Itoa(lv), strconv.FormatUint(seed, 10), cfg,
+		"benchmark", "threads", "levels", "seed", "protocol", "workers",
+		"nopool", "scale", "config",
+		"roi_finish", "total_coh", "spin_fraction", "sleeps",
+		"coh_improvement", "roi_improvement",
+	})
+
+	// Ordered emitter over the full cell list: a grid point's two CSV rows
+	// go out once its OCOR half resolves, so row order matches the serial
+	// grid walk exactly regardless of -j, warm-start forking, or which
+	// cells came from the row cache.
+	next := 0
+	var lastBase metrics.Results
+	advance := func() {
+		for next < len(cells) && resolved[next] {
+			if next%2 == 0 {
+				lastBase = results[next]
+				next++
+				continue
+			}
+			c := sc.grid[next/2]
+			r := results[next]
+			emitRow(w, sc, c, "baseline", lastBase, 0, 0)
+			emitRow(w, sc, c, "ocor", r,
+				metrics.COHImprovement(lastBase, r), metrics.ROIImprovement(lastBase, r))
+			next++
+		}
+		w.Flush()
+	}
+	advance() // a fully cached prefix of the grid streams before any simulation
+
+	var stats experiments.GridStats
+	if len(sub) > 0 {
+		var err error
+		_, stats, err = experiments.RunGrid(sub, opts, func(i int, r metrics.Results) {
+			fi := subIdx[i]
+			results[fi], resolved[fi] = r, true
+			if rows != nil {
+				rows.store(cells[fi].Key(), r)
+			}
+			advance()
+		})
+		if err != nil {
+			return stats, cached, err
+		}
+	}
+	return stats, cached, nil
+}
+
+func emitRow(w *csv.Writer, sc sweepConfig, c cell, cfg string, r metrics.Results, cohImp, roiImp float64) {
+	_ = w.Write([]string{
+		sc.prof.Name, strconv.Itoa(c.threads), strconv.Itoa(c.levels),
+		strconv.FormatUint(c.seed, 10), sc.protocol, strconv.Itoa(sc.workers),
+		strconv.FormatBool(sc.noPool), strconv.FormatFloat(sc.scale, 'f', -1, 64), cfg,
 		strconv.FormatUint(r.ROIFinish, 10),
 		strconv.FormatUint(r.TotalCOH, 10),
 		strconv.FormatFloat(r.SpinFraction, 'f', 4, 64),
@@ -168,6 +265,92 @@ func emit(w *csv.Writer, name string, th, lv int, seed uint64, cfg string, r met
 		strconv.FormatFloat(cohImp, 'f', 4, 64),
 		strconv.FormatFloat(roiImp, 'f', 4, 64),
 	})
+}
+
+// rowCache is the checkpoint directory's completed-row log: one JSON line
+// per finished simulation, keyed by the cell's full-configuration key.
+// Rows append and sync as simulations finish, so an interrupt (even an
+// unclean one) loses at most in-flight cells; a torn final line from a
+// hard kill is skipped on reload.
+type rowCache struct {
+	f    *os.File
+	seen map[string]metrics.Results
+}
+
+type rowRecord struct {
+	Key     string          `json:"key"`
+	Results metrics.Results `json:"results"`
+}
+
+func openRowCache(path string) (*rowCache, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	rc := &rowCache{f: f, seen: map[string]metrics.Results{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		var rec rowRecord
+		if json.Unmarshal(sc.Bytes(), &rec) != nil {
+			break // torn tail from a hard kill; everything after is suspect
+		}
+		rc.seen[rec.Key] = rec.Results
+	}
+	return rc, nil
+}
+
+func (rc *rowCache) load(key string) (metrics.Results, bool) {
+	r, ok := rc.seen[key]
+	return r, ok
+}
+
+func (rc *rowCache) store(key string, r metrics.Results) {
+	b, err := json.Marshal(rowRecord{Key: key, Results: r})
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	_, _ = rc.f.Write(b)
+}
+
+func (rc *rowCache) Close() error { return rc.f.Close() }
+
+// prefixDir persists warm-start prefix snapshots as
+// prefix-<hash>-<cycle>.ckpt files, so an interrupted sweep's rerun (and
+// any later sweep sharing the configuration) skips the prefix simulation.
+type prefixDir struct{ dir string }
+
+func (d prefixDir) glob(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.dir, fmt.Sprintf("prefix-%x-*.ckpt", sum[:8]))
+}
+
+func (d prefixDir) Load(key string) (any, uint64, bool) {
+	matches, _ := filepath.Glob(d.glob(key))
+	if len(matches) == 0 {
+		return nil, 0, false
+	}
+	name := filepath.Base(matches[0])
+	var cycle uint64
+	if _, err := fmt.Sscanf(name[strings.LastIndexByte(name, '-')+1:], "%d.ckpt", &cycle); err != nil {
+		return nil, 0, false
+	}
+	snap, err := checkpoint.ReadFile(matches[0])
+	if err != nil {
+		return nil, 0, false
+	}
+	return snap, cycle, true
+}
+
+func (d prefixDir) Store(key string, prefix any, cycle uint64) {
+	snap, ok := prefix.(*checkpoint.Snapshot)
+	if !ok {
+		return
+	}
+	sum := sha256.Sum256([]byte(key))
+	path := filepath.Join(d.dir, fmt.Sprintf("prefix-%x-%d.ckpt", sum[:8], cycle))
+	_ = snap.WriteFile(path)
 }
 
 func parseInts(s string) []int {

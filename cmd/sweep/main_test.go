@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func testProfile() workload.Profile {
+	return workload.Profile{
+		Name: "swtest", ComputeGap: 600, GapMemOps: 3, WorkingSet: 64,
+		SharedFrac: 0.15, GlobalBlocks: 32, SharedWriteFrac: 0.25,
+		Locks: 2, CSLen: 50, CSMemOps: 2, Iterations: 5,
+	}
+}
+
+func testSweepConfig(dir string) sweepConfig {
+	return sweepConfig{
+		prof: testProfile(),
+		grid: []cell{
+			{threads: 16, levels: 4, seed: 1},
+			{threads: 16, levels: 8, seed: 1},
+		},
+		scale: 1, warm: true, ckptDir: dir,
+	}
+}
+
+// TestSweepResume runs the same checkpointed grid twice: the second run
+// must simulate nothing, restore every row from the checkpoint directory,
+// and still produce byte-identical CSV output.
+func TestSweepResume(t *testing.T) {
+	dir := t.TempDir()
+	sc := testSweepConfig(dir)
+
+	var first bytes.Buffer
+	stats, cached, err := sweepRun(sc, &first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != 0 {
+		t.Fatalf("fresh run restored %d rows from an empty directory", cached)
+	}
+	// 4 cells, but the two baselines are identical (levels unused).
+	if stats.Unique != 3 || stats.Forked != 3 {
+		t.Fatalf("fresh run stats %+v, want 3 unique, all forked", stats)
+	}
+	// One prefix per OCOR half: OCOR selects the router arbitration
+	// algorithm, so it stays in the prefix key.
+	if m, _ := filepath.Glob(filepath.Join(dir, "prefix-*.ckpt")); len(m) != 2 {
+		t.Fatalf("fresh run left %d prefix snapshots, want 2", len(m))
+	}
+
+	var second bytes.Buffer
+	stats, cached, err = sweepRun(sc, &second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != 4 || stats.Unique != 0 {
+		t.Fatalf("resumed run simulated work: cached=%d stats=%+v", cached, stats)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("resumed CSV differs from fresh CSV:\nfresh:\n%s\nresumed:\n%s", &first, &second)
+	}
+}
+
+// TestSweepPartialResume checkpoints a sub-grid, then reruns the full
+// grid: cached rows are restored, only the new cells simulate, and those
+// new cells warm-start from the persisted prefix snapshot rather than
+// rebuilding it.
+func TestSweepPartialResume(t *testing.T) {
+	dir := t.TempDir()
+	sc := testSweepConfig(dir)
+	full := sc.grid
+	sc.grid = full[:1]
+
+	var partial bytes.Buffer
+	if _, _, err := sweepRun(sc, &partial); err != nil {
+		t.Fatal(err)
+	}
+
+	sc.grid = full
+	var out bytes.Buffer
+	stats, cached, err := sweepRun(sc, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first grid point's two rows are cached; the second point's
+	// baseline dedupes onto the cached baseline key, leaving one new cell.
+	if cached != 3 || stats.Unique != 1 {
+		t.Fatalf("partial resume: cached=%d stats=%+v, want 3 cached, 1 unique", cached, stats)
+	}
+	if stats.PrefixesBuilt != 1 || stats.Forked != 1 {
+		t.Fatalf("partial resume did not warm-start from the stored prefix: %+v", stats)
+	}
+
+	// The full-grid CSV must embed the partial run's rows verbatim.
+	lines := strings.Split(out.String(), "\n")
+	plines := strings.Split(partial.String(), "\n")
+	for i, l := range plines {
+		if l == "" {
+			continue
+		}
+		if lines[i] != l {
+			t.Fatalf("row %d changed across resume:\npartial: %s\nfull:    %s", i, l, lines[i])
+		}
+	}
+
+	// A cold rerun in a fresh directory must agree with the resumed CSV.
+	sc.ckptDir = t.TempDir()
+	sc.warm = false
+	var cold bytes.Buffer
+	if _, _, err := sweepRun(sc, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold.Bytes(), out.Bytes()) {
+		t.Fatalf("resumed CSV differs from cold CSV:\ncold:\n%s\nresumed:\n%s", &cold, &out)
+	}
+}
+
+// TestSweepInterrupted runs with a pre-closed stop channel: no rows are
+// produced beyond the header, and the error is the interrupt sentinel.
+func TestSweepInterrupted(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	sc := testSweepConfig(t.TempDir())
+	sc.stop = stop
+
+	var out bytes.Buffer
+	_, _, err := sweepRun(sc, &out)
+	if err == nil {
+		t.Fatal("interrupted sweep returned nil error")
+	}
+	if got := strings.Count(out.String(), "\n"); got != 1 {
+		t.Fatalf("interrupted sweep emitted %d lines, want header only", got)
+	}
+}

@@ -1,0 +1,94 @@
+// Checkpoint quickstart: snapshot a simulation mid-run, restore it into a
+// fresh platform, and verify the resumed run is byte-identical to an
+// uninterrupted one; then fork one shared pre-first-lock prefix into
+// several lock protocols — the warm-start trick cmd/sweep uses to skip
+// redundant simulation across a grid.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/checkpoint"
+)
+
+func main() {
+	profile, err := repro.Benchmark("body")
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile = profile.Scale(0.25)
+	cfg := repro.Config{Benchmark: profile, Threads: 64, OCOR: true, Seed: 42}
+
+	// Reference: one uninterrupted run.
+	sys, err := repro.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Interrupted run: advance halfway, snapshot, write the snapshot to
+	// disk, read it back, restore into a brand-new platform, and finish.
+	sys2, err := repro.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mid := ref.ROIFinish / 2
+	if _, err := sys2.RunTo(mid); err != nil {
+		log.Fatal(err)
+	}
+	snap, err := sys2.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(os.TempDir(), "checkpoint-quickstart.ckpt")
+	if err := snap.WriteFile(path); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := checkpoint.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := repro.Restore(cfg, loaded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resumed, err := restored.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	refJSON, _ := json.Marshal(ref)
+	resJSON, _ := json.Marshal(resumed)
+	fmt.Printf("snapshot at cycle %d: %d bytes -> %s\n", mid, snap.Size(), path)
+	fmt.Printf("resumed run byte-identical to uninterrupted run: %v\n\n", string(refJSON) == string(resJSON))
+
+	// Warm-start forking: BuildPrefix simulates up to the last cycle
+	// before any thread's first lock acquisition. The kernel is still
+	// inert there, so the one snapshot restores into any lock protocol.
+	prefix, cycle, err := repro.BuildPrefix(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shared prefix covers cycles [0, %d] of ~%d\n", cycle, ref.ROIFinish)
+	for _, proto := range []string{"", "mcs", "cna"} {
+		forkCfg := cfg
+		forkCfg.Protocol = proto
+		res, err := repro.ForkRun(forkCfg, prefix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := proto
+		if name == "" {
+			name = "queue (default)"
+		}
+		fmt.Printf("  %-16s ROI finish %8d  total COH %8d\n", name, res.ROIFinish, res.TotalCOH)
+	}
+}

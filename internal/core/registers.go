@@ -35,6 +35,16 @@ func (rf *RegisterFile) RTR() (int, bool) { return rf.rtr, rf.set }
 // Prog returns the last written progress value.
 func (rf *RegisterFile) Prog() int { return rf.prog }
 
+// State exports the raw register state for checkpointing.
+func (rf *RegisterFile) State() (rtr, prog int, set bool) {
+	return rf.rtr, rf.prog, rf.set
+}
+
+// SetState overwrites the register file with previously exported state.
+func (rf *RegisterFile) SetState(rtr, prog int, set bool) {
+	rf.rtr, rf.prog, rf.set = rtr, prog, set
+}
+
 // LockPriority derives the packet priority word for an outgoing locking
 // request under the supplied policy. When the policy is disabled or the
 // registers were never written it returns Normal.

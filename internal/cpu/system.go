@@ -77,7 +77,7 @@ func NewSystem(m *mem.System, k *kernel.System, programs []Program) (*System, er
 func (s *System) barrierArrive(now uint64, group int, t *Thread) {
 	b := s.barriers[group]
 	if b == nil || b.size <= 1 {
-		s.delay.Schedule(now+s.BarrierLatency, t.stepFn)
+		s.delay.ScheduleTagged(now+s.BarrierLatency, stepTag(t.ID), 0, 0, t.stepFn)
 		return
 	}
 	b.waiting = append(b.waiting, t)
@@ -87,7 +87,7 @@ func (s *System) barrierArrive(now uint64, group int, t *Thread) {
 	released := b.waiting
 	b.waiting = nil
 	for _, th := range released {
-		s.delay.Schedule(now+s.BarrierLatency, th.stepFn)
+		s.delay.ScheduleTagged(now+s.BarrierLatency, stepTag(th.ID), 0, 0, th.stepFn)
 	}
 }
 

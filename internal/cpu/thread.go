@@ -67,11 +67,16 @@ type Thread struct {
 	// their step continuation on every operation — caching it keeps the
 	// per-op path allocation-free.
 	stepFn func(now uint64)
+	// grantFn is t.lockGranted bound once: the lock-acquisition completion
+	// continuation. Bound (rather than a per-OpLock closure) so a restored
+	// checkpoint can rebind pending acquisitions to the identical callback.
+	grantFn func(now uint64)
 }
 
 func newThread(id int, prog Program, sys *System) *Thread {
 	t := &Thread{ID: id, prog: prog, sys: sys, region: RegionParallel}
 	t.stepFn = t.step
+	t.grantFn = t.lockGranted
 	return t
 }
 
@@ -99,7 +104,7 @@ func (t *Thread) step(now uint64) {
 		if d == 0 {
 			d = 1
 		}
-		t.sys.delay.Schedule(now+d, t.stepFn)
+		t.sys.delay.ScheduleTagged(now+d, stepTag(t.ID), 0, 0, t.stepFn)
 	case OpLoad:
 		t.Stats.MemOps++
 		t.sys.Mem.Access(now, t.ID, op.Arg, false, t.stepFn)
@@ -109,23 +114,17 @@ func (t *Thread) step(now uint64) {
 	case OpLoadNB:
 		t.Stats.MemOps++
 		t.sys.Mem.Access(now, t.ID, op.Arg, false, nil)
-		t.sys.delay.Schedule(now+1, t.stepFn)
+		t.sys.delay.ScheduleTagged(now+1, stepTag(t.ID), 0, 0, t.stepFn)
 	case OpStoreNB:
 		t.Stats.MemOps++
 		t.sys.Mem.Access(now, t.ID, op.Arg, true, nil)
-		t.sys.delay.Schedule(now+1, t.stepFn)
+		t.sys.delay.ScheduleTagged(now+1, stepTag(t.ID), 0, 0, t.stepFn)
 	case OpBarrier:
 		t.sys.barrierArrive(now, int(op.Arg), t)
 	case OpLock:
 		t.setRegion(now, RegionBlocked)
 		t.blockStart = now
-		t.sys.Kernel.Lock(now, t.ID, int(op.Arg), func(g uint64) {
-			t.Stats.BlockedCycles += g - t.blockStart
-			t.Stats.Acquisitions++
-			t.csStart = g
-			t.setRegion(g, RegionCS)
-			t.step(g)
-		})
+		t.sys.Kernel.Lock(now, t.ID, int(op.Arg), t.grantFn)
 	case OpUnlock:
 		t.sys.Kernel.Unlock(now, t.ID)
 		t.Stats.CSCycles += now - t.csStart
@@ -134,6 +133,16 @@ func (t *Thread) step(now uint64) {
 	default:
 		panic(fmt.Sprintf("cpu: thread %d unknown op %v", t.ID, op.Kind))
 	}
+}
+
+// lockGranted is the OpLock completion continuation: the thread enters
+// its critical section and resumes at the next operation.
+func (t *Thread) lockGranted(g uint64) {
+	t.Stats.BlockedCycles += g - t.blockStart
+	t.Stats.Acquisitions++
+	t.csStart = g
+	t.setRegion(g, RegionCS)
+	t.step(g)
 }
 
 func (t *Thread) setRegion(now uint64, r Region) {

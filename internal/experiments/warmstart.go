@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/par"
+	"repro/internal/workload"
+)
+
+// ErrInterrupted marks grid cells skipped after a stop request; the
+// completed prefix of emissions has already been delivered in order.
+var ErrInterrupted = errors.New("experiments: grid interrupted")
+
+// Cell fully specifies one simulation of a sweep grid. Two cells with
+// equal fields run byte-identical simulations, which is what lets RunGrid
+// deduplicate them.
+type Cell struct {
+	Profile  workload.Profile
+	Threads  int
+	OCOR     bool
+	Levels   int
+	Seed     uint64
+	Protocol string
+	NoPool   bool
+	Workers  int
+}
+
+// Key is the cell's full-configuration identity: cells with equal keys
+// produce byte-identical results (the platform's determinism guarantee),
+// so only one representative per key is ever simulated.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%+v|t%d|o%v|l%d|s%d|p%s|n%v|w%d",
+		c.Profile, c.Threads, c.OCOR, c.Levels, c.Seed, c.Protocol, c.NoPool, c.Workers)
+}
+
+// PrefixKey identifies the cell's protocol-independent prefix: everything
+// except the lock protocol and the priority-level count. Until the first
+// lock acquisition the platform never consults either, so cells sharing a
+// PrefixKey can be forked from one snapshot of that shared prefix.
+// OCOR stays in the key — it selects the router arbitration algorithm,
+// whose pointer updates differ even while no prioritized packet exists.
+func (c Cell) PrefixKey() string {
+	return fmt.Sprintf("%+v|t%d|o%v|s%d|n%v|w%d",
+		c.Profile, c.Threads, c.OCOR, c.Seed, c.NoPool, c.Workers)
+}
+
+// PrefixBuilder simulates a cell's platform up to the last checkpointable
+// cycle before any thread's first lock acquisition and returns an opaque
+// snapshot plus the cycle it covers. The cell's Protocol and Levels are
+// ignored — the returned prefix restores into any value of either.
+type PrefixBuilder func(c Cell) (prefix any, cycle uint64, err error)
+
+// ForkFn restores a prefix snapshot into the cell's full configuration
+// and runs the remainder to completion.
+type ForkFn func(prefix any, c Cell) (metrics.Results, error)
+
+var (
+	prefixBuilder PrefixBuilder
+	forkRunner    ForkFn
+)
+
+// SetForkRunner installs the warm-start entry points. The root package
+// calls this from an init function (like SetRunner).
+func SetForkRunner(b PrefixBuilder, f ForkFn) { prefixBuilder, forkRunner = b, f }
+
+// PrefixCache persists warm-start prefixes across grid runs (e.g. a sweep
+// checkpoint directory). Implementations must be safe for concurrent use;
+// Store receives the covered cycle alongside the opaque prefix.
+type PrefixCache interface {
+	Load(key string) (prefix any, cycle uint64, ok bool)
+	Store(key string, prefix any, cycle uint64)
+}
+
+// GridOptions configures RunGrid.
+type GridOptions struct {
+	// Jobs bounds concurrent simulations (0 = GOMAXPROCS); composes with
+	// per-cell Workers through the shared core budget.
+	Jobs int
+	// Warm enables warm-start forking: each distinct protocol-independent
+	// prefix is simulated once and every cell sharing it forks from the
+	// in-memory snapshot. Off, every unique cell runs from cycle zero.
+	// Deduplication of identical cells happens in either mode.
+	Warm bool
+	// Stop, when non-nil and closed, makes unstarted cells fail with
+	// ErrInterrupted; cells already emitted stay delivered.
+	Stop <-chan struct{}
+	// Cache, when non-nil, persists prefixes across runs (Warm only).
+	Cache PrefixCache
+}
+
+// GridStats reports how much simulation work a RunGrid call avoided.
+type GridStats struct {
+	// Cells is the grid size, Unique the number actually simulated.
+	Cells, Unique int
+	// Forked counts unique cells that warm-started from a shared prefix;
+	// PrefixesBuilt the distinct prefixes simulated (or cache-loaded).
+	Forked, PrefixesBuilt int
+	// PrefixCycles sums the covered cycles of every shared prefix use: the
+	// simulation work forking skipped (in cycles, not wall-clock).
+	PrefixCycles uint64
+}
+
+// RunGrid runs every cell of a sweep grid, deduplicating identical cells
+// and (optionally) warm-start forking cells that share a
+// protocol-independent prefix. Results come back in cell order; emit,
+// when non-nil, streams them in cell order as they complete. Prefix
+// construction is best-effort: a cell whose prefix cannot be built (e.g.
+// a NoPool configuration, whose in-flight payloads are unserializable)
+// silently runs cold from cycle zero.
+func RunGrid(cells []Cell, o GridOptions, emit func(i int, r metrics.Results)) ([]metrics.Results, GridStats, error) {
+	st := GridStats{Cells: len(cells)}
+	if runner == nil {
+		return nil, st, fmt.Errorf("experiments: no runner installed")
+	}
+	stopped := func() bool {
+		if o.Stop == nil {
+			return false
+		}
+		select {
+		case <-o.Stop:
+			return true
+		default:
+			return false
+		}
+	}
+
+	// Deduplicate: uniq holds the first cell of each distinct key, in
+	// first-occurrence order; uniqOf maps every cell to its representative.
+	uniqOf := make([]int, len(cells))
+	firstOf := map[string]int{}
+	var uniq []Cell
+	for i, c := range cells {
+		k := c.Key()
+		u, ok := firstOf[k]
+		if !ok {
+			u = len(uniq)
+			firstOf[k] = u
+			uniq = append(uniq, c)
+		}
+		uniqOf[i] = u
+	}
+	st.Unique = len(uniq)
+
+	// Warm phase: build (or cache-load) one prefix per distinct prefix
+	// key, concurrently. Failures disable forking for that key only.
+	warm := o.Warm && prefixBuilder != nil && forkRunner != nil
+	type prefixEntry struct {
+		prefix any
+		cycle  uint64
+	}
+	prefixes := map[string]*prefixEntry{}
+	if warm {
+		var keys []string
+		var reps []Cell
+		for _, c := range uniq {
+			k := c.PrefixKey()
+			if _, ok := prefixes[k]; ok {
+				continue
+			}
+			prefixes[k] = &prefixEntry{}
+			keys = append(keys, k)
+			reps = append(reps, c)
+		}
+		_, err := par.Map(len(keys), par.SharedCoreBudget(o.Jobs, maxWorkers(uniq)), func(i int) (prefixEntry, error) {
+			if stopped() {
+				return prefixEntry{}, ErrInterrupted
+			}
+			if o.Cache != nil {
+				if p, cyc, ok := o.Cache.Load(keys[i]); ok {
+					return prefixEntry{prefix: p, cycle: cyc}, nil
+				}
+			}
+			p, cyc, err := prefixBuilder(reps[i])
+			if err != nil {
+				// Unforkable configuration: leave the entry empty so the
+				// cells run cold. Not an error of the grid.
+				return prefixEntry{}, nil
+			}
+			if o.Cache != nil {
+				o.Cache.Store(keys[i], p, cyc)
+			}
+			return prefixEntry{prefix: p, cycle: cyc}, nil
+		}, func(i int, e prefixEntry) {
+			*prefixes[keys[i]] = e
+			if e.prefix != nil {
+				st.PrefixesBuilt++
+			}
+		})
+		if err != nil {
+			return nil, st, err
+		}
+	}
+
+	// Run phase: one simulation per unique cell, forked when its prefix
+	// exists. Emission streams in cell order: a cell is ready as soon as
+	// its representative (which, by first-occurrence construction, has an
+	// equal or earlier unique index) completes.
+	next := 0
+	ready := make([]metrics.Results, len(uniq))
+	uniqRes, err := par.Map(len(uniq), par.SharedCoreBudget(o.Jobs, maxWorkers(uniq)), func(i int) (metrics.Results, error) {
+		if stopped() {
+			return metrics.Results{}, ErrInterrupted
+		}
+		c := uniq[i]
+		if warm {
+			if e := prefixes[c.PrefixKey()]; e != nil && e.prefix != nil {
+				return forkRunner(e.prefix, c)
+			}
+		}
+		return runner(c.Profile, c.Threads, c.OCOR, c.Levels, c.Seed, c.Protocol, c.NoPool, c.Workers)
+	}, func(i int, r metrics.Results) {
+		c := uniq[i]
+		if warm {
+			if e := prefixes[c.PrefixKey()]; e != nil && e.prefix != nil {
+				st.Forked++
+				st.PrefixCycles += e.cycle
+			}
+		}
+		if emit == nil {
+			return
+		}
+		ready[i] = r
+		for next < len(cells) && uniqOf[next] <= i {
+			emit(next, ready[uniqOf[next]])
+			next++
+		}
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	out := make([]metrics.Results, len(cells))
+	for i := range cells {
+		out[i] = uniqRes[uniqOf[i]]
+	}
+	return out, st, nil
+}
+
+// maxWorkers returns the largest per-cell worker width of the grid, for
+// the shared core budget.
+func maxWorkers(cells []Cell) int {
+	w := 1
+	for _, c := range cells {
+		if c.Workers > w {
+			w = c.Workers
+		}
+	}
+	return w
+}

@@ -1,0 +1,59 @@
+package fault
+
+import (
+	"sort"
+
+	"repro/internal/checkpoint"
+)
+
+// SnapshotTo writes the injector's dynamic state: the fault counters and
+// the per-lock FUTEX_WAKE ordinals. The compiled plan (thresholds,
+// scripted-event indexes) is static configuration rebuilt by NewInjector,
+// so only the mutable state travels.
+func (inj *Injector) SnapshotTo(w *checkpoint.Writer) {
+	w.Begin("fault")
+	w.U64(inj.Stats.DroppedFlits.Load())
+	w.U64(inj.Stats.DroppedTails.Load())
+	w.U64(inj.Stats.DupFlits.Load())
+	w.U64(inj.Stats.DelayedFlits.Load())
+	w.U64(inj.Stats.FrozenTicks.Load())
+	w.U64(inj.Stats.DroppedWakes.Load())
+	w.U64(inj.Stats.CorruptedPrios.Load())
+	locks := make([]int, 0, len(inj.wakeSeq))
+	for l := range inj.wakeSeq {
+		locks = append(locks, int(l))
+	}
+	sort.Ints(locks)
+	w.Len(len(locks))
+	for _, l := range locks {
+		w.Int(l)
+		w.U32(inj.wakeSeq[int32(l)])
+	}
+	w.End()
+}
+
+// RestoreFrom overwrites a freshly compiled injector's dynamic state with
+// a snapshot written by SnapshotTo under the same plan.
+func (inj *Injector) RestoreFrom(r *checkpoint.Reader) error {
+	r.Begin("fault")
+	inj.Stats.DroppedFlits.Store(r.U64())
+	inj.Stats.DroppedTails.Store(r.U64())
+	inj.Stats.DupFlits.Store(r.U64())
+	inj.Stats.DelayedFlits.Store(r.U64())
+	inj.Stats.FrozenTicks.Store(r.U64())
+	inj.Stats.DroppedWakes.Store(r.U64())
+	inj.Stats.CorruptedPrios.Store(r.U64())
+	n := r.Len()
+	if n > 0 && inj.wakeSeq == nil {
+		inj.wakeSeq = make(map[int32]uint32, n)
+	}
+	for k := range inj.wakeSeq {
+		delete(inj.wakeSeq, k)
+	}
+	for i := 0; i < n; i++ {
+		lock := r.Int()
+		inj.wakeSeq[int32(lock)] = r.U32()
+	}
+	r.End()
+	return r.Err()
+}

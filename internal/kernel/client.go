@@ -92,6 +92,10 @@ type acquireCtx struct {
 	// timerArmed tracks whether a cpu_relax retry timer is pending.
 	timerArmed bool
 	cb         func(now uint64)
+	// needsCb marks a checkpoint-restored context whose completion
+	// continuation has not been rebound yet (cb was serialized as a
+	// has-callback bit; the owner re-installs the closure after restore).
+	needsCb bool
 	// Recovery state (unused while Recovery.Enabled is false).
 	//
 	// reqSeq numbers the try-lock requests of this acquisition so a
@@ -151,6 +155,12 @@ type Client struct {
 	// once like spinFn.
 	reqTimeoutFn func(now, gen, seq uint64)
 	recheckFn    func(now, gen, _ uint64)
+	// sleepPrepFn and wakeFn are the sleep-preparation and wake-up
+	// completion callbacks, bound once like spinFn; they carry the
+	// generation they were armed in instead of capturing their acquireCtx,
+	// which keeps every pending timer describable by a checkpoint tag.
+	sleepPrepFn func(now, gen, _ uint64)
+	wakeFn      func(now, gen, _ uint64)
 
 	listener Listener
 	// obs, when non-nil, receives lock lifecycle events; emission is
@@ -163,6 +173,10 @@ type Client struct {
 	SleepAcquires uint64
 	TotalRetries  uint64
 	TotalSleeps   uint64
+	// LockCalls counts Lock entries (started acquisitions, completed or
+	// not); warm-start forking uses the system-wide sum to find the last
+	// cycle before any thread touched a lock.
+	LockCalls uint64
 	// Recovery stats — all zero in a fault-free run.
 	ReqTimeouts   uint64 // try-lock requests re-issued after a timeout
 	SleepRechecks uint64 // futex-word rechecks issued while sleeping
@@ -187,6 +201,8 @@ func newClient(cfg *Config, node, nodes int, wp protocol.WaitPolicy, send func(n
 	c.spinFn = c.spinTick
 	c.reqTimeoutFn = c.reqTimeout
 	c.recheckFn = c.sleepRecheck
+	c.sleepPrepFn = c.sleepPrepDone
+	c.wakeFn = c.wakeDone
 	return c
 }
 
@@ -236,6 +252,7 @@ func (c *Client) Lock(now uint64, lock int, cb func(now uint64)) {
 		ctx.backoff = uint64(c.cfg.Recovery.RequestTimeout)
 	}
 	c.gen++
+	c.LockCalls++
 	c.cur = ctx
 	c.setState(now, StateSpinning)
 	if c.obs != nil {
@@ -260,7 +277,7 @@ func (c *Client) sendTry(now uint64) {
 		// the backoff window, re-issue the request (recovering a dropped
 		// try-lock / grant / fail packet).
 		ctx.reqSeq++
-		c.delay.ScheduleArgs(now+ctx.backoff, c.reqTimeoutFn, c.gen, ctx.reqSeq)
+		c.delay.ScheduleArgsTagged(now+ctx.backoff, timerTag(tagReqTimeout, c.node), c.reqTimeoutFn, c.gen, ctx.reqSeq)
 	}
 	prio := c.Regs.LockPriority(c.cfg.Policy)
 	c.send(now, LockHome(ctx.lock, c.nodes), Msg{
@@ -278,7 +295,7 @@ func (c *Client) scheduleSpinTick(now uint64, ctx *acquireCtx) {
 		return
 	}
 	ctx.timerArmed = true
-	c.delay.ScheduleArgs(now+uint64(c.cfg.SpinInterval), c.spinFn, c.gen, 0)
+	c.delay.ScheduleArgsTagged(now+uint64(c.cfg.SpinInterval), timerTag(tagSpinTick, c.node), c.spinFn, c.gen, 0)
 }
 
 // spinTick is one cpu_relax retry firing. A tick armed in an earlier
@@ -358,7 +375,7 @@ func (c *Client) sleepRecheck(t, gen, _ uint64) {
 			ctx.recheckWait = uint64(c.cfg.Recovery.MaxBackoff)
 		}
 	}
-	c.delay.ScheduleArgs(t+ctx.recheckWait, c.recheckFn, c.gen, 0)
+	c.delay.ScheduleArgsTagged(t+ctx.recheckWait, timerTag(tagRecheck, c.node), c.recheckFn, c.gen, 0)
 }
 
 // Deliver handles a lock-protocol message addressed to this thread.
@@ -504,22 +521,29 @@ func (c *Client) goSleep(now uint64, ctx *acquireCtx) {
 		Type: MsgFutexWait, To: ToController, Lock: ctx.lock,
 		From: c.node, Thread: c.node, RTR: 0, Prog: c.prog,
 	}, c.Regs.LockPriority(c.cfg.Policy))
-	c.delay.Schedule(now+uint64(c.cfg.SleepPrepLatency), func(t uint64) {
-		if c.cur != ctx {
-			return
-		}
-		if ctx.wakePending {
-			// Woken during preparation: wake right back up (Fig. 5a slow
-			// scenario), paying the full wake cost.
-			c.beginWake(t, ctx)
-			return
-		}
-		c.setState(t, StateSleeping)
-		if c.cfg.Recovery.Enabled {
-			ctx.recheckWait = uint64(c.cfg.Recovery.SleepRecheck)
-			c.delay.ScheduleArgs(t+ctx.recheckWait, c.recheckFn, c.gen, 0)
-		}
-	})
+	c.delay.ScheduleArgsTagged(now+uint64(c.cfg.SleepPrepLatency), timerTag(tagSleepPrep, c.node), c.sleepPrepFn, c.gen, 0)
+}
+
+// sleepPrepDone fires when the sleep-preparation latency elapses. The
+// generation guard is equivalent to the ctx-identity check a capturing
+// closure would make: gen increments exactly once per acquireCtx, so a
+// matching generation with a live cur identifies the same acquisition.
+func (c *Client) sleepPrepDone(t, gen, _ uint64) {
+	if gen != c.gen || c.cur == nil {
+		return
+	}
+	ctx := c.cur
+	if ctx.wakePending {
+		// Woken during preparation: wake right back up (Fig. 5a slow
+		// scenario), paying the full wake cost.
+		c.beginWake(t, ctx)
+		return
+	}
+	c.setState(t, StateSleeping)
+	if c.cfg.Recovery.Enabled {
+		ctx.recheckWait = uint64(c.cfg.Recovery.SleepRecheck)
+		c.delay.ScheduleArgsTagged(t+ctx.recheckWait, timerTag(tagRecheck, c.node), c.recheckFn, c.gen, 0)
+	}
 }
 
 func (c *Client) onWakeup(now uint64, m *Msg) {
@@ -555,17 +579,22 @@ func (c *Client) beginWake(now uint64, ctx *acquireCtx) {
 	if c.obs != nil {
 		c.obs.WakeupBegin(now, c.node, ctx.lock)
 	}
-	c.delay.Schedule(now+uint64(c.cfg.WakeLatency), func(t uint64) {
-		if c.cur != ctx {
-			return
-		}
-		// Woken: retry with a fresh spinning phase (Fig. 4b).
-		ctx.budget = c.wp.SpinBudget()
-		ctx.outstanding = false
-		c.setState(t, StateSpinning)
-		c.sendTry(t)
-		c.scheduleSpinTick(t, ctx)
-	})
+	c.delay.ScheduleArgsTagged(now+uint64(c.cfg.WakeLatency), timerTag(tagWake, c.node), c.wakeFn, c.gen, 0)
+}
+
+// wakeDone fires when the wake-up latency elapses; the generation guard
+// matches sleepPrepDone's.
+func (c *Client) wakeDone(t, gen, _ uint64) {
+	if gen != c.gen || c.cur == nil {
+		return
+	}
+	ctx := c.cur
+	// Woken: retry with a fresh spinning phase (Fig. 4b).
+	ctx.budget = c.wp.SpinBudget()
+	ctx.outstanding = false
+	c.setState(t, StateSpinning)
+	c.sendTry(t)
+	c.scheduleSpinTick(t, ctx)
 }
 
 // Unlock releases the held lock: atomic_release, PROG update, FUTEX_WAKE

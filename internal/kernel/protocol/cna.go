@@ -104,3 +104,15 @@ func (c *cnaQueue) Next(holder int) int {
 }
 
 func (c *cnaQueue) Len() int { return len(c.q) }
+
+// SaveState implements Queue: the arrival order plus the consecutive
+// local-handoff run length.
+func (c *cnaQueue) SaveState() ([]int, uint64) {
+	return append([]int(nil), c.q...), uint64(c.localRun)
+}
+
+// LoadState implements Queue.
+func (c *cnaQueue) LoadState(order []int, aux uint64) {
+	c.q = append(c.q[:0], order...)
+	c.localRun = int(aux)
+}

@@ -54,3 +54,10 @@ func (a *adaptivePolicy) OnAcquired(spinPhase bool) {
 		a.budget = 1
 	}
 }
+
+// SaveState implements WaitPolicy: the adapted budget (max and step are
+// configuration-derived).
+func (a *adaptivePolicy) SaveState() uint64 { return uint64(a.budget) }
+
+// LoadState implements WaitPolicy.
+func (a *adaptivePolicy) LoadState(state uint64) { a.budget = int(state) }

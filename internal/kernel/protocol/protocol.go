@@ -89,6 +89,13 @@ type Queue interface {
 	Next(holder int) int
 	// Len returns the current queue depth.
 	Len() int
+	// SaveState exports the queue's dynamic state for checkpointing as a
+	// generic (thread order, aux) pair; the meaning of both is private to
+	// the implementation. The returned slice must not alias live storage.
+	SaveState() (order []int, aux uint64)
+	// LoadState overwrites the queue with state exported by SaveState of
+	// the same implementation.
+	LoadState(order []int, aux uint64)
 }
 
 // WaitPolicy is the client-side wait policy of one thread: the spin budget
@@ -101,6 +108,12 @@ type WaitPolicy interface {
 	// the thread never slept for it. Adaptive policies tune the next
 	// budget from this signal.
 	OnAcquired(spinPhase bool)
+	// SaveState exports the policy's dynamic state for checkpointing (0
+	// for stateless policies).
+	SaveState() uint64
+	// LoadState overwrites the policy with state exported by SaveState of
+	// the same implementation.
+	LoadState(state uint64)
 }
 
 // Protocol builds the per-lock queues and per-thread wait policies of one
@@ -173,6 +186,13 @@ type fixedPolicy struct{ budget int }
 func (f *fixedPolicy) SpinBudget() int { return f.budget }
 func (f *fixedPolicy) OnAcquired(bool) {}
 
+// SaveState implements WaitPolicy: the budget is configuration-derived,
+// so there is no dynamic state.
+func (f *fixedPolicy) SaveState() uint64 { return 0 }
+
+// LoadState implements WaitPolicy (no dynamic state to restore).
+func (f *fixedPolicy) LoadState(uint64) {}
+
 // fifoQueue is the arrival-ordered wait queue shared by the baseline,
 // mutable and MCS protocols. Enqueue deduplicates, Next pops the head, and
 // both reuse the backing array so steady state never allocates.
@@ -206,3 +226,13 @@ func (f *fifoQueue) Next(holder int) int {
 }
 
 func (f *fifoQueue) Len() int { return len(f.q) }
+
+// SaveState implements Queue: the arrival order, no aux state.
+func (f *fifoQueue) SaveState() ([]int, uint64) {
+	return append([]int(nil), f.q...), 0
+}
+
+// LoadState implements Queue.
+func (f *fifoQueue) LoadState(order []int, _ uint64) {
+	f.q = append(f.q[:0], order...)
+}

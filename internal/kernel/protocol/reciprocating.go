@@ -73,3 +73,22 @@ func (r *recipQueue) Next(holder int) int {
 }
 
 func (r *recipQueue) Len() int { return len(r.wave) + len(r.arrivals) }
+
+// SaveState implements Queue: both stacks concatenated, with aux marking
+// where the detached wave ends and the arrivals stack begins.
+func (r *recipQueue) SaveState() ([]int, uint64) {
+	order := make([]int, 0, len(r.wave)+len(r.arrivals))
+	order = append(order, r.wave...)
+	order = append(order, r.arrivals...)
+	return order, uint64(len(r.wave))
+}
+
+// LoadState implements Queue.
+func (r *recipQueue) LoadState(order []int, aux uint64) {
+	split := int(aux)
+	if split > len(order) {
+		split = len(order)
+	}
+	r.wave = append(r.wave[:0], order[:split]...)
+	r.arrivals = append(r.arrivals[:0], order[split:]...)
+}

@@ -266,7 +266,7 @@ func (d *Directory) Deliver(now uint64, m *Msg) {
 func (d *Directory) startRequest(now uint64, e *dirEntry, m *Msg) {
 	e.busy = true
 	e.pending = m
-	d.delay.ScheduleArgs(now+uint64(d.cfg.L2Latency), d.processFn, m.Addr, 0)
+	d.delay.ScheduleArgsTagged(now+uint64(d.cfg.L2Latency), memTag(memTagDirProcess, d.node), d.processFn, m.Addr, 0)
 }
 
 // processPending is the delayed stage of startRequest.

@@ -255,7 +255,7 @@ func (l *L1) hit(now uint64, ln *line, o op) {
 	}
 	ln.lastUse = now
 	if o.cb != nil {
-		l.delay.Schedule(now+uint64(l.cfg.L1Latency), o.cb)
+		l.delay.ScheduleTagged(now+uint64(l.cfg.L1Latency), memTag(memTagCont, l.node), 0, 0, o.cb)
 	}
 }
 
@@ -424,7 +424,7 @@ func (l *L1) tryComplete(now uint64, ms *mshr) {
 			way := l.victim(si)
 			if way < 0 {
 				// Extremely rare: every way reserved. Retry next cycle.
-				l.delay.Schedule(now+1, func(t uint64) { l.tryComplete(t, ms) })
+				l.delay.ScheduleTagged(now+1, memTag(memTagTryComplete, l.node), ms.addr, 0, func(t uint64) { l.tryComplete(t, ms) })
 				return
 			}
 			v := &l.sets[si][way]
@@ -457,11 +457,11 @@ func (l *L1) tryComplete(now uint64, ms *mshr) {
 	l.send(now, l.home(ms.addr), Msg{Type: MsgUnblock, To: ToDir, Addr: ms.addr, From: l.node})
 	// Wake waiters and replay deferred operations.
 	for _, cb := range ms.waiters {
-		l.delay.Schedule(now+1, cb)
+		l.delay.ScheduleTagged(now+1, memTag(memTagCont, l.node), 0, 0, cb)
 	}
 	for _, o := range ms.deferred {
 		def := o
-		l.delay.Schedule(now+1, func(t uint64) { l.access(t, def) })
+		l.delay.ScheduleTagged(now+1, memTag(memTagAccess, l.node), def.addr, opFlags(def), func(t uint64) { l.access(t, def) })
 	}
 	l.freeMSHR(ms)
 	l.replayStalled(now)
@@ -476,7 +476,7 @@ func (l *L1) replayStalled(now uint64) {
 	l.stalled = nil
 	for _, o := range pending {
 		def := o
-		l.delay.Schedule(now+1, func(t uint64) { l.access(t, def) })
+		l.delay.ScheduleTagged(now+1, memTag(memTagAccess, l.node), def.addr, opFlags(def), func(t uint64) { l.access(t, def) })
 	}
 }
 
@@ -553,7 +553,7 @@ func (l *L1) onPutAck(now uint64, m *Msg) {
 	delete(l.wb, m.Addr)
 	for _, o := range e.waiters {
 		def := o
-		l.delay.Schedule(now+1, func(t uint64) { l.access(t, def) })
+		l.delay.ScheduleTagged(now+1, memTag(memTagAccess, l.node), def.addr, opFlags(def), func(t uint64) { l.access(t, def) })
 	}
 	l.replayStalled(now)
 }

@@ -90,7 +90,7 @@ func (mc *MC) Deliver(now uint64, m *Msg) {
 	case MsgDramRead:
 		mc.Stats.Reads++
 		done := mc.service(now, m.Addr)
-		mc.delay.ScheduleArgs(done, mc.respFn, m.Addr, uint64(m.From))
+		mc.delay.ScheduleArgsTagged(done, memTag(memTagDramResp, mc.node), mc.respFn, m.Addr, uint64(m.From))
 	case MsgDramWrite:
 		mc.Stats.Writes++
 		mc.service(now, m.Addr)

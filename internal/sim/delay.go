@@ -1,16 +1,26 @@
 package sim
 
+import "fmt"
+
 // delayItem is a deferred action in a component's pipeline (e.g. cache
 // access latency, DRAM service time, spin intervals). Exactly one of fn
 // and fn2 is set; fn2 carries its arguments in the item so hot callers can
 // schedule a long-lived bound method instead of allocating a fresh closure
 // per event.
+//
+// tag, when non-zero, is the action's serializable identity: a
+// subsystem-defined code that, together with a and b, is enough to rebuild
+// fn/fn2 after a checkpoint restore (see SaveActions/RestoreActions). The
+// closure-form Schedule leaves it zero; such actions cannot be
+// checkpointed, which is fine for tests but an error on the platform's
+// snapshot path.
 type delayItem struct {
 	at   uint64
 	seq  uint64 // tie-break: FIFO among equal timestamps
 	fn   func(now uint64)
 	fn2  func(now, a, b uint64)
 	a, b uint64
+	tag  uint32
 }
 
 // DelayQueue is a deterministic min-heap of deferred actions. Actions
@@ -91,6 +101,84 @@ func (q *DelayQueue) ScheduleArgs(at uint64, fn func(now, a, b uint64), a, b uin
 	if q.notify != nil {
 		q.notify(at)
 	}
+}
+
+// ScheduleTagged is Schedule plus a serializable identity: tag names the
+// action kind (a subsystem-defined code) and a/b carry whatever payload the
+// subsystem's restore resolver needs to rebuild fn. The closure still runs
+// at `at` exactly as with Schedule — a and b are checkpoint metadata only.
+func (q *DelayQueue) ScheduleTagged(at uint64, tag uint32, a, b uint64, fn func(now uint64)) {
+	q.seq++
+	q.items = append(q.items, delayItem{at: at, seq: q.seq, fn: fn, a: a, b: b, tag: tag})
+	q.up(len(q.items) - 1)
+	if q.notify != nil {
+		q.notify(at)
+	}
+}
+
+// ScheduleArgsTagged is ScheduleArgs plus a serializable identity (see
+// ScheduleTagged); here a and b double as the runtime arguments of fn.
+func (q *DelayQueue) ScheduleArgsTagged(at uint64, tag uint32, fn func(now, a, b uint64), a, b uint64) {
+	q.seq++
+	q.items = append(q.items, delayItem{at: at, seq: q.seq, fn2: fn, a: a, b: b, tag: tag})
+	q.up(len(q.items) - 1)
+	if q.notify != nil {
+		q.notify(at)
+	}
+}
+
+// SavedAction is the serializable form of one pending delay-queue action.
+// At/Seq preserve execution order exactly (the heap pops by (at, seq));
+// Tag/A/B let the owning subsystem rebuild the callback on restore.
+type SavedAction struct {
+	At  uint64
+	Seq uint64
+	Tag uint32
+	A   uint64
+	B   uint64
+}
+
+// SaveActions returns every pending action in raw heap-array order (which
+// preserves the heap property, so RestoreActions can adopt the slice
+// verbatim) plus the lifetime seq counter. It errors if any pending action
+// was scheduled without a tag: such actions carry closures the checkpoint
+// layer cannot rebuild.
+func (q *DelayQueue) SaveActions() (seq uint64, items []SavedAction, err error) {
+	items = make([]SavedAction, len(q.items))
+	for i, it := range q.items {
+		if it.tag == 0 {
+			return 0, nil, fmt.Errorf("sim: pending untagged action (at %d, seq %d) cannot be checkpointed", it.at, it.seq)
+		}
+		items[i] = SavedAction{At: it.at, Seq: it.seq, Tag: it.tag, A: it.a, B: it.b}
+	}
+	return q.seq, items, nil
+}
+
+// RestoreActions replaces the queue's pending actions with the saved set,
+// rebuilding each callback through resolve: for a given (tag, a, b) the
+// resolver returns either a closure (fn) or a bound method taking the
+// saved arguments (fn2), exactly one non-nil. Items must be in the order
+// SaveActions produced (raw heap-array order); seq restores the lifetime
+// counter so the progress signal and future tie-breaks continue exactly.
+func (q *DelayQueue) RestoreActions(seq uint64, items []SavedAction,
+	resolve func(tag uint32, a, b uint64) (fn func(now uint64), fn2 func(now, a, b uint64))) error {
+	q.items = q.items[:0]
+	for _, sv := range items {
+		fn, fn2 := resolve(sv.Tag, sv.A, sv.B)
+		if (fn == nil) == (fn2 == nil) {
+			return fmt.Errorf("sim: restore resolver returned %d callbacks for tag %#x", btoi(fn != nil)+btoi(fn2 != nil), sv.Tag)
+		}
+		q.items = append(q.items, delayItem{at: sv.At, seq: sv.Seq, fn: fn, fn2: fn2, a: sv.A, b: sv.B, tag: sv.Tag})
+	}
+	q.seq = seq
+	return nil
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // RunDue executes every action due at or before now, including actions

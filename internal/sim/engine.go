@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"sync/atomic"
 
@@ -200,6 +201,43 @@ func (e *Engine) SetObserver(r *obs.Recorder) { e.obs = r }
 // Now returns the current cycle.
 func (e *Engine) Now() uint64 { return e.now }
 
+// SaveClock returns the clock state a checkpoint must preserve: the current
+// cycle and the ticked/skipped counters. The wake heap needs no saving —
+// RunUntil resyncs every component's NextWake on entry.
+func (e *Engine) SaveClock() (now, ticked, skipped uint64) {
+	return e.now, e.TickedCycles, e.SkippedCycles
+}
+
+// RestoreClock sets the clock state saved by SaveClock on a freshly built
+// engine. Stale wake times are corrected by RunUntil's entry resync.
+func (e *Engine) RestoreClock(now, ticked, skipped uint64) {
+	e.now = now
+	e.TickedCycles = ticked
+	e.SkippedCycles = skipped
+}
+
+// SaveWakes returns every registered component's pending wake time in
+// registration order. A checkpoint must carry these alongside the clock:
+// the engine stops between cycles, so a component can be due exactly at
+// the snapshot cycle — state NextWake cannot re-derive on a fresh engine
+// (its answers are strictly future), and without which the first resumed
+// cycle would tick one cycle late.
+func (e *Engine) SaveWakes() []uint64 {
+	return append([]uint64(nil), e.wake...)
+}
+
+// RestoreWakes installs wake times saved by SaveWakes onto a freshly
+// built engine with the identical component registration sequence.
+func (e *Engine) RestoreWakes(w []uint64) error {
+	if len(w) != len(e.wake) {
+		return fmt.Errorf("sim: snapshot has %d component wake times, engine has %d components", len(w), len(e.wake))
+	}
+	for i, v := range w {
+		e.heapFix(i, v)
+	}
+	return nil
+}
+
 // Stop makes RunUntil return after the current cycle completes.
 func (e *Engine) Stop() { e.stopped = true }
 
@@ -320,10 +358,19 @@ func (e *Engine) Run(n uint64) {
 
 // resync re-reads every component's NextWake. RunUntil calls it once on
 // entry so state changed outside the engine (between runs, or before the
-// first run) is picked up even without a Wake notification.
+// first run) is picked up even without a Wake notification. A fresh
+// answer only ever moves a wake time EARLIER: NextWake's contract is
+// strictly-future, so a component whose stored wake time is due exactly
+// now (the engine stopped between cycles, right before ticking it) would
+// answer now+1 and miss its cycle — an interrupted-and-resumed run would
+// drift one cycle from an uninterrupted one. Keeping the earlier stored
+// time at worst ticks a component that turns out to be idle, which the
+// poll-engine equivalence guarantees is harmless.
 func (e *Engine) resync() {
 	for i, c := range e.components {
-		e.heapFix(i, c.NextWake(e.now))
+		if w := c.NextWake(e.now); w < e.wake[i] {
+			e.heapFix(i, w)
+		}
 	}
 }
 

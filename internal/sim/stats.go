@@ -62,6 +62,16 @@ func (a *Accumulator) Min() float64 { return a.min }
 // Max returns the largest sample (0 when empty).
 func (a *Accumulator) Max() float64 { return a.max }
 
+// State exports the accumulator's raw fields for checkpointing.
+func (a *Accumulator) State() (sum float64, count uint64, min, max float64) {
+	return a.sum, a.count, a.min, a.max
+}
+
+// SetState overwrites the accumulator with previously exported state.
+func (a *Accumulator) SetState(sum float64, count uint64, min, max float64) {
+	a.sum, a.count, a.min, a.max = sum, count, min, max
+}
+
 // Merge folds other into a.
 func (a *Accumulator) Merge(other *Accumulator) {
 	if other.count == 0 {
@@ -105,6 +115,20 @@ func (h *Histogram) Observe(v uint64) {
 		b++
 	}
 	h.buckets[b]++
+}
+
+// State exports the histogram's bucket counts and accumulator for
+// checkpointing. The returned slice aliases internal storage; callers
+// treat it as read-only.
+func (h *Histogram) State() (buckets []uint64, acc *Accumulator) {
+	return h.buckets, &h.acc
+}
+
+// SetState overwrites the histogram's buckets (copied; the bucket count
+// must match the histogram's) and accumulator.
+func (h *Histogram) SetState(buckets []uint64, sum float64, count uint64, min, max float64) {
+	copy(h.buckets, buckets)
+	h.acc.SetState(sum, count, min, max)
 }
 
 // Count returns the number of samples.

@@ -243,6 +243,11 @@ type System struct {
 	Faults *fault.Injector
 	// Watchdog is the registered watchdog (nil when Cfg.Watchdog is nil).
 	Watchdog *sim.Watchdog
+
+	// started records that the workload threads have been kicked off, so
+	// a system resumed from a checkpoint (or driven by repeated RunTo
+	// calls) never re-issues CPU.Start.
+	started bool
 }
 
 // New builds a platform from cfg.
@@ -421,7 +426,7 @@ func (s *System) Run() (metrics.Results, error) {
 			pool.Close()
 		}()
 	}
-	s.CPU.Start(s.Engine.Now())
+	s.start()
 	s.Engine.RunUntil(s.CPU.AllDone)
 	if err := s.watchdogErr(); err != nil {
 		return metrics.Results{}, err
@@ -458,6 +463,43 @@ func (s *System) Run() (metrics.Results, error) {
 		name = "custom"
 	}
 	return s.Collector.Finalize(name, s.Cfg.OCOR, s.CPU, s.Net), nil
+}
+
+// start kicks off the workload threads exactly once per system lifetime.
+// A system restored from a mid-run checkpoint arrives with started already
+// true, so its threads — whose in-flight continuations were rebuilt by the
+// restore — are never started a second time.
+func (s *System) start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.CPU.Start(s.Engine.Now())
+}
+
+// RunTo advances the simulation until the clock reaches at least target or
+// every thread finishes, whichever comes first, and returns the cycle it
+// stopped at. The workload is started on first use, so alternating RunTo
+// and Snapshot carves one run into checkpointed segments; Run picks up
+// seamlessly afterwards for the remainder. Like Run, a Workers > 1
+// configuration owns a tick worker pool only for the duration of the call.
+func (s *System) RunTo(target uint64) (uint64, error) {
+	if s.Cfg.Workers > 1 {
+		pool := par.NewPool(s.Cfg.Workers)
+		s.Engine.SetTickPool(pool)
+		defer func() {
+			s.Engine.SetTickPool(nil)
+			pool.Close()
+		}()
+	}
+	s.start()
+	s.Engine.RunUntil(func() bool {
+		return s.CPU.AllDone() || s.Engine.Now() >= target
+	})
+	if err := s.watchdogErr(); err != nil {
+		return s.Engine.Now(), err
+	}
+	return s.Engine.Now(), nil
 }
 
 // Benchmark looks up a catalog profile by name.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/kernel"
@@ -19,6 +20,36 @@ func init() {
 	experiments.SetRunner(experimentRun, experimentTrace)
 	experiments.SetFaultRunner(experimentFaultRun)
 	experiments.SetArenaRunner(experimentArenaRun)
+	experiments.SetForkRunner(experimentPrefix, experimentFork)
+}
+
+// experimentPrefix is the experiments.PrefixBuilder: it simulates the
+// cell's protocol-independent prefix once (Protocol/Levels deliberately
+// left at their defaults — the snapshot stops before the kernel ever
+// consults them) and returns the platform snapshot.
+func experimentPrefix(c experiments.Cell) (any, uint64, error) {
+	cfg := Config{
+		Benchmark: c.Profile, Threads: c.Threads, OCOR: c.OCOR,
+		Seed: c.Seed, NoPool: c.NoPool, Workers: c.Workers,
+	}
+	return BuildPrefix(cfg)
+}
+
+// experimentFork is the experiments.ForkFn: it restores a prefix snapshot
+// into the cell's full configuration and runs the remainder.
+func experimentFork(prefix any, c experiments.Cell) (metrics.Results, error) {
+	snap, ok := prefix.(*checkpoint.Snapshot)
+	if !ok {
+		return metrics.Results{}, fmt.Errorf("repro: warm-start prefix is %T, want *checkpoint.Snapshot", prefix)
+	}
+	cfg := Config{
+		Benchmark: c.Profile, Threads: c.Threads, OCOR: c.OCOR,
+		Seed: c.Seed, Protocol: c.Protocol, NoPool: c.NoPool, Workers: c.Workers,
+	}
+	if c.Levels > 0 {
+		cfg.PriorityLevels = c.Levels
+	}
+	return ForkRun(cfg, snap)
 }
 
 // experimentRun is the experiments.Runner backed by the full platform.
