@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench bench-json bench-smoke fmt-check fuzz-smoke
+.PHONY: build vet test race check bench bench-json bench-smoke fmt-check fuzz-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,7 @@ test:
 # determinism matrix — every lock protocol × both engines × worker
 # widths — under -race.
 race:
-	$(GO) test -race ./internal/par/... ./internal/experiments/... ./internal/sim/... ./internal/obs/... ./internal/pool/... ./internal/noc/... ./internal/kernel/... ./internal/kernel/protocol/... ./internal/fault/... ./internal/checkpoint/...
+	$(GO) test -race ./internal/par/... ./internal/experiments/... ./internal/sim/... ./internal/obs/... ./internal/pool/... ./internal/noc/... ./internal/kernel/... ./internal/kernel/protocol/... ./internal/fault/... ./internal/checkpoint/... ./internal/fleet/... ./internal/journal/...
 	$(GO) test -race -run 'TestFault|TestWatchdog|TestRecovery|TestRunWithTimeout|TestProtocolDeterminismMatrix|TestCheckpoint|TestWarmGrid' .
 
 check: build vet fmt-check test race
@@ -44,6 +44,18 @@ fuzz-smoke:
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz '^FuzzReadTrace$$' -fuzztime 10s
 	$(GO) test ./internal/noc/ -run '^$$' -fuzz '^FuzzActSet$$' -fuzztime 10s
+	$(GO) test ./internal/journal/ -run '^$$' -fuzz '^FuzzJournalRecover$$' -fuzztime 10s
+
+# fleet-smoke is the CI crash-recovery gate: the chaos matrix kills the
+# fleet coordinator mid-grid (optionally tearing the result journal's
+# final line), reruns it over the same spool, and requires the recovered
+# ordered emission to be byte-identical to an uninterrupted run — across
+# two lock protocols, one and four workers, with seeded worker crashes
+# and heartbeat stalls throughout. The spool protocol and supervision
+# tests ride along under -race.
+fleet-smoke:
+	$(GO) test -race -run 'TestChaosRecoveryInvariant|TestSpool|TestFleet' ./internal/fleet/
+	$(GO) test -race -run 'TestSweepFleet' ./cmd/sweep/
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/noc/ .

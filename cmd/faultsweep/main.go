@@ -29,11 +29,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
 
 	"repro" // also installs the platform runners into the experiments package
+	"repro/internal/interrupt"
 	"repro/internal/par"
 
 	"repro/internal/experiments"
@@ -68,18 +68,11 @@ func main() {
 		fatal(err)
 	}
 
-	// SIGINT truncates: the sweep stops claiming new runs, the completed
-	// prefix of points is flushed as valid JSON marked "truncated", and
-	// the exit code is 130. A second SIGINT kills the process directly.
-	stop := make(chan struct{})
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt)
-	go func() {
-		<-sigc
-		fmt.Fprintln(os.Stderr, "faultsweep: interrupted; flushing completed points")
-		close(stop)
-		signal.Stop(sigc)
-	}()
+	// SIGINT/SIGTERM truncate: the sweep stops claiming new runs, the
+	// completed prefix of points is flushed as valid JSON marked
+	// "truncated", and the exit code is 130. A second signal kills the
+	// process directly.
+	stop := interrupt.Notify("faultsweep", "flushing completed points")
 
 	progress := os.Stderr
 	if !*verbose {

@@ -6,19 +6,27 @@
 // which never read the level) are simulated once, and cells sharing a
 // protocol-independent prefix warm-start from one shared snapshot of that
 // prefix (disable with -warm=false). With -checkpoint-dir the grid is
-// resumable: completed rows and prefix snapshots persist, SIGINT flushes
-// the frontier, and a rerun continues where the interrupted run stopped.
+// resumable: completed rows and prefix snapshots persist, SIGINT/SIGTERM
+// flush the frontier, and a rerun continues where the interrupted run
+// stopped.
+//
+// With -fleet (and optionally -spool) the grid instead runs as a
+// supervised, crash-safe fleet: a durable lease-based job queue hands
+// cells to -fleet in-process workers and to any external cmd/sweepd
+// worker processes attached to the -spool directory, with heartbeats,
+// expired-lease retry, poison quarantine and a per-cell wall-clock
+// watchdog (-cell-timeout). A SIGKILLed fleet rerun over the same spool
+// recovers to byte-identical output; see internal/fleet.
 //
 // Usage:
 //
 //	sweep -bench botss -threads 4,16,32,64
 //	sweep -bench can -levels 1,2,4,8,16 -threads 64
 //	sweep -bench body -seeds 5 -j 4 -checkpoint-dir body.ckpt > body.csv
+//	sweep -bench body -seeds 8 -fleet 4 -spool body.spool > body.csv
 package main
 
 import (
-	"bufio"
-	"crypto/sha256"
 	"encoding/csv"
 	"encoding/json"
 	"errors"
@@ -26,14 +34,16 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
-	"repro/internal/checkpoint"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/interrupt"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/par"
 	"repro/internal/profiling"
@@ -48,7 +58,8 @@ type cell struct {
 	seed    uint64
 }
 
-// sweepConfig is everything sweepRun needs; main fills it from flags.
+// sweepConfig is everything sweepRun/sweepFleet need; main fills it from
+// flags.
 type sweepConfig struct {
 	prof     workload.Profile
 	grid     []cell
@@ -60,7 +71,15 @@ type sweepConfig struct {
 	warm     bool
 	ckptDir  string
 	stop     <-chan struct{}
+
+	// Fleet mode (active when fleetWorkers > 0 or spool != "").
+	fleetWorkers int
+	spool        string
+	cellTimeout  time.Duration
+	fleetTune    func(*fleet.Config) // test hook: shrink lease/poll timings
 }
+
+func (sc *sweepConfig) fleetMode() bool { return sc.fleetWorkers > 0 || sc.spool != "" }
 
 func main() {
 	var (
@@ -77,6 +96,9 @@ func main() {
 		proto   = flag.String("protocol", "", "kernel lock protocol for every run (empty = default queue spinlock)")
 		warm    = flag.Bool("warm", true, "warm-start cells from a shared pre-first-lock prefix snapshot")
 		ckptDir = flag.String("checkpoint-dir", "", "persist completed rows and prefix snapshots here; a rerun resumes the grid")
+		fleetN  = flag.Int("fleet", 0, "run the grid as a supervised fleet with this many in-process workers (0 = classic grid mode unless -spool is set)")
+		spool   = flag.String("spool", "", "fleet spool directory: durable job queue, result/poison journals and prefix snapshots; cmd/sweepd workers attach here")
+		cellTO  = flag.Duration("cell-timeout", 0, "fleet per-cell wall-clock watchdog; a wedged cell fails (and is retried, then quarantined) instead of wedging its worker (0 = none)")
 	)
 	flag.Parse()
 
@@ -112,38 +134,52 @@ func main() {
 		}
 	}
 
-	// SIGINT truncates: no new simulations are claimed, the completed
-	// prefix of rows is flushed (and, with -checkpoint-dir, persisted
-	// alongside the frontier's prefix snapshots), a trailing comment line
-	// marks the output as partial, and the exit code is 130.
-	stop := make(chan struct{})
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt)
-	go func() {
-		<-sigc
-		fmt.Fprintln(os.Stderr, "sweep: interrupted; flushing completed rows")
-		close(stop)
-		signal.Stop(sigc)
-	}()
+	// The first SIGINT/SIGTERM truncates: no new simulations are claimed
+	// (fleet mode: no new leases; in-flight cells finish), the completed
+	// prefix of rows is flushed (and, with -checkpoint-dir or -spool,
+	// persisted), a trailing comment line marks the output as partial,
+	// and the exit code is 130. A second signal kills the process.
+	stop := interrupt.Notify("sweep", "draining; flushing completed rows")
 
 	sc := sweepConfig{
 		prof: p, grid: grid, scale: *scale, jobs: *jobs, workers: *workers,
 		protocol: *proto, noPool: *noPool, warm: *warm, ckptDir: *ckptDir,
-		stop: stop,
+		stop:         stop,
+		fleetWorkers: *fleetN, spool: *spool, cellTimeout: *cellTO,
 	}
-	stats, cached, err := sweepRun(sc, os.Stdout)
-	if cached > 0 {
-		fmt.Fprintf(os.Stderr, "sweep: %d of %d rows restored from %s\n", cached, 2*len(grid), *ckptDir)
+
+	var truncated bool
+	if sc.fleetMode() {
+		stats, err := sweepFleet(sc, os.Stdout)
+		if stats.Restored > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: %d of %d cells restored from %s\n", stats.Restored, stats.Unique, sc.spool)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: fleet: %d leases (%d retries, %d reclaims), %d completed, %d poisoned\n",
+			stats.Leases, stats.Retries, stats.Reclaims, stats.Completed, stats.Poisoned)
+		switch {
+		case errors.Is(err, fleet.ErrDrained):
+			truncated = true
+		case err != nil:
+			fatal(err)
+		}
+	} else {
+		stats, cached, err := sweepRun(sc, os.Stdout)
+		if cached > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: %d of %d rows restored from %s\n", cached, 2*len(grid), *ckptDir)
+		}
+		if stats.Forked > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: %d simulations warm-started, skipping %d prefix cycles\n", stats.Forked, stats.PrefixCycles)
+		}
+		switch {
+		case errors.Is(err, experiments.ErrInterrupted):
+			truncated = true
+		case err != nil:
+			fatal(err)
+		}
 	}
-	if stats.Forked > 0 {
-		fmt.Fprintf(os.Stderr, "sweep: %d simulations warm-started, skipping %d prefix cycles\n", stats.Forked, stats.PrefixCycles)
-	}
-	if errors.Is(err, experiments.ErrInterrupted) {
+	if truncated {
 		fmt.Println("# truncated: interrupted before the grid completed")
 		os.Exit(130)
-	}
-	if err != nil {
-		fatal(err)
 	}
 
 	stopCPU()
@@ -152,13 +188,9 @@ func main() {
 	}
 }
 
-// sweepRun expands the grid into baseline/OCOR cell pairs, restores any
-// rows already recorded in the checkpoint directory, simulates the rest
-// through the deduplicating warm-start grid, and streams CSV rows to out
-// in grid-walk order. It returns the grid stats of the simulated portion
-// and the number of cells restored from the row cache.
-func sweepRun(sc sweepConfig, out io.Writer) (experiments.GridStats, int, error) {
-	// Two cells per grid point: even index = baseline, odd = OCOR.
+// expandCells turns the grid into the baseline/OCOR cell-pair list both
+// execution modes share: even index = baseline, odd = OCOR.
+func expandCells(sc sweepConfig) []experiments.Cell {
 	cells := make([]experiments.Cell, 0, 2*len(sc.grid))
 	for _, c := range sc.grid {
 		base := experiments.Cell{
@@ -170,6 +202,16 @@ func sweepRun(sc sweepConfig, out io.Writer) (experiments.GridStats, int, error)
 		ocor.Levels = c.levels
 		cells = append(cells, base, ocor)
 	}
+	return cells
+}
+
+// sweepRun expands the grid into baseline/OCOR cell pairs, restores any
+// rows already recorded in the checkpoint directory, simulates the rest
+// through the deduplicating warm-start grid, and streams CSV rows to out
+// in grid-walk order. It returns the grid stats of the simulated portion
+// and the number of cells restored from the row cache.
+func sweepRun(sc sweepConfig, out io.Writer) (experiments.GridStats, int, error) {
+	cells := expandCells(sc)
 
 	var rows *rowCache
 	opts := experiments.GridOptions{Jobs: sc.jobs, Warm: sc.warm, Stop: sc.stop}
@@ -182,18 +224,19 @@ func sweepRun(sc sweepConfig, out io.Writer) (experiments.GridStats, int, error)
 			return experiments.GridStats{}, 0, err
 		}
 		defer rows.Close()
-		opts.Cache = prefixDir{dir: sc.ckptDir}
+		opts.Cache = repro.DirPrefixCache(sc.ckptDir)
 	}
 
-	results := make([]metrics.Results, len(cells))
-	resolved := make([]bool, len(cells))
+	em := newCSVEmitter(sc, out)
+	defer em.flush()
+
 	cached := 0
 	var sub []experiments.Cell // cells still to simulate (full-index parallel slice)
 	var subIdx []int
 	for i, c := range cells {
 		if rows != nil {
 			if r, ok := rows.load(c.Key()); ok {
-				results[i], resolved[i] = r, true
+				em.set(i, r, "")
 				cached++
 				continue
 			}
@@ -202,49 +245,15 @@ func sweepRun(sc sweepConfig, out io.Writer) (experiments.GridStats, int, error)
 		subIdx = append(subIdx, i)
 	}
 
-	w := csv.NewWriter(out)
-	defer w.Flush()
-	_ = w.Write([]string{
-		"benchmark", "threads", "levels", "seed", "protocol", "workers",
-		"nopool", "scale", "config",
-		"roi_finish", "total_coh", "spin_fraction", "sleeps",
-		"coh_improvement", "roi_improvement",
-	})
-
-	// Ordered emitter over the full cell list: a grid point's two CSV rows
-	// go out once its OCOR half resolves, so row order matches the serial
-	// grid walk exactly regardless of -j, warm-start forking, or which
-	// cells came from the row cache.
-	next := 0
-	var lastBase metrics.Results
-	advance := func() {
-		for next < len(cells) && resolved[next] {
-			if next%2 == 0 {
-				lastBase = results[next]
-				next++
-				continue
-			}
-			c := sc.grid[next/2]
-			r := results[next]
-			emitRow(w, sc, c, "baseline", lastBase, 0, 0)
-			emitRow(w, sc, c, "ocor", r,
-				metrics.COHImprovement(lastBase, r), metrics.ROIImprovement(lastBase, r))
-			next++
-		}
-		w.Flush()
-	}
-	advance() // a fully cached prefix of the grid streams before any simulation
-
 	var stats experiments.GridStats
 	if len(sub) > 0 {
 		var err error
 		_, stats, err = experiments.RunGrid(sub, opts, func(i int, r metrics.Results) {
 			fi := subIdx[i]
-			results[fi], resolved[fi] = r, true
 			if rows != nil {
 				rows.store(cells[fi].Key(), r)
 			}
-			advance()
+			em.set(fi, r, "")
 		})
 		if err != nil {
 			return stats, cached, err
@@ -253,11 +262,105 @@ func sweepRun(sc sweepConfig, out io.Writer) (experiments.GridStats, int, error)
 	return stats, cached, nil
 }
 
-func emitRow(w *csv.Writer, sc sweepConfig, c cell, cfg string, r metrics.Results, cohImp, roiImp float64) {
-	_ = w.Write([]string{
-		sc.prof.Name, strconv.Itoa(c.threads), strconv.Itoa(c.levels),
-		strconv.FormatUint(c.seed, 10), sc.protocol, strconv.Itoa(sc.workers),
-		strconv.FormatBool(sc.noPool), strconv.FormatFloat(sc.scale, 'f', -1, 64), cfg,
+// sweepFleet runs the same grid as a supervised fleet (see
+// internal/fleet): in-process workers plus any cmd/sweepd processes
+// attached to the spool, streaming the identical CSV byte stream.
+func sweepFleet(sc sweepConfig, out io.Writer) (fleet.Stats, error) {
+	cells := expandCells(sc)
+	em := newCSVEmitter(sc, out)
+	defer em.flush()
+
+	ro := repro.CellRunnerOptions{Warm: sc.warm, Timeout: sc.cellTimeout}
+	if sc.spool != "" {
+		if err := os.MkdirAll(sc.spool, 0o755); err != nil {
+			return fleet.Stats{}, err
+		}
+		ro.Cache = repro.DirPrefixCache(sc.spool)
+	}
+	fc := fleet.Config{
+		Spool: sc.spool, Workers: sc.fleetWorkers, Run: repro.CellRunner(ro),
+		AttachWorkers: sc.spool != "", Stop: sc.stop,
+	}
+	if sc.fleetTune != nil {
+		sc.fleetTune(&fc)
+	}
+	return fleet.Run(fc, cells, func(i int, r fleet.Result) {
+		em.set(i, r.Results, r.Err)
+	})
+}
+
+// csvEmitter streams CSV rows over the full cell list in strict grid-walk
+// order, shared by the grid and fleet modes: a grid point's two rows go
+// out once its OCOR half resolves, regardless of -j, warm-start forking,
+// fleet scheduling, or which cells were restored from a journal. A
+// poisoned cell surfaces as a comment line in place of its row, so a
+// quarantined configuration is visible without corrupting the CSV shape.
+type csvEmitter struct {
+	out      io.Writer
+	w        *csv.Writer
+	sc       sweepConfig
+	results  []metrics.Results
+	errs     []string
+	resolved []bool
+	next     int
+	lastBase metrics.Results
+	baseErr  string
+}
+
+func newCSVEmitter(sc sweepConfig, out io.Writer) *csvEmitter {
+	e := &csvEmitter{
+		out: out, w: csv.NewWriter(out), sc: sc,
+		results:  make([]metrics.Results, 2*len(sc.grid)),
+		errs:     make([]string, 2*len(sc.grid)),
+		resolved: make([]bool, 2*len(sc.grid)),
+	}
+	_ = e.w.Write([]string{
+		"benchmark", "threads", "levels", "seed", "protocol", "workers",
+		"nopool", "scale", "config",
+		"roi_finish", "total_coh", "spin_fraction", "sleeps",
+		"coh_improvement", "roi_improvement",
+	})
+	e.w.Flush()
+	return e
+}
+
+// set resolves cell i (errStr non-empty for a poisoned cell) and streams
+// every newly emittable row.
+func (e *csvEmitter) set(i int, r metrics.Results, errStr string) {
+	e.results[i], e.errs[i], e.resolved[i] = r, errStr, true
+	for e.next < len(e.resolved) && e.resolved[e.next] {
+		i := e.next
+		c := e.sc.grid[i/2]
+		if i%2 == 0 {
+			e.lastBase, e.baseErr = e.results[i], e.errs[i]
+			if e.baseErr != "" {
+				e.comment(c, "baseline", e.baseErr)
+			} else {
+				e.row(c, "baseline", e.lastBase, 0, 0)
+			}
+		} else {
+			switch {
+			case e.errs[i] != "":
+				e.comment(c, "ocor", e.errs[i])
+			case e.baseErr != "":
+				// No healthy baseline to compare against.
+				e.row(c, "ocor", e.results[i], 0, 0)
+			default:
+				e.row(c, "ocor", e.results[i],
+					metrics.COHImprovement(e.lastBase, e.results[i]),
+					metrics.ROIImprovement(e.lastBase, e.results[i]))
+			}
+		}
+		e.next++
+	}
+	e.w.Flush()
+}
+
+func (e *csvEmitter) row(c cell, cfg string, r metrics.Results, cohImp, roiImp float64) {
+	_ = e.w.Write([]string{
+		e.sc.prof.Name, strconv.Itoa(c.threads), strconv.Itoa(c.levels),
+		strconv.FormatUint(c.seed, 10), e.sc.protocol, strconv.Itoa(e.sc.workers),
+		strconv.FormatBool(e.sc.noPool), strconv.FormatFloat(e.sc.scale, 'f', -1, 64), cfg,
 		strconv.FormatUint(r.ROIFinish, 10),
 		strconv.FormatUint(r.TotalCOH, 10),
 		strconv.FormatFloat(r.SpinFraction, 'f', 4, 64),
@@ -267,13 +370,22 @@ func emitRow(w *csv.Writer, sc sweepConfig, c cell, cfg string, r metrics.Result
 	})
 }
 
+// comment emits a poisoned cell as a CSV comment line (flushing the
+// writer first so the interleaving stays ordered).
+func (e *csvEmitter) comment(c cell, cfg, errStr string) {
+	e.w.Flush()
+	fmt.Fprintf(e.out, "# poisoned %s threads=%d levels=%d seed=%d config=%s: %s\n",
+		e.sc.prof.Name, c.threads, c.levels, c.seed, cfg, errStr)
+}
+
+func (e *csvEmitter) flush() { e.w.Flush() }
+
 // rowCache is the checkpoint directory's completed-row log: one JSON line
-// per finished simulation, keyed by the cell's full-configuration key.
-// Rows append and sync as simulations finish, so an interrupt (even an
-// unclean one) loses at most in-flight cells; a torn final line from a
-// hard kill is skipped on reload.
+// per finished simulation, keyed by the cell's full-configuration key,
+// appended through the shared torn-tail-tolerant journal (a torn final
+// line from a hard kill is skipped on reload).
 type rowCache struct {
-	f    *os.File
+	j    *journal.Writer
 	seen map[string]metrics.Results
 }
 
@@ -283,19 +395,20 @@ type rowRecord struct {
 }
 
 func openRowCache(path string) (*rowCache, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	rc := &rowCache{f: f, seen: map[string]metrics.Results{}}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	for sc.Scan() {
+	rc := &rowCache{seen: map[string]metrics.Results{}}
+	if err := journal.Replay(path, func(line []byte) error {
 		var rec rowRecord
-		if json.Unmarshal(sc.Bytes(), &rec) != nil {
-			break // torn tail from a hard kill; everything after is suspect
+		if json.Unmarshal(line, &rec) != nil {
+			return journal.ErrStop // unreadable record: keep the prefix
 		}
 		rc.seen[rec.Key] = rec.Results
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var err error
+	if rc.j, err = journal.Open(path); err != nil {
+		return nil, err
 	}
 	return rc, nil
 }
@@ -306,52 +419,10 @@ func (rc *rowCache) load(key string) (metrics.Results, bool) {
 }
 
 func (rc *rowCache) store(key string, r metrics.Results) {
-	b, err := json.Marshal(rowRecord{Key: key, Results: r})
-	if err != nil {
-		return
-	}
-	b = append(b, '\n')
-	_, _ = rc.f.Write(b)
+	_ = rc.j.Append(rowRecord{Key: key, Results: r})
 }
 
-func (rc *rowCache) Close() error { return rc.f.Close() }
-
-// prefixDir persists warm-start prefix snapshots as
-// prefix-<hash>-<cycle>.ckpt files, so an interrupted sweep's rerun (and
-// any later sweep sharing the configuration) skips the prefix simulation.
-type prefixDir struct{ dir string }
-
-func (d prefixDir) glob(key string) string {
-	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(d.dir, fmt.Sprintf("prefix-%x-*.ckpt", sum[:8]))
-}
-
-func (d prefixDir) Load(key string) (any, uint64, bool) {
-	matches, _ := filepath.Glob(d.glob(key))
-	if len(matches) == 0 {
-		return nil, 0, false
-	}
-	name := filepath.Base(matches[0])
-	var cycle uint64
-	if _, err := fmt.Sscanf(name[strings.LastIndexByte(name, '-')+1:], "%d.ckpt", &cycle); err != nil {
-		return nil, 0, false
-	}
-	snap, err := checkpoint.ReadFile(matches[0])
-	if err != nil {
-		return nil, 0, false
-	}
-	return snap, cycle, true
-}
-
-func (d prefixDir) Store(key string, prefix any, cycle uint64) {
-	snap, ok := prefix.(*checkpoint.Snapshot)
-	if !ok {
-		return
-	}
-	sum := sha256.Sum256([]byte(key))
-	path := filepath.Join(d.dir, fmt.Sprintf("prefix-%x-%d.ckpt", sum[:8], cycle))
-	_ = snap.WriteFile(path)
-}
+func (rc *rowCache) Close() error { return rc.j.Close() }
 
 func parseInts(s string) []int {
 	var out []int

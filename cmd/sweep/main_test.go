@@ -5,7 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/workload"
 )
 
@@ -117,6 +119,71 @@ func TestSweepPartialResume(t *testing.T) {
 	}
 	if !bytes.Equal(cold.Bytes(), out.Bytes()) {
 		t.Fatalf("resumed CSV differs from cold CSV:\ncold:\n%s\nresumed:\n%s", &cold, &out)
+	}
+}
+
+// TestSweepFleetMatchesGrid runs the same grid in classic grid mode and
+// as a supervised fleet: the CSV byte streams must be identical, and a
+// second fleet run over the same spool must restore every cell and still
+// emit the identical bytes.
+func TestSweepFleetMatchesGrid(t *testing.T) {
+	sc := testSweepConfig("")
+	sc.ckptDir = ""
+
+	var grid bytes.Buffer
+	if _, _, err := sweepRun(sc, &grid); err != nil {
+		t.Fatal(err)
+	}
+
+	sc.fleetWorkers = 4
+	sc.spool = t.TempDir()
+	sc.fleetTune = func(fc *fleet.Config) {
+		fc.LeaseTTL = 100 * time.Millisecond
+		fc.Poll = 10 * time.Millisecond
+	}
+
+	var first bytes.Buffer
+	stats, err := sweepFleet(sc, &first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 3 || stats.Restored != 0 {
+		t.Fatalf("fleet run stats %+v, want 3 unique cells completed fresh", stats)
+	}
+	if !bytes.Equal(grid.Bytes(), first.Bytes()) {
+		t.Fatalf("fleet CSV differs from grid CSV:\ngrid:\n%s\nfleet:\n%s", &grid, &first)
+	}
+
+	var second bytes.Buffer
+	stats, err = sweepFleet(sc, &second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Restored != 3 || stats.Leases != 0 {
+		t.Fatalf("fleet rerun stats %+v, want everything restored without leasing", stats)
+	}
+	if !bytes.Equal(grid.Bytes(), second.Bytes()) {
+		t.Fatalf("resumed fleet CSV differs from grid CSV:\ngrid:\n%s\nresumed:\n%s", &grid, &second)
+	}
+}
+
+// TestSweepFleetDrained pre-closes stop: the fleet leases nothing and
+// sweepFleet reports the drain so main can mark the output truncated.
+func TestSweepFleetDrained(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	sc := testSweepConfig("")
+	sc.ckptDir = ""
+	sc.fleetWorkers = 2
+	sc.stop = stop
+
+	var out bytes.Buffer
+	_, err := sweepFleet(sc, &out)
+	if err != fleet.ErrDrained {
+		t.Fatalf("drained fleet sweep returned %v, want fleet.ErrDrained", err)
+	}
+	if got := strings.Count(out.String(), "\n"); got != 1 {
+		t.Fatalf("drained fleet sweep emitted %d lines, want header only", got)
 	}
 }
 

@@ -1,0 +1,67 @@
+// Command sweepd is a standalone fleet worker: it attaches to a sweep
+// spool directory (see cmd/sweep -spool and internal/fleet), leases grid
+// cells from whichever coordinator owns the spool, runs them on the full
+// platform, and streams heartbeats and results back over the filesystem
+// protocol. Run any number of sweepd processes — on the same machine or
+// a shared filesystem — to scale a sweep horizontally; kill -9 any of
+// them and the coordinator reclaims the orphaned lease.
+//
+// SIGINT/SIGTERM drain gracefully: the worker finishes the cell it is
+// running, says goodbye, and exits.
+//
+// Usage:
+//
+//	sweep  -bench body -seeds 8 -spool body.spool > body.csv &
+//	sweepd -spool body.spool &
+//	sweepd -spool body.spool -id box2 -timeout 10m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/fleet"
+	"repro/internal/interrupt"
+)
+
+func main() {
+	var (
+		spool   = flag.String("spool", "", "fleet spool directory to attach to (required)")
+		id      = flag.String("id", "", "worker id (default host-pid derived; must be unique per spool)")
+		warm    = flag.Bool("warm", true, "warm-start cells from shared prefix snapshots in the spool")
+		timeout = flag.Duration("timeout", 0, "per-cell wall-clock watchdog; a wedged cell fails instead of wedging the worker (0 = none)")
+		hb      = flag.Duration("heartbeat", 5*time.Second, "lease renewal interval while running a cell")
+		poll    = flag.Duration("poll", 250*time.Millisecond, "inbox scan interval")
+	)
+	flag.Parse()
+
+	if *spool == "" {
+		fmt.Fprintln(os.Stderr, "sweepd: -spool is required")
+		os.Exit(2)
+	}
+	if *id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	runner := repro.CellRunner(repro.CellRunnerOptions{
+		Warm:    *warm,
+		Cache:   repro.DirPrefixCache(*spool),
+		Timeout: *timeout,
+	})
+	stop := interrupt.Notify("sweepd", "draining; finishing the leased cell, then exiting")
+
+	err := fleet.ServeSpool(*spool, *id, runner, fleet.ServeOptions{
+		Heartbeat: *hb, Poll: *poll, Stop: stop,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+}

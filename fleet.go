@@ -1,0 +1,150 @@
+package repro
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// This file is the platform side of the sweep fleet: the cell runner a
+// fleet worker (in-process or cmd/sweepd) executes leased cells with,
+// and the spool-directory prefix cache that makes PR 9's prefix-*.ckpt
+// snapshots the cross-process warm-start hand-off format.
+
+// CellRunnerOptions configures CellRunner.
+type CellRunnerOptions struct {
+	// Warm forks each cell from its protocol-independent prefix snapshot
+	// (built once per prefix key and memoized; persisted through Cache
+	// when set) instead of simulating from cycle zero.
+	Warm bool
+	// Cache persists prefix snapshots across processes — normally
+	// DirPrefixCache over the fleet spool directory, so any worker
+	// attached to the spool reuses any other worker's prefixes.
+	Cache experiments.PrefixCache
+	// Timeout is the per-cell wall-clock watchdog: a wedged simulation
+	// is aborted at the next cycle boundary and surfaces as a cell
+	// failure (retried, then poisoned), never as a dead worker.
+	// 0 disables the wall clock; the cycle-budget watchdog and panic
+	// net still protect the worker.
+	Timeout time.Duration
+}
+
+// CellRunner returns a fleet runner backed by the full platform: it
+// validates the cell, optionally warm-starts it from a shared prefix
+// snapshot, and runs it under the wall-clock guard. The returned
+// function is safe for concurrent use; prefix construction is
+// single-flight per prefix key within the process and best-effort — a
+// cell whose prefix cannot be built runs cold, exactly like
+// experiments.RunGrid.
+func CellRunner(o CellRunnerOptions) func(c experiments.Cell) (metrics.Results, error) {
+	type prefixEntry struct {
+		once sync.Once
+		snap *checkpoint.Snapshot
+	}
+	var mu sync.Mutex
+	prefixes := map[string]*prefixEntry{}
+
+	return func(c experiments.Cell) (metrics.Results, error) {
+		cfg := Config{
+			Benchmark: c.Profile, Threads: c.Threads, OCOR: c.OCOR,
+			Seed: c.Seed, Protocol: c.Protocol, NoPool: c.NoPool, Workers: c.Workers,
+		}
+		if c.Levels > 0 {
+			cfg.PriorityLevels = c.Levels
+		}
+		if err := cfg.Validate(); err != nil {
+			return metrics.Results{}, err
+		}
+		if o.Warm {
+			key := c.PrefixKey()
+			mu.Lock()
+			e, ok := prefixes[key]
+			if !ok {
+				e = &prefixEntry{}
+				prefixes[key] = e
+			}
+			mu.Unlock()
+			e.once.Do(func() {
+				if o.Cache != nil {
+					if p, _, ok := o.Cache.Load(key); ok {
+						if snap, ok := p.(*checkpoint.Snapshot); ok {
+							e.snap = snap
+							return
+						}
+					}
+				}
+				pcfg := cfg
+				pcfg.Protocol, pcfg.PriorityLevels = "", 0
+				snap, cycle, err := BuildPrefix(pcfg)
+				if err != nil {
+					return // unforkable configuration: run cold
+				}
+				e.snap = snap
+				if o.Cache != nil {
+					o.Cache.Store(key, snap, cycle)
+				}
+			})
+			if e.snap != nil {
+				sys, err := Restore(cfg, e.snap)
+				if err == nil {
+					return sys.RunWithTimeout(o.Timeout)
+				}
+				// An incompatible cached snapshot (e.g. from a stale
+				// spool) falls through to a cold run.
+			}
+		}
+		sys, err := New(cfg)
+		if err != nil {
+			return metrics.Results{}, err
+		}
+		return sys.RunWithTimeout(o.Timeout)
+	}
+}
+
+// DirPrefixCache persists warm-start prefix snapshots in dir as
+// prefix-<hash>-<cycle>.ckpt files (the cmd/sweep checkpoint-directory
+// format, shared here so fleet coordinators and sweepd workers hand
+// shards off through the same files). Loads are best-effort: any
+// malformed file reads as a miss.
+func DirPrefixCache(dir string) experiments.PrefixCache { return prefixDir{dir: dir} }
+
+type prefixDir struct{ dir string }
+
+func (d prefixDir) glob(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.dir, fmt.Sprintf("prefix-%x-*.ckpt", sum[:8]))
+}
+
+func (d prefixDir) Load(key string) (any, uint64, bool) {
+	matches, _ := filepath.Glob(d.glob(key))
+	if len(matches) == 0 {
+		return nil, 0, false
+	}
+	name := filepath.Base(matches[0])
+	var cycle uint64
+	if _, err := fmt.Sscanf(name[strings.LastIndexByte(name, '-')+1:], "%d.ckpt", &cycle); err != nil {
+		return nil, 0, false
+	}
+	snap, err := checkpoint.ReadFile(matches[0])
+	if err != nil {
+		return nil, 0, false
+	}
+	return snap, cycle, true
+}
+
+func (d prefixDir) Store(key string, prefix any, cycle uint64) {
+	snap, ok := prefix.(*checkpoint.Snapshot)
+	if !ok {
+		return
+	}
+	sum := sha256.Sum256([]byte(key))
+	path := filepath.Join(d.dir, fmt.Sprintf("prefix-%x-%d.ckpt", sum[:8], cycle))
+	_ = snap.WriteFile(path)
+}

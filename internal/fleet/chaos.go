@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChaosConfig deterministically injects fleet-level failures mid-grid,
+// in the spirit of internal/fault: every decision is a pure function of
+// (Seed, cell key, attempt), never of wall clock or scheduling, so the
+// same seed replays the same failure schedule regardless of worker
+// count — which is what lets the recovery invariant be matrix-tested.
+//
+// Three failure modes cover the crash taxonomy the queue must survive:
+//
+//   - crash: the worker dies between leasing a cell and completing it
+//     (the SIGKILL path). The lease expires, the reclaimer requeues the
+//     cell with backoff, and the supervisor replaces the worker.
+//   - stall: the worker keeps running but stops heartbeating past the
+//     lease TTL, then delivers its result late. The coordinator must
+//     both reclaim the silent lease and accept (or idempotently ignore)
+//     the late completion — simulation determinism makes either result
+//     byte-identical.
+//   - kill: the coordinator itself halts abruptly after KillAfterResults
+//     results have been journaled: no drain, no journal close, and with
+//     TornTail a half-written line is left on the result log, exactly
+//     the residue of a power loss mid-append. A rerun over the same
+//     spool must recover to byte-identical ordered emission.
+type ChaosConfig struct {
+	// Seed keys every injection decision.
+	Seed uint64
+	// CrashRate is P(worker crash) per (cell, attempt) lease grant.
+	CrashRate float64
+	// StallRate is P(heartbeat stall) per (cell, attempt) lease grant.
+	// Crash and stall partition one hash draw, so their sum must be ≤ 1.
+	StallRate float64
+	// KillAfterResults hard-kills the coordinator once this many results
+	// have been journaled this run (0 = never). Run returns ErrKilled.
+	KillAfterResults int
+	// TornTail, with KillAfterResults, appends a torn half-line to the
+	// result journal at the kill, simulating a crash mid-append.
+	TornTail bool
+}
+
+// Validate checks the chaos rates.
+func (c *ChaosConfig) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"CrashRate", c.CrashRate}, {"StallRate", c.StallRate}} {
+		if r.v < 0 || r.v > 1 || math.IsNaN(r.v) {
+			return fmt.Errorf("fleet: chaos %s %v outside [0, 1]", r.name, r.v)
+		}
+	}
+	if s := c.CrashRate + c.StallRate; s > 1 {
+		return fmt.Errorf("fleet: chaos CrashRate+StallRate = %v exceeds 1", s)
+	}
+	if c.KillAfterResults < 0 {
+		return fmt.Errorf("fleet: chaos KillAfterResults %d negative", c.KillAfterResults)
+	}
+	return nil
+}
+
+// fate is the chaos verdict for one lease grant.
+type fate uint8
+
+const (
+	fateDeliver fate = iota // run the cell normally
+	fateCrash               // die without completing or releasing
+	fateStall               // run, but heartbeat nothing and complete late
+)
+
+// fateOf draws the (key, attempt) fate. Attempt is part of the identity,
+// so a cell that crashed on attempt 1 gets an independent draw on
+// attempt 2 — chaos converges instead of pinning one cell forever.
+func (c *ChaosConfig) fateOf(key string, attempt int) fate {
+	if c == nil || (c.CrashRate == 0 && c.StallRate == 0) {
+		return fateDeliver
+	}
+	h := splitmix(c.Seed ^ hashString(key) ^ (uint64(attempt) * 0x9e3779b97f4a7c15))
+	draw := float64(h>>11) / float64(1<<53) // uniform in [0, 1)
+	switch {
+	case draw < c.CrashRate:
+		return fateCrash
+	case draw < c.CrashRate+c.StallRate:
+		return fateStall
+	}
+	return fateDeliver
+}
+
+// hashString is FNV-1a, inlined to keep the package dependency-free.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix is the SplitMix64 finalizer: a cheap, well-mixed 64-bit
+// permutation (the same construction internal/fault draws through).
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

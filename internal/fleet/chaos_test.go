@@ -1,0 +1,165 @@
+package fleet_test
+
+// The headline invariant of the fleet, matrix-tested end to end on the
+// real platform: for any seeded schedule of worker crashes, heartbeat
+// stalls, coordinator kills and torn journal tails, rerunning the fleet
+// over the same spool until it completes produces an ordered result
+// emission byte-identical to an uninterrupted single-worker in-memory
+// run. The simulation's determinism (equal cells => equal results) plus
+// the queue's strict cell-order emission make this hold by construction;
+// this test is the proof the construction survives the failure modes.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/workload"
+)
+
+func chaosProfile() workload.Profile {
+	return workload.Profile{
+		Name: "fleetchaos", ComputeGap: 600, GapMemOps: 3, WorkingSet: 64,
+		SharedFrac: 0.15, GlobalBlocks: 32, SharedWriteFrac: 0.25,
+		Locks: 2, CSLen: 50, CSMemOps: 2, Iterations: 4,
+	}
+}
+
+// chaosGrid is a small real grid: baseline/OCOR pairs over two level
+// counts and two seeds (8 cells, 6 unique — the two baselines per seed
+// dedup, exactly like cmd/sweep's expansion).
+func chaosGrid(protocol string) []experiments.Cell {
+	var cells []experiments.Cell
+	for _, levels := range []int{2, 4} {
+		for seed := uint64(1); seed <= 2; seed++ {
+			base := experiments.Cell{
+				Profile: chaosProfile(), Threads: 4, Seed: seed, Protocol: protocol,
+			}
+			ocor := base
+			ocor.OCOR = true
+			ocor.Levels = levels
+			cells = append(cells, base, ocor)
+		}
+	}
+	return cells
+}
+
+// emissionLog records ordered emissions as canonical bytes.
+type emissionLog struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (e *emissionLog) emit(i int, r fleet.Result) {
+	b, _ := json.Marshal(r)
+	e.mu.Lock()
+	e.lines = append(e.lines, fmt.Sprintf("%d %s", i, b))
+	e.mu.Unlock()
+}
+
+func (e *emissionLog) snapshot() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.lines...)
+}
+
+// fastFleet is the chaos matrix's timing envelope: leases short enough
+// that a crashed worker's cell is reclaimed within milliseconds.
+func fastFleet(run fleet.Runner, workers int) fleet.Config {
+	return fleet.Config{
+		Workers: workers, Run: run,
+		LeaseTTL: 40 * time.Millisecond, Heartbeat: 10 * time.Millisecond,
+		Poll: 5 * time.Millisecond, BackoffBase: time.Millisecond,
+		// Chaos crashes are not cell defects: a generous attempt cap keeps
+		// the poison policy out of the recovery invariant's way.
+		MaxAttempts: 64,
+	}
+}
+
+// TestChaosRecoveryInvariant is the acceptance matrix: >=2 protocols x
+// fleet workers {1,4} x torn-journal-tail {off,on}. Each entry runs the
+// grid under seeded chaos (worker crashes, heartbeat stalls, coordinator
+// hard-kill after every 2 journaled results, optional torn tail on the
+// result log), rerunning over the same spool until the fleet completes,
+// then compares the completing run's full ordered emission byte-for-byte
+// against the uninterrupted Workers=1 in-memory reference.
+func TestChaosRecoveryInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix runs real simulations; skipped in -short")
+	}
+	for _, protocol := range []string{"", "mcs"} {
+		protocol := protocol
+		cells := chaosGrid(protocol)
+
+		// Uninterrupted reference: one worker, no spool, no chaos.
+		runner := repro.CellRunner(repro.CellRunnerOptions{Warm: true})
+		var ref emissionLog
+		if _, err := fleet.Run(fastFleet(runner, 1), cells, ref.emit); err != nil {
+			t.Fatalf("reference run (protocol %q): %v", protocol, err)
+		}
+		want := ref.snapshot()
+		if len(want) != len(cells) {
+			t.Fatalf("reference emitted %d of %d cells", len(want), len(cells))
+		}
+
+		for _, workers := range []int{1, 4} {
+			for _, torn := range []bool{false, true} {
+				workers, torn := workers, torn
+				name := fmt.Sprintf("proto=%s/workers=%d/torn=%v", orDefault(protocol), workers, torn)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					spool := t.TempDir()
+					runner := repro.CellRunner(repro.CellRunnerOptions{
+						Warm: true, Cache: repro.DirPrefixCache(spool),
+					})
+					var got []string
+					rounds := 0
+					for ; rounds < 50; rounds++ {
+						cfg := fastFleet(runner, workers)
+						cfg.Spool = spool
+						cfg.Chaos = &fleet.ChaosConfig{
+							Seed:             uint64(1000*workers + rounds),
+							CrashRate:        0.25,
+							StallRate:        0.25,
+							KillAfterResults: 2,
+							TornTail:         torn,
+						}
+						var log emissionLog
+						_, err := fleet.Run(cfg, cells, log.emit)
+						if err == nil {
+							got = log.snapshot()
+							break
+						}
+						if err != fleet.ErrKilled {
+							t.Fatalf("round %d: %v", rounds, err)
+						}
+					}
+					if got == nil {
+						t.Fatalf("fleet never recovered within 50 rounds")
+					}
+					if len(got) != len(want) {
+						t.Fatalf("recovered run emitted %d cells, reference %d", len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("recovery broke byte-identity at emission %d after %d rounds:\nrecovered: %s\nreference: %s",
+								i, rounds, got[i], want[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func orDefault(p string) string {
+	if p == "" {
+		return "default"
+	}
+	return p
+}

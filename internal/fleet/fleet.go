@@ -1,0 +1,335 @@
+// Package fleet turns sweep-grid execution into a supervised, lease-
+// based job system: a coordinator owns a durable cell queue (append-only
+// torn-tail-tolerant journals in a spool directory), hands out leases
+// with deadlines, and supervises workers — an in-process goroutine pool,
+// plus external cmd/sweepd processes attaching over the same spool.
+//
+// Robustness is the product:
+//
+//   - Workers heartbeat while running a cell; an expired lease (crashed
+//     or wedged worker) is reclaimed and the cell retried behind
+//     exponential backoff.
+//   - A cell that fails deterministically MaxFailures times is
+//     quarantined to poison.jsonl with its diagnostic (including the
+//     watchdog's dump when the failure carried one) and never blocks
+//     grid completion.
+//   - Crashed in-process workers are replaced by the supervisor; the
+//     per-cell wall-clock watchdog lives in the runner (see
+//     repro.CellRunner), so a wedged simulation kills the cell, not the
+//     worker.
+//   - A drain request (SIGTERM via Config.Stop) stops new leases,
+//     finishes in-flight cells, flushes journals, and returns
+//     ErrDrained; SIGKILL is the tested crash path — rerunning over the
+//     same spool recovers to byte-identical ordered emission.
+//
+// The headline invariant, matrix-tested by the chaos harness: for any
+// seeded kill/crash/stall schedule, the recovered fleet's ordered result
+// emission equals the uninterrupted single-worker run byte for byte.
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// Runner executes one grid cell to completion. It must be safe for
+// concurrent use and deterministic: equal cells yield equal results.
+type Runner func(c experiments.Cell) (metrics.Results, error)
+
+// ErrKilled reports a chaos hard-kill: the coordinator halted mid-grid
+// without draining. Rerun over the same spool to recover.
+var ErrKilled = errors.New("fleet: chaos-killed before the grid completed")
+
+// ErrDrained reports a graceful stop: in-flight cells finished and were
+// journaled, the rest of the grid was released. Rerun to continue.
+var ErrDrained = errors.New("fleet: drained before the grid completed")
+
+// Config configures a fleet run.
+type Config struct {
+	// Spool is the durable queue directory: grid manifest, lease event
+	// log, result and poison journals, and (by convention — see
+	// repro.DirPrefixCache) the prefix-*.ckpt warm-start snapshots
+	// workers hand off through. Empty runs the queue in memory only.
+	Spool string
+	// Workers is the in-process worker pool size.
+	Workers int
+	// Run executes one cell. Required.
+	Run Runner
+	// AttachWorkers watches Spool/workers/ for external worker processes
+	// (cmd/sweepd) and feeds them leases over the filesystem protocol.
+	AttachWorkers bool
+
+	// LeaseTTL is how long a lease lives without a heartbeat before the
+	// reclaimer takes it back (default 1m).
+	LeaseTTL time.Duration
+	// Heartbeat is the interval at which a worker renews its lease while
+	// running a cell (default LeaseTTL/4).
+	Heartbeat time.Duration
+	// Poll is the reclaimer sweep and spool scan interval (default
+	// LeaseTTL/8, floored at 10ms).
+	Poll time.Duration
+	// BackoffBase seeds the exponential requeue backoff: retry i of a
+	// cell waits BackoffBase << min(i-1, 6) (default 250ms).
+	BackoffBase time.Duration
+	// MaxFailures quarantines a cell after this many runner failures
+	// (default 3). MaxAttempts (default 8) additionally caps total lease
+	// grants, so a cell that wedges every worker poisons too.
+	MaxFailures int
+	MaxAttempts int
+
+	// Stop, when non-nil and closed, drains the fleet gracefully.
+	Stop <-chan struct{}
+	// Chaos deterministically injects worker crashes, heartbeat stalls
+	// and a coordinator kill; see ChaosConfig.
+	Chaos *ChaosConfig
+}
+
+// validate fills defaults and rejects impossible settings.
+func (c *Config) validate() error {
+	if c.Run == nil {
+		return errors.New("fleet: Config.Run is required")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("fleet: negative worker count %d", c.Workers)
+	}
+	if c.Workers == 0 && !c.AttachWorkers {
+		return errors.New("fleet: no workers: set Workers > 0 or AttachWorkers with a spool")
+	}
+	if c.AttachWorkers && c.Spool == "" {
+		return errors.New("fleet: AttachWorkers requires a spool directory")
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = time.Minute
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = c.LeaseTTL / 4
+	}
+	if c.Poll <= 0 {
+		c.Poll = c.LeaseTTL / 8
+		if c.Poll < 10*time.Millisecond {
+			c.Poll = 10 * time.Millisecond
+		}
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 250 * time.Millisecond
+	}
+	if c.MaxFailures <= 0 {
+		c.MaxFailures = 3
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.Chaos != nil {
+		if err := c.Chaos.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a fleet run.
+type Stats struct {
+	// Cells is the grid size; Unique the deduplicated queue size.
+	Cells, Unique int
+	// Restored counts cells already terminal in the spool at open.
+	Restored int
+	// Completed / Poisoned are terminal counts at return.
+	Completed, Poisoned int
+	// Leases, Retries and Reclaims count lease grants, grants beyond a
+	// cell's first, and expired-lease reclamations this run.
+	Leases, Retries, Reclaims int
+	// Crashes and Stalls count chaos-injected worker failures;
+	// Respawns counts supervisor replacements for crashed workers.
+	Crashes, Stalls, Respawns int
+	// Killed reports a chaos hard-kill ended the run.
+	Killed bool
+}
+
+// fleet is one Run invocation's shared state.
+type fleet struct {
+	cfg *Config
+	q   *queue
+	wg  sync.WaitGroup
+	// nextWorker numbers supervisor respawns distinctly.
+	nextWorker atomic.Int64
+	crashes    atomic.Int64
+	stalls     atomic.Int64
+	respawns   atomic.Int64
+}
+
+// Run executes every cell of the grid under fleet supervision, streaming
+// terminal results to emit in strict cell order (restored cells first,
+// immediately). It returns when the grid is fully terminal (nil error),
+// drained (ErrDrained), or chaos-killed (ErrKilled).
+func Run(cfg Config, cells []experiments.Cell, emit func(i int, r Result)) (Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return Stats{}, err
+	}
+	q, err := newQueue(&cfg, cells, emit)
+	if err != nil {
+		return Stats{}, err
+	}
+	f := &fleet{cfg: &cfg, q: q}
+	defer q.closeJournals()
+
+	// Reclaimer: sweeps expired leases and wakes backoff-gated waiters.
+	reclaimDone := make(chan struct{})
+	var reclaimWG sync.WaitGroup
+	reclaimWG.Add(1)
+	go func() {
+		defer reclaimWG.Done()
+		t := time.NewTicker(cfg.Poll)
+		defer t.Stop()
+		for {
+			select {
+			case <-reclaimDone:
+				return
+			case now := <-t.C:
+				q.reclaimExpired(now)
+			}
+		}
+	}()
+
+	// Drain watcher. An already-closed Stop drains before the first
+	// worker spawns, so a pre-drained fleet leases nothing at all.
+	if cfg.Stop != nil {
+		select {
+		case <-cfg.Stop:
+			q.drain()
+		default:
+			drainDone := make(chan struct{})
+			defer close(drainDone)
+			go func() {
+				select {
+				case <-cfg.Stop:
+					q.drain()
+				case <-drainDone:
+				}
+			}()
+		}
+	}
+
+	// In-process worker pool, under supervision: a chaos-crashed worker
+	// is replaced so fleet capacity survives its own failures.
+	for i := 0; i < cfg.Workers; i++ {
+		f.spawnWorker()
+	}
+	// External workers attach over the spool.
+	if cfg.AttachWorkers {
+		f.wg.Add(1)
+		go f.scanSpoolWorkers()
+	}
+
+	f.wg.Wait()
+	close(reclaimDone)
+	reclaimWG.Wait()
+
+	st := q.finishStats()
+	st.Crashes = int(f.crashes.Load())
+	st.Stalls = int(f.stalls.Load())
+	st.Respawns = int(f.respawns.Load())
+	switch {
+	case q.wasKilled():
+		return st, ErrKilled
+	case st.Completed+st.Poisoned < st.Unique:
+		return st, ErrDrained
+	}
+	return st, nil
+}
+
+// spawnWorker starts one supervised worker goroutine. The wg.Add happens
+// before the goroutine (and before any respawn's parent returns), so
+// Run's Wait covers every replacement.
+func (f *fleet) spawnWorker() {
+	id := fmt.Sprintf("w%d", f.nextWorker.Add(1))
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		if died := f.workerLoop(id); died {
+			f.crashes.Add(1)
+			if !f.q.finishedForever() {
+				f.respawns.Add(1)
+				f.spawnWorker()
+			}
+		}
+	}()
+}
+
+// workerLoop leases, runs and completes cells until the queue says no
+// lease will ever be granted again. It returns true when the worker
+// "dies" (chaos crash): the lease is abandoned for the reclaimer to
+// recover, exactly like a SIGKILLed process.
+func (f *fleet) workerLoop(worker string) (died bool) {
+	for {
+		idx, attempt, ok, _ := f.q.lease(worker, true)
+		if !ok {
+			return false
+		}
+		cell := f.q.cells[idx]
+		switch f.cfg.Chaos.fateOf(f.q.keys[idx], attempt) {
+		case fateCrash:
+			return true
+		case fateStall:
+			f.stalls.Add(1)
+			res, err := runProtected(f.cfg.Run, cell)
+			// Heartbeat silence past the TTL: wait until the reclaimer
+			// has provably had a sweep after the deadline, then deliver
+			// the result late.
+			time.Sleep(f.cfg.LeaseTTL + 2*f.cfg.Poll)
+			if err != nil {
+				f.q.fail(idx, worker, attempt, err)
+			} else {
+				f.q.complete(idx, res)
+			}
+			continue
+		}
+		hbStop := make(chan struct{})
+		var hbWG sync.WaitGroup
+		hbWG.Add(1)
+		go func() {
+			defer hbWG.Done()
+			t := time.NewTicker(f.cfg.Heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-t.C:
+					f.q.heartbeat(idx, worker, attempt)
+				}
+			}
+		}()
+		res, err := runProtected(f.cfg.Run, cell)
+		close(hbStop)
+		hbWG.Wait()
+		if err != nil {
+			f.q.fail(idx, worker, attempt, err)
+		} else {
+			f.q.complete(idx, res)
+		}
+	}
+}
+
+// runProtected converts a panicking runner into a cell failure so one
+// poisonous cell cannot take down its worker (let alone the fleet).
+func runProtected(run Runner, c experiments.Cell) (res metrics.Results, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("fleet: cell runner panicked: %v", r)
+		}
+	}()
+	return run(c)
+}
+
+// unmarshalStrictEnough decodes a journal line; shape mismatches (valid
+// JSON that is not this record type) read as corruption.
+func unmarshalStrictEnough(line []byte, v any) error {
+	return json.Unmarshal(line, v)
+}

@@ -1,0 +1,347 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/journal"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// fakeCell builds a distinct grid cell (Seed is the identity).
+func fakeCell(seed uint64) experiments.Cell {
+	return experiments.Cell{
+		Profile: workload.Profile{Name: "fleettest", Iterations: 1},
+		Threads: 1, Seed: seed,
+	}
+}
+
+// fakeResults is the deterministic "simulation": a pure function of the
+// cell, like the real platform.
+func fakeResults(c experiments.Cell) metrics.Results {
+	return metrics.Results{ROIFinish: 1000 + c.Seed, TotalCOH: 10 * c.Seed}
+}
+
+func fakeRunner(c experiments.Cell) (metrics.Results, error) {
+	return fakeResults(c), nil
+}
+
+// fastCfg is a test-speed Config: millisecond leases, immediate backoff.
+func fastCfg(run Runner) Config {
+	return Config{
+		Workers: 4, Run: run,
+		LeaseTTL: 50 * time.Millisecond, Heartbeat: 10 * time.Millisecond,
+		Poll: 5 * time.Millisecond, BackoffBase: time.Millisecond,
+	}
+}
+
+// collector records ordered emissions.
+type collector struct {
+	mu  sync.Mutex
+	idx []int
+	res []Result
+}
+
+func (c *collector) emit(i int, r Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.idx = append(c.idx, i)
+	c.res = append(c.res, r)
+}
+
+func (c *collector) snapshot() ([]int, []Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int(nil), c.idx...), append([]Result(nil), c.res...)
+}
+
+// TestFleetOrderedEmission runs a grid with duplicate cells across four
+// workers: every cell emits exactly once, in strict cell order, with the
+// deterministic result of its representative, and duplicates are
+// simulated once.
+func TestFleetOrderedEmission(t *testing.T) {
+	cells := []experiments.Cell{
+		fakeCell(1), fakeCell(2), fakeCell(1), fakeCell(3), fakeCell(2), fakeCell(4),
+	}
+	calls := map[string]int{}
+	var mu sync.Mutex
+	run := func(c experiments.Cell) (metrics.Results, error) {
+		mu.Lock()
+		calls[c.Key()]++
+		mu.Unlock()
+		return fakeRunner(c)
+	}
+	var col collector
+	st, err := Run(fastCfg(run), cells, col.emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != 6 || st.Unique != 4 || st.Completed != 4 || st.Poisoned != 0 {
+		t.Fatalf("stats %+v, want 6 cells, 4 unique, 4 completed", st)
+	}
+	idx, res := col.snapshot()
+	if len(idx) != 6 {
+		t.Fatalf("emitted %d cells, want 6", len(idx))
+	}
+	for i, got := range idx {
+		if got != i {
+			t.Fatalf("emission %d was cell %d; order must be strict", i, got)
+		}
+		if want := fakeResults(cells[i]); res[i].Results != want || res[i].Err != "" {
+			t.Fatalf("cell %d emitted %+v, want %+v", i, res[i], want)
+		}
+	}
+	for k, n := range calls {
+		if n != 1 {
+			t.Fatalf("cell %s simulated %d times, want 1 (dedup)", k, n)
+		}
+	}
+}
+
+// TestFleetRetryBackoff makes one cell fail twice before succeeding: the
+// fleet retries it behind backoff and the grid still completes with the
+// right result.
+func TestFleetRetryBackoff(t *testing.T) {
+	cells := []experiments.Cell{fakeCell(1), fakeCell(2)}
+	flakyKey := cells[0].Key()
+	var mu sync.Mutex
+	fails := 0
+	run := func(c experiments.Cell) (metrics.Results, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if c.Key() == flakyKey && fails < 2 {
+			fails++
+			return metrics.Results{}, fmt.Errorf("transient fault %d", fails)
+		}
+		return fakeRunner(c)
+	}
+	var col collector
+	st, err := Run(fastCfg(run), cells, col.emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 2 || st.Poisoned != 0 {
+		t.Fatalf("stats %+v, want both cells completed", st)
+	}
+	if st.Retries < 2 {
+		t.Fatalf("stats %+v, want >= 2 retries for the flaky cell", st)
+	}
+	_, res := col.snapshot()
+	if res[0].Results != fakeResults(cells[0]) {
+		t.Fatalf("flaky cell emitted %+v after retries, want %+v", res[0], fakeResults(cells[0]))
+	}
+}
+
+// TestFleetPoisonQuarantine makes one cell fail deterministically with a
+// watchdog error: after MaxFailures tries it is quarantined to
+// poison.jsonl (diagnostic dump included), emitted as a failed Result,
+// and — the acceptance criterion — never blocks grid completion.
+func TestFleetPoisonQuarantine(t *testing.T) {
+	spool := t.TempDir()
+	cells := []experiments.Cell{fakeCell(1), fakeCell(2), fakeCell(3)}
+	badKey := cells[1].Key()
+	run := func(c experiments.Cell) (metrics.Results, error) {
+		if c.Key() == badKey {
+			return metrics.Results{}, &sim.WatchdogError{
+				Cycle: 42, Check: "stall", Detail: "no forward progress",
+				Dump: "cycle 42\nthreads in lock path: 3\n",
+			}
+		}
+		return fakeRunner(c)
+	}
+	cfg := fastCfg(run)
+	cfg.Spool = spool
+	cfg.MaxFailures = 2
+	var col collector
+	st, err := Run(cfg, cells, col.emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 2 || st.Poisoned != 1 {
+		t.Fatalf("stats %+v, want 2 completed + 1 poisoned", st)
+	}
+	idx, res := col.snapshot()
+	if len(idx) != 3 {
+		t.Fatalf("poisoned cell blocked emission: %d of 3 cells emitted", len(idx))
+	}
+	if res[1].Err == "" || !strings.Contains(res[1].Err, "stall") {
+		t.Fatalf("poisoned cell emitted %+v, want its watchdog error", res[1])
+	}
+
+	var poisons []poisonRecord
+	if err := journal.Replay(spool+"/poison.jsonl", func(line []byte) error {
+		var p poisonRecord
+		if err := unmarshalStrictEnough(line, &p); err != nil {
+			return err
+		}
+		poisons = append(poisons, p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(poisons) != 1 {
+		t.Fatalf("poison.jsonl holds %d verdicts, want 1", len(poisons))
+	}
+	p := poisons[0]
+	if p.Key != badKey || p.Failures != 2 {
+		t.Fatalf("poison verdict %+v, want key %q after 2 failures", p, badKey)
+	}
+	if !strings.Contains(p.Dump, "threads in lock path") {
+		t.Fatalf("poison verdict lost the watchdog dump: %+v", p)
+	}
+
+	// A rerun over the same spool restores the verdict without retrying
+	// the poisoned cell.
+	var again collector
+	st, err = Run(cfg, cells, again.emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Restored != 3 || st.Leases != 0 {
+		t.Fatalf("rerun stats %+v, want everything restored and no leases", st)
+	}
+	aidx, ares := again.snapshot()
+	if len(aidx) != 3 || ares[1].Err == "" {
+		t.Fatalf("rerun emission wrong: idx=%v res=%+v", aidx, ares)
+	}
+}
+
+// TestFleetDrain pre-closes Stop: no cells run, ErrDrained comes back.
+func TestFleetDrain(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	cfg := fastCfg(fakeRunner)
+	cfg.Stop = stop
+	var col collector
+	st, err := Run(cfg, []experiments.Cell{fakeCell(1), fakeCell(2)}, col.emit)
+	if !errors.Is(err, ErrDrained) {
+		t.Fatalf("drained fleet returned %v, want ErrDrained", err)
+	}
+	if st.Completed != 0 {
+		t.Fatalf("drained fleet completed %d cells, want 0", st.Completed)
+	}
+}
+
+// TestFleetPanicIsFailure: a panicking runner poisons its cell, never
+// the worker or the process.
+func TestFleetPanicIsFailure(t *testing.T) {
+	cells := []experiments.Cell{fakeCell(1), fakeCell(2)}
+	badKey := cells[0].Key()
+	run := func(c experiments.Cell) (metrics.Results, error) {
+		if c.Key() == badKey {
+			panic("index out of range in the imaginary kernel")
+		}
+		return fakeRunner(c)
+	}
+	cfg := fastCfg(run)
+	cfg.MaxFailures = 2
+	var col collector
+	st, err := Run(cfg, cells, col.emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Poisoned != 1 || st.Completed != 1 {
+		t.Fatalf("stats %+v, want the panicking cell poisoned and the other completed", st)
+	}
+	_, res := col.snapshot()
+	if !strings.Contains(res[0].Err, "panicked") {
+		t.Fatalf("panicking cell emitted %+v, want a panic failure", res[0])
+	}
+}
+
+// TestFleetCrashSupervision sets CrashRate=1 with a tiny attempt cap:
+// every lease "kills" its worker, the supervisor respawns replacements,
+// leases expire and are reclaimed, and the grid still terminates — every
+// cell poisoned by the attempt cap rather than wedging the fleet.
+func TestFleetCrashSupervision(t *testing.T) {
+	cfg := fastCfg(fakeRunner)
+	cfg.Workers = 2
+	cfg.LeaseTTL = 20 * time.Millisecond
+	cfg.MaxAttempts = 3
+	cfg.Chaos = &ChaosConfig{Seed: 7, CrashRate: 1}
+	var col collector
+	st, err := Run(cfg, []experiments.Cell{fakeCell(1), fakeCell(2)}, col.emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Poisoned != 2 || st.Completed != 0 {
+		t.Fatalf("stats %+v, want both cells poisoned by the attempt cap", st)
+	}
+	if st.Crashes == 0 || st.Respawns == 0 || st.Reclaims == 0 {
+		t.Fatalf("stats %+v, want crashes, respawns and reclaims > 0", st)
+	}
+	_, res := col.snapshot()
+	for i, r := range res {
+		if !strings.Contains(r.Err, "lease expired") {
+			t.Fatalf("cell %d emitted %+v, want a lease-expiry poison", i, r)
+		}
+	}
+}
+
+// TestFleetStallLateDelivery sets StallRate=1: every worker goes silent
+// past its lease TTL, the reclaimer requeues the cells, and the stalled
+// attempts' late results are accepted idempotently — the grid completes
+// with correct results despite every heartbeat dying.
+func TestFleetStallLateDelivery(t *testing.T) {
+	cfg := fastCfg(fakeRunner)
+	cfg.Workers = 2
+	cfg.LeaseTTL = 20 * time.Millisecond
+	cfg.Chaos = &ChaosConfig{Seed: 11, StallRate: 1}
+	cells := []experiments.Cell{fakeCell(1), fakeCell(2)}
+	var col collector
+	st, err := Run(cfg, cells, col.emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 2 {
+		t.Fatalf("stats %+v, want both cells completed via late delivery", st)
+	}
+	if st.Stalls == 0 {
+		t.Fatalf("stats %+v, want stalls > 0", st)
+	}
+	_, res := col.snapshot()
+	for i, c := range cells {
+		if res[i].Results != fakeResults(c) {
+			t.Fatalf("cell %d emitted %+v, want %+v", i, res[i], fakeResults(c))
+		}
+	}
+}
+
+// TestFleetGridMismatch rejects reusing a spool for a different grid.
+func TestFleetGridMismatch(t *testing.T) {
+	spool := t.TempDir()
+	cfg := fastCfg(fakeRunner)
+	cfg.Spool = spool
+	if _, err := Run(cfg, []experiments.Cell{fakeCell(1)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Run(cfg, []experiments.Cell{fakeCell(1), fakeCell(2)}, nil)
+	if err == nil || !strings.Contains(err.Error(), "different grid") {
+		t.Fatalf("mismatched grid reuse returned %v, want a different-grid error", err)
+	}
+}
+
+// TestFleetConfigValidation rejects impossible configurations.
+func TestFleetConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Workers: 1}, nil, nil); err == nil {
+		t.Fatal("nil Runner accepted")
+	}
+	if _, err := Run(Config{Run: fakeRunner}, nil, nil); err == nil {
+		t.Fatal("zero workers without AttachWorkers accepted")
+	}
+	if _, err := Run(Config{Run: fakeRunner, AttachWorkers: true}, nil, nil); err == nil {
+		t.Fatal("AttachWorkers without a spool accepted")
+	}
+	bad := fastCfg(fakeRunner)
+	bad.Chaos = &ChaosConfig{CrashRate: 1.5}
+	if _, err := Run(bad, nil, nil); err == nil {
+		t.Fatal("out-of-range chaos rate accepted")
+	}
+}

@@ -1,0 +1,305 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/journal"
+	"repro/internal/metrics"
+)
+
+// The spool worker protocol: an external worker process (cmd/sweepd)
+// attaches by creating Spool/workers/<id>/ with a hello.json; the
+// coordinator assigns leased cells by appending to that directory's
+// inbox.jsonl, and the worker streams heartbeats and terminal outcomes
+// back through outbox.jsonl. Both files are single-writer journals, so
+// every append is torn-tail tolerant and there are no cross-process
+// write races; the only shared-state primitive is O_APPEND.
+//
+// Worker death needs no explicit failure message: a silent worker's
+// lease expires and the reclaimer requeues the cell, identically to an
+// in-process crash. The prefix-*.ckpt warm-start snapshots in the spool
+// directory (see repro.DirPrefixCache) are the shard hand-off format:
+// the first worker to need a prefix builds and persists it, every later
+// worker on any process restores it.
+
+// spoolMsg is one line of an inbox or outbox journal.
+type spoolMsg struct {
+	Op      string            `json:"op"` // inbox: run | quit; outbox: hello-ack-free hb | done | fail | bye
+	Idx     int               `json:"idx,omitempty"`
+	Attempt int               `json:"attempt,omitempty"`
+	Key     string            `json:"key,omitempty"`
+	Cell    *experiments.Cell `json:"cell,omitempty"`
+	Results *metrics.Results  `json:"results,omitempty"`
+	Error   string            `json:"error,omitempty"`
+}
+
+// workersDir is where worker processes attach under a spool.
+func workersDir(spool string) string { return filepath.Join(spool, "workers") }
+
+// readNewLines returns the complete JSON lines appended to path since
+// *off, advancing *off past them. A trailing partial line (a write in
+// progress, or the torn tail of a crash) is left for the next call.
+func readNewLines(path string, off *int64) [][]byte {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	if _, err := f.Seek(*off, io.SeekStart); err != nil {
+		return nil
+	}
+	buf, err := io.ReadAll(f)
+	if err != nil || len(buf) == 0 {
+		return nil
+	}
+	last := bytes.LastIndexByte(buf, '\n')
+	if last < 0 {
+		return nil // partial line in progress; retry next poll
+	}
+	var out [][]byte
+	for _, line := range bytes.Split(buf[:last], []byte{'\n'}) {
+		if len(line) > 0 && json.Valid(line) {
+			out = append(out, line)
+		}
+	}
+	*off += int64(last + 1)
+	return out
+}
+
+// scanSpoolWorkers watches the spool's workers directory and starts one
+// adapter per attached worker. It runs inside the fleet's WaitGroup and
+// exits once the queue is finished for this run.
+func (f *fleet) scanSpoolWorkers() {
+	defer f.wg.Done()
+	dir := workersDir(f.cfg.Spool)
+	_ = os.MkdirAll(dir, 0o755)
+	seen := map[string]bool{}
+	for {
+		if f.q.finishedForever() {
+			return
+		}
+		entries, _ := os.ReadDir(dir)
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			if e.IsDir() {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		for _, id := range names {
+			if seen[id] {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(dir, id, "hello.json")); err != nil {
+				continue // still attaching
+			}
+			seen[id] = true
+			f.wg.Add(1)
+			go f.adaptWorker(id)
+		}
+		time.Sleep(f.cfg.Poll)
+	}
+}
+
+// adaptWorker is the coordinator-side endpoint of one attached worker:
+// it leases cells on the worker's behalf, relays them through the inbox,
+// and folds the outbox's heartbeats and outcomes back into the queue.
+// If the worker goes silent while holding a cell, the adapter lets the
+// lease expire (the reclaimer requeues it) and detaches.
+func (f *fleet) adaptWorker(id string) {
+	defer f.wg.Done()
+	wdir := filepath.Join(workersDir(f.cfg.Spool), id)
+	inbox, err := journal.Open(filepath.Join(wdir, "inbox.jsonl"))
+	if err != nil {
+		return
+	}
+	defer inbox.Close()
+	outboxPath := filepath.Join(wdir, "outbox.jsonl")
+	var off int64
+	worker := "spool:" + id
+	cur, curAttempt := -1, 0
+	lastSeen := time.Now()
+	for {
+		if cur == -1 {
+			idx, attempt, ok, done := f.q.lease(worker, false)
+			switch {
+			case done:
+				_ = inbox.Append(spoolMsg{Op: "quit"})
+				return
+			case ok:
+				cell := f.q.cells[idx]
+				cur, curAttempt = idx, attempt
+				lastSeen = time.Now()
+				if err := inbox.Append(spoolMsg{
+					Op: "run", Idx: idx, Attempt: attempt,
+					Key: f.q.keys[idx], Cell: &cell,
+				}); err != nil {
+					// Unwritable inbox: abandon; the lease will expire.
+					return
+				}
+			}
+		}
+		for _, line := range readNewLines(outboxPath, &off) {
+			var m spoolMsg
+			if json.Unmarshal(line, &m) != nil {
+				continue
+			}
+			lastSeen = time.Now()
+			switch m.Op {
+			case "hb":
+				f.q.heartbeat(m.Idx, worker, m.Attempt)
+			case "done":
+				if m.Results != nil {
+					f.q.complete(m.Idx, *m.Results)
+				}
+				if m.Idx == cur {
+					cur = -1
+				}
+			case "fail":
+				f.q.fail(m.Idx, worker, m.Attempt, fmt.Errorf("%s", m.Error))
+				if m.Idx == cur {
+					cur = -1
+				}
+			case "bye":
+				return // in-flight lease (if any) expires and is reclaimed
+			}
+		}
+		if cur != -1 {
+			if !f.q.leaseCurrent(cur, curAttempt) {
+				// Reclaimed out from under the worker (it went silent).
+				// A late done in the outbox would still be accepted by a
+				// future adapter generation via the queue's idempotent
+				// complete; this adapter gives up on the worker.
+				if time.Since(lastSeen) > 2*f.cfg.LeaseTTL {
+					return
+				}
+				cur = -1
+			}
+		}
+		if f.q.finishedForever() && cur == -1 {
+			_ = inbox.Append(spoolMsg{Op: "quit"})
+			return
+		}
+		time.Sleep(f.cfg.Poll)
+	}
+}
+
+// ServeOptions tunes a spool worker's serve loop.
+type ServeOptions struct {
+	// Heartbeat is the lease renewal interval while running a cell
+	// (default 5s). Poll is the inbox scan interval (default 250ms).
+	Heartbeat time.Duration
+	Poll      time.Duration
+	// Stop, when non-nil and closed, drains the worker: it finishes the
+	// cell it is running, writes a bye record, and returns.
+	Stop <-chan struct{}
+}
+
+// ServeSpool attaches to a fleet spool as worker id and processes
+// assignments until the coordinator says quit or Stop drains it. This is
+// cmd/sweepd's engine, exported so coordinator and worker can be
+// exercised in one test process.
+func ServeSpool(spool, id string, run Runner, opt ServeOptions) error {
+	if run == nil {
+		return fmt.Errorf("fleet: ServeSpool needs a runner")
+	}
+	if opt.Heartbeat <= 0 {
+		opt.Heartbeat = 5 * time.Second
+	}
+	if opt.Poll <= 0 {
+		opt.Poll = 250 * time.Millisecond
+	}
+	wdir := filepath.Join(workersDir(spool), id)
+	if err := os.MkdirAll(wdir, 0o755); err != nil {
+		return err
+	}
+	outbox, err := journal.Open(filepath.Join(wdir, "outbox.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer outbox.Close()
+	hello, err := json.Marshal(map[string]any{"pid": os.Getpid(), "id": id})
+	if err != nil {
+		return err
+	}
+	// hello.json lands last: the adapter only engages a fully set-up dir.
+	if err := os.WriteFile(filepath.Join(wdir, "hello.json"), append(hello, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	inboxPath := filepath.Join(wdir, "inbox.jsonl")
+	var off int64
+	stopped := func() bool {
+		if opt.Stop == nil {
+			return false
+		}
+		select {
+		case <-opt.Stop:
+			return true
+		default:
+			return false
+		}
+	}
+	for {
+		if stopped() {
+			return outbox.Append(spoolMsg{Op: "bye"})
+		}
+		for _, line := range readNewLines(inboxPath, &off) {
+			var m spoolMsg
+			if json.Unmarshal(line, &m) != nil {
+				continue
+			}
+			switch m.Op {
+			case "quit":
+				return outbox.Append(spoolMsg{Op: "bye"})
+			case "run":
+				if m.Cell == nil {
+					continue
+				}
+				serveCell(outbox, run, m, opt)
+				if stopped() {
+					return outbox.Append(spoolMsg{Op: "bye"})
+				}
+			}
+		}
+		time.Sleep(opt.Poll)
+	}
+}
+
+// serveCell runs one assigned cell, heartbeating through the outbox
+// while it runs and writing the terminal outcome after.
+func serveCell(outbox *journal.Writer, run Runner, m spoolMsg, opt ServeOptions) {
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(opt.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				_ = outbox.Append(spoolMsg{Op: "hb", Idx: m.Idx, Attempt: m.Attempt})
+			}
+		}
+	}()
+	res, err := runProtected(run, *m.Cell)
+	close(hbStop)
+	hbWG.Wait()
+	if err != nil {
+		_ = outbox.Append(spoolMsg{Op: "fail", Idx: m.Idx, Attempt: m.Attempt, Error: err.Error()})
+		return
+	}
+	_ = outbox.Append(spoolMsg{Op: "done", Idx: m.Idx, Attempt: m.Attempt, Results: &res})
+}

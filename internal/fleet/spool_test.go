@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// TestSpoolWorkerProtocol runs a coordinator with no in-process workers
+// and one ServeSpool worker (the cmd/sweepd engine) in the same test
+// process: the entire grid flows over the filesystem protocol — run
+// assignments through the inbox, heartbeats and results through the
+// outbox — and emission stays strictly ordered.
+func TestSpoolWorkerProtocol(t *testing.T) {
+	spool := t.TempDir()
+	cells := []experiments.Cell{fakeCell(1), fakeCell(2), fakeCell(3), fakeCell(1)}
+
+	cfg := fastCfg(fakeRunner)
+	cfg.Workers = 0
+	cfg.Spool = spool
+	cfg.AttachWorkers = true
+
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- ServeSpool(spool, "wk1", fakeRunner, ServeOptions{
+			Heartbeat: 5 * time.Millisecond, Poll: 2 * time.Millisecond,
+		})
+	}()
+
+	var col collector
+	st, err := Run(cfg, cells, col.emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 3 {
+		t.Fatalf("stats %+v, want 3 unique cells completed over the spool", st)
+	}
+	idx, res := col.snapshot()
+	if len(idx) != 4 {
+		t.Fatalf("emitted %d cells, want 4", len(idx))
+	}
+	for i, c := range cells {
+		if idx[i] != i || res[i].Results != fakeResults(c) {
+			t.Fatalf("emission %d: idx=%d res=%+v, want idx=%d res=%+v",
+				i, idx[i], res[i], i, fakeResults(c))
+		}
+	}
+
+	// The coordinator's quit message releases the worker.
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("ServeSpool: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeSpool did not exit after the coordinator finished")
+	}
+}
+
+// TestSpoolWorkerDrain closes a worker's Stop channel: the worker writes
+// a bye record and exits even though the coordinator never said quit.
+func TestSpoolWorkerDrain(t *testing.T) {
+	spool := t.TempDir()
+	stop := make(chan struct{})
+	close(stop)
+	err := ServeSpool(spool, "wk1", fakeRunner, ServeOptions{
+		Poll: 2 * time.Millisecond, Stop: stop,
+	})
+	if err != nil {
+		t.Fatalf("drained ServeSpool: %v", err)
+	}
+}
+
+// TestSpoolMixedWorkers runs in-process workers and a spool worker on
+// the same grid: both kinds drain the one queue and the emission is the
+// same strict order.
+func TestSpoolMixedWorkers(t *testing.T) {
+	spool := t.TempDir()
+	var cells []experiments.Cell
+	for s := uint64(1); s <= 8; s++ {
+		cells = append(cells, fakeCell(s))
+	}
+
+	cfg := fastCfg(fakeRunner)
+	cfg.Workers = 2
+	cfg.Spool = spool
+	cfg.AttachWorkers = true
+
+	go ServeSpool(spool, "ext1", fakeRunner, ServeOptions{
+		Heartbeat: 5 * time.Millisecond, Poll: 2 * time.Millisecond,
+	})
+
+	var col collector
+	st, err := Run(cfg, cells, col.emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 8 {
+		t.Fatalf("stats %+v, want all 8 cells completed", st)
+	}
+	idx, res := col.snapshot()
+	for i, c := range cells {
+		if idx[i] != i || res[i].Results != fakeResults(c) {
+			t.Fatalf("emission %d out of order or wrong: idx=%d res=%+v", i, idx[i], res[i])
+		}
+	}
+}
+
+// TestSpoolWorkerFailure relays a runner failure over the outbox: the
+// coordinator's poison policy applies to external workers identically.
+func TestSpoolWorkerFailure(t *testing.T) {
+	spool := t.TempDir()
+	cells := []experiments.Cell{fakeCell(1), fakeCell(2)}
+	badKey := cells[0].Key()
+	failing := func(c experiments.Cell) (metrics.Results, error) {
+		if c.Key() == badKey {
+			return metrics.Results{}, errors.New("deterministic failure")
+		}
+		return fakeRunner(c)
+	}
+
+	cfg := fastCfg(nil)
+	cfg.Run = fakeRunner // required but unused: no in-process workers
+	cfg.Workers = 0
+	cfg.Spool = spool
+	cfg.AttachWorkers = true
+	cfg.MaxFailures = 2
+
+	go ServeSpool(spool, "wk1", failing, ServeOptions{
+		Heartbeat: 5 * time.Millisecond, Poll: 2 * time.Millisecond,
+	})
+
+	var col collector
+	st, err := Run(cfg, cells, col.emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 1 || st.Poisoned != 1 {
+		t.Fatalf("stats %+v, want 1 completed + 1 poisoned over the spool", st)
+	}
+	_, res := col.snapshot()
+	if res[0].Err == "" || res[1].Err != "" {
+		t.Fatalf("emission %+v, want cell 0 poisoned, cell 1 healthy", res)
+	}
+}

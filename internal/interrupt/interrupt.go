@@ -1,0 +1,39 @@
+// Package interrupt is the shared signal discipline of every cmd entry
+// point that can flush partial results: the first SIGINT *or* SIGTERM
+// closes the returned stop channel so the harness drains gracefully
+// (finish claimed work, flush journals, emit the completed prefix), and
+// a second signal falls back to Go's default handling — an immediate
+// kill — so a wedged drain can always be cut short.
+//
+// Before this package each command wired its own handler and they had
+// drifted: cmd/faultsweep flushed on SIGINT but died silently on
+// SIGTERM, losing its completed points under any supervisor that sends
+// the polite signal first (systemd, Kubernetes, timeout(1)). Routing
+// every entry point through Notify makes SIGTERM and SIGINT equivalent
+// everywhere by construction.
+package interrupt
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Notify installs the handler and returns the stop channel. name
+// prefixes the stderr notice (the command name); action describes what
+// the drain will do, e.g. "flushing completed rows". The channel is
+// closed exactly once, on the first SIGINT or SIGTERM.
+func Notify(name, action string) <-chan struct{} {
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "%s: %v; %s\n", name, s, action)
+		close(stop)
+		// Restore default handling: the next signal kills the process.
+		signal.Stop(sigc)
+	}()
+	return stop
+}

@@ -138,19 +138,9 @@ func experimentFaultRun(p workload.Profile, threads int, ocor bool, seed uint64,
 	if err != nil {
 		return experiments.FaultOutcome{}, err
 	}
-	var res metrics.Results
-	if timeout > 0 {
-		res, err = sys.RunWithTimeout(timeout)
-	} else {
-		res, err = func() (r metrics.Results, err error) {
-			defer func() {
-				if p := recover(); p != nil {
-					err = fmt.Errorf("repro: run panicked: %v", p)
-				}
-			}()
-			return sys.Run()
-		}()
-	}
+	// RunWithTimeout carries the panic net at every deadline, including
+	// "none": a panicking degraded run is a data point, not a crash.
+	res, err := sys.RunWithTimeout(timeout)
 	out := experiments.FaultOutcome{
 		OK:       err == nil,
 		Results:  res,

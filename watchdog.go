@@ -48,6 +48,12 @@ func (s *System) buildWatchdog(cfg sim.WatchdogConfig) *sim.Watchdog {
 	return w
 }
 
+// DiagnosticDump renders the watchdog's diagnostic scene at the current
+// cycle, for tools (and tests) that want the blocked-thread table
+// without waiting for a tripped invariant — e.g. a fleet poison record
+// attaching the scene of a repeatedly failing cell.
+func (s *System) DiagnosticDump() string { return s.diagnosticDump(s.Engine.Now()) }
+
 // diagnosticDump renders the scene of a watchdog trip: the blocked-thread
 // table, the packet census, recovery and fault counters, and the tail of
 // the structured event stream when a recorder is attached.
@@ -100,20 +106,21 @@ func (s *System) watchdogErr() error {
 // net: a deadline expiry aborts the engine at the next cycle boundary
 // (deterministic simulation state, nondeterministic abort point — only
 // for harness protection, never for measurements), and a panicking run
-// is converted into an error instead of taking the process down.
+// is converted into an error instead of taking the process down. A
+// non-positive deadline keeps the panic net but no wall clock, so fleet
+// workers and the fault harness get one guarded entry point either way.
 func (s *System) RunWithTimeout(d time.Duration) (res metrics.Results, err error) {
-	if d <= 0 {
-		return s.Run()
+	if d > 0 {
+		timer := time.AfterFunc(d, s.Engine.RequestAbort)
+		defer timer.Stop()
 	}
-	timer := time.AfterFunc(d, s.Engine.RequestAbort)
-	defer timer.Stop()
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("repro: run panicked: %v", r)
 		}
 	}()
 	res, err = s.Run()
-	if err == nil && s.Engine.Aborted() {
+	if err == nil && d > 0 && s.Engine.Aborted() {
 		err = fmt.Errorf("repro: run aborted after wall-clock timeout %v at cycle %d", d, s.Engine.Now())
 	}
 	return res, err

@@ -1,0 +1,64 @@
+package repro
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestDiagnosticDumpGolden pins the watchdog's diagnostic scene — the
+// blocked-thread table, packet census, lock statistics and event tail —
+// against a golden file. The dump is what a tripped invariant, a fleet
+// poison record, or a postmortem reader sees; a format drift should be a
+// deliberate `go test -run DiagnosticDumpGolden -update`, not an
+// accident. The scene itself is deterministic: a fixed contended profile
+// advanced to a fixed cycle renders the same bytes on every run.
+func TestDiagnosticDumpGolden(t *testing.T) {
+	prof := workload.Profile{
+		Name: "wdgolden", ComputeGap: 100, GapMemOps: 1, WorkingSet: 32,
+		SharedFrac: 0.2, GlobalBlocks: 16, SharedWriteFrac: 0.25,
+		Locks: 1, CSLen: 400, CSMemOps: 2, Iterations: 6,
+	}
+	rec := obs.NewRecorder(64)
+	sys, err := New(Config{Benchmark: prof, Threads: 8, Seed: 1, Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deep in the single-lock convoy: most threads blocked on lock 0.
+	if _, err := sys.RunTo(6000); err != nil {
+		t.Fatal(err)
+	}
+	dump := sys.DiagnosticDump()
+
+	// Shape checks first, so a failure explains itself even when the
+	// golden file is stale.
+	for _, want := range []string{"cycle ", "census:", "threads in lock path:", "lock 0@", "last "} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("dump lost its %q section:\n%s", want, dump)
+		}
+	}
+
+	golden := filepath.Join("testdata", "watchdog_dump.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(dump), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run DiagnosticDumpGolden -update ./` to create it)", err)
+	}
+	if dump != string(want) {
+		t.Fatalf("diagnostic dump drifted from golden (rerun with -update if deliberate):\n--- got ---\n%s\n--- want ---\n%s", dump, want)
+	}
+}
